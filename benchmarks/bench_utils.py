@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment (a "table/figure" of the
+reproduction — see DESIGN.md's index), records the result under
+``benchmarks/results/`` (JSON for machines, text for humans), prints it
+(visible with ``pytest -s``), and asserts the *shape* claims the paper
+makes — who wins, which exponents clear which floors — never absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.results import ExperimentResult, save_result
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_result(result: ExperimentResult) -> ExperimentResult:
+    """Persist and print an experiment result; returns it for chaining."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    stem = os.path.join(RESULTS_DIR, result.experiment_id.lower())
+    save_result(result, stem + ".json")
+    text = result.format()
+    with open(stem + ".txt", "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return result

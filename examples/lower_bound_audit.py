@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Audit the paper's proof machinery with exact arithmetic.
+
+Walks through the three lemmas behind Theorem 1, numerically *and*
+exactly:
+
+1. Lemma 2 — exhaustively verify (with Fraction arithmetic, zero
+   tolerance) that the window vertices are interchangeable conditional
+   on the event E_{a,b};
+2. Lemma 3 — compare the exact closed-form P(E_{a,b}) against the
+   paper's e^{-(1-p)} bound across p;
+3. Lemma 1 — confront the resulting |V| * P(E) / 2 floor with measured
+   request counts of real algorithms, including the omniscient window
+   baseline that nearly attains it.
+
+Run:  python examples/lower_bound_audit.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    exact_event_probability,
+    theorem1_weak_bound,
+    verify_lemma2,
+)
+from repro.core.families import MoriFamily, theorem_target_for_size
+from repro.core.searchability import (
+    constant_factory,
+    measure_search_cost,
+    omniscient_factory,
+)
+from repro.equivalence.exact import lemma3_bound, lemma3_window_end
+from repro.search.algorithms import (
+    FloodingSearch,
+    HighDegreeWeakSearch,
+    RandomWalkSearch,
+)
+
+
+def step1_lemma2() -> None:
+    print("=" * 64)
+    print("Step 1 — Lemma 2, exactly (all 720 trees on 7 vertices)")
+    print("=" * 64)
+    for p in (0.25, 0.5, 0.75, 1.0):
+        report = verify_lemma2(7, 3, 6, p)
+        print(
+            f"  p={p:<5} windows [[4,6]]: {report.num_event_trees:>4} "
+            f"event trees, P(E) = {report.event_probability} "
+            f"-> holds: {report.holds} "
+            f"(max discrepancy {report.max_discrepancy})"
+        )
+    print()
+
+
+def step2_lemma3() -> None:
+    print("=" * 64)
+    print("Step 2 — Lemma 3: exact P(E_{a,b}) vs e^{-(1-p)}")
+    print("=" * 64)
+    a = 400
+    b = lemma3_window_end(a)
+    print(f"  window: a={a}, b={b} (|V| = {b - a})")
+    for p in (0.1, 0.3, 0.5, 0.7, 0.9):
+        exact = float(exact_event_probability(a, b, p))
+        bound = lemma3_bound(p)
+        print(
+            f"  p={p:<4} exact={exact:.4f}  bound={bound:.4f}  "
+            f"margin=+{exact - bound:.4f}"
+        )
+    print()
+
+
+def step3_lemma1() -> None:
+    print("=" * 64)
+    print("Step 3 — Lemma 1's floor vs real algorithms (n = 1000)")
+    print("=" * 64)
+    size = 1000
+    family = MoriFamily(p=0.5, m=1)
+    target = theorem_target_for_size(size)
+    floor = theorem1_weak_bound(target, 0.5)
+    print(
+        f"  target {target}, exact floor |V|*P(E)/2 = {floor:.1f} "
+        f"requests (sqrt(n) = {math.sqrt(size):.0f})\n"
+    )
+    factories = {
+        "random-walk": constant_factory(RandomWalkSearch()),
+        "flooding": constant_factory(FloodingSearch()),
+        "high-degree": constant_factory(HighDegreeWeakSearch()),
+        "omniscient-window": omniscient_factory(),
+    }
+    cell = measure_search_cost(
+        family, size, factories, num_graphs=5, runs_per_graph=2, seed=21
+    )
+    print(f"  {'algorithm':<20}{'mean requests':>14}{'x floor':>9}")
+    print("  " + "-" * 43)
+    for name in sorted(cell.summaries):
+        mean = cell.summaries[name].mean_requests
+        print(f"  {name:<20}{mean:>14.1f}{mean / floor:>9.1f}")
+    print(
+        "\n  Everyone sits above the floor; the omniscient baseline "
+        "(which knows everything but the window labels) sits closest "
+        "— the bound is tight."
+    )
+
+
+def main() -> None:
+    step1_lemma2()
+    step2_lemma3()
+    step3_lemma1()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""P2P file lookup: the paper's motivating scenario, end to end.
+
+Simulates a Gnutella-like unstructured peer-to-peer network (power-law
+configuration graph with exponent 2.3, the regime Adamic et al.
+studied) and compares three lookup strategies for a file hosted at one
+peer:
+
+1. random-walk forwarding (weak local knowledge);
+2. degree-greedy forwarding (strong local knowledge — ask the busiest
+   peers first, Adamic et al. 2001);
+3. percolation search after replicating the file along short random
+   walks (Sarshar et al. 2004 — the paper's cited workaround for
+   non-searchability).
+
+Run:  python examples/p2p_file_search.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.families import ConfigurationFamily
+from repro.rng import make_rng
+from repro.search.algorithms import (
+    HighDegreeStrongSearch,
+    RandomWalkSearch,
+    percolation_query,
+    replicate_content,
+)
+from repro.search.process import run_search
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    seed = 11
+    trials = 25
+
+    family = ConfigurationFamily(exponent=2.3, min_degree=2)
+    network = family.build(n, seed=seed)
+    rng = make_rng(seed)
+    print(
+        f"P2P network: {network.num_vertices} peers in the giant "
+        f"component, {network.num_edges} links\n"
+    )
+
+    # --- Strategies 1 and 2: oracle-based lookups -------------------
+    for algorithm in (RandomWalkSearch(), HighDegreeStrongSearch()):
+        total_requests = 0
+        hits = 0
+        for trial in range(trials):
+            host = rng.randint(1, network.num_vertices)
+            querier = rng.randint(1, network.num_vertices)
+            result = run_search(
+                algorithm,
+                network,
+                start=querier,
+                target=host,
+                seed=trial,
+                neighbor_success=True,  # peers know neighbors' files
+            )
+            total_requests += result.requests
+            hits += int(result.found)
+        print(
+            f"{algorithm.name:<22} ({algorithm.model:>6} model): "
+            f"mean {total_requests / trials:8.1f} peers contacted, "
+            f"hit rate {hits / trials:.0%}"
+        )
+
+    # --- Strategy 3: replication + percolation broadcast ------------
+    for replicas in (0, 2, 16):
+        hits = 0
+        messages = 0
+        for trial in range(trials):
+            host = rng.randint(1, network.num_vertices)
+            querier = rng.randint(1, network.num_vertices)
+            holders = replicate_content(
+                network, host, num_replicas=replicas, walk_length=4,
+                seed=1000 + trial,
+            )
+            outcome = percolation_query(
+                network, querier, holders,
+                broadcast_probability=0.4, seed=2000 + trial,
+            )
+            hits += int(outcome.found)
+            messages += outcome.messages
+        print(
+            f"percolation (replicas={replicas:>3}):        "
+            f"mean {messages / trials:8.1f} messages,        "
+            f"hit rate {hits / trials:.0%}"
+        )
+
+    print(
+        "\nDegree-greedy crushes the blind walk (Adamic).  And notice "
+        "the replication jump: random walks deposit copies on hubs, so "
+        "even a couple of replicas nearly saturates findability "
+        "(Sarshar) — the P2P workaround for the non-searchability the "
+        "paper proves."
+    )
+
+
+if __name__ == "__main__":
+    main()

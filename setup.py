@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+All project metadata lives in pyproject.toml; this file exists only so
+``pip install -e .`` works where the `wheel` package (required for
+PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

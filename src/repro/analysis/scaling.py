@@ -1,0 +1,148 @@
+"""Empirical scaling-law extraction.
+
+The reproduction's central measurements are *shapes*: request counts
+that grow like ``n^e`` (with the paper demanding ``e >= 1/2``) versus
+diameters that grow like ``log n``.  Two tiny regression helpers cover
+both, dependency-free:
+
+* :func:`fit_power_scaling` — OLS on ``log y ~ log x``; the slope is
+  the empirical exponent;
+* :func:`fit_logarithmic` — OLS on ``y ~ ln x``; the slope is the
+  log-growth coefficient.
+
+Each fit reports ``r_squared`` so experiments can state which model
+explains the data better (:func:`prefers_logarithmic`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "ScalingFit",
+    "LogFit",
+    "fit_power_scaling",
+    "fit_logarithmic",
+    "prefers_logarithmic",
+]
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Power-law fit ``y ≈ prefactor * x^exponent``."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model prediction at ``x``."""
+        return self.prefactor * x ** self.exponent
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """Logarithmic fit ``y ≈ intercept + coefficient * ln x``."""
+
+    coefficient: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model prediction at ``x``."""
+        return self.intercept + self.coefficient * math.log(x)
+
+
+def _ols(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Plain OLS; returns (slope, intercept, r_squared)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0:
+        raise AnalysisError("all x values identical; slope undefined")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    if syy == 0:
+        # Constant y: any slope-0 line fits exactly.
+        return slope, intercept, 1.0
+    r_squared = (sxy * sxy) / (sxx * syy)
+    return slope, intercept, r_squared
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise AnalysisError(
+            f"length mismatch: {len(xs)} xs vs {len(ys)} ys"
+        )
+    if len(xs) < 2:
+        raise AnalysisError("need at least 2 points to fit")
+
+
+def fit_power_scaling(
+    xs: Sequence[float], ys: Sequence[float]
+) -> ScalingFit:
+    """Fit ``y = c * x^e`` by OLS in log-log space.
+
+    All values must be strictly positive.
+    """
+    _validate(xs, ys)
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise AnalysisError(
+            "power-scaling fit requires strictly positive data"
+        )
+    log_xs = [math.log(x) for x in xs]
+    log_ys = [math.log(y) for y in ys]
+    slope, intercept, r_squared = _ols(log_xs, log_ys)
+    return ScalingFit(
+        exponent=slope,
+        prefactor=math.exp(intercept),
+        r_squared=r_squared,
+    )
+
+
+def fit_logarithmic(
+    xs: Sequence[float], ys: Sequence[float]
+) -> LogFit:
+    """Fit ``y = a + b ln x`` by OLS.  ``xs`` must be positive."""
+    _validate(xs, ys)
+    if any(x <= 0 for x in xs):
+        raise AnalysisError("logarithmic fit requires positive x values")
+    log_xs = [math.log(x) for x in xs]
+    slope, intercept, r_squared = _ols(log_xs, list(ys))
+    return LogFit(
+        coefficient=slope, intercept=intercept, r_squared=r_squared
+    )
+
+
+def prefers_logarithmic(
+    xs: Sequence[float], ys: Sequence[float]
+) -> bool:
+    """Whether ``y ~ a + b ln x`` explains the data better than a power law.
+
+    Both models are fitted on their natural scales, but compared by
+    residual sum of squares **in the original y-space** — comparing
+    per-fit ``r_squared`` values directly would be meaningless because
+    the power fit's is computed on log-transformed responses.
+
+    Used by E9 to state that the diameter grows logarithmically while
+    search cost grows polynomially.  Note that for very slowly growing
+    data the two models are nearly indistinguishable (a power law with
+    exponent ``epsilon`` looks logarithmic over any finite range), so
+    treat this as a tie-breaker, not a hypothesis test.
+    """
+    log_fit = fit_logarithmic(xs, ys)
+    power_fit = fit_power_scaling(xs, ys)
+
+    def residual_ss(predict) -> float:
+        return sum((y - predict(x)) ** 2 for x, y in zip(xs, ys))
+
+    return residual_ss(log_fit.predict) <= residual_ss(
+        power_fit.predict
+    )

@@ -1,0 +1,88 @@
+"""Small dependency-free statistics helpers.
+
+Used by experiments to attach uncertainty to every reported number:
+normal-approximation confidence intervals for means of many runs, and
+bootstrap percentile intervals for statistics whose sampling
+distribution is awkward (fitted exponents, medians).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.rng import RandomLike, make_rng
+
+__all__ = ["mean", "sample_std", "mean_ci", "bootstrap_ci"]
+
+#: Two-sided z values by confidence level.
+_Z_VALUES = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise AnalysisError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased sample standard deviation (0.0 for a single value)."""
+    n = len(values)
+    if n == 0:
+        raise AnalysisError("std of empty sequence")
+    if n == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def mean_ci(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """``(mean, lower, upper)`` normal-approximation confidence interval."""
+    if confidence not in _Z_VALUES:
+        raise InvalidParameterError(
+            f"confidence must be one of {sorted(_Z_VALUES)}, got "
+            f"{confidence}"
+        )
+    m = mean(values)
+    halfwidth = (
+        _Z_VALUES[confidence] * sample_std(values) / math.sqrt(len(values))
+    )
+    return m, m - halfwidth, m + halfwidth
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float],
+    num_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: RandomLike = None,
+) -> Tuple[float, float, float]:
+    """``(point estimate, lower, upper)`` percentile-bootstrap interval."""
+    if not values:
+        raise AnalysisError("bootstrap of empty sequence")
+    if num_resamples < 10:
+        raise InvalidParameterError(
+            f"num_resamples must be >= 10, got {num_resamples}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    rng = make_rng(seed)
+    point = statistic(values)
+    n = len(values)
+    replicas: List[float] = []
+    for _ in range(num_resamples):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        replicas.append(statistic(resample))
+    replicas.sort()
+    tail = (1.0 - confidence) / 2.0
+    lower_index = int(tail * num_resamples)
+    upper_index = min(
+        num_resamples - 1, int((1.0 - tail) * num_resamples)
+    )
+    return point, replicas[lower_index], replicas[upper_index]

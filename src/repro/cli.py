@@ -1,0 +1,225 @@
+"""Command-line interface: run named experiments and print their tables.
+
+Usage::
+
+    repro list
+    repro run E1 [--seed 7] [--json out.json] [--quick] [--plot]
+    repro run all --json-dir results/ [--quick]
+    repro compare old.json new.json [--rtol 0.25]
+
+(Equivalently ``python -m repro ...``.)  The CLI is a thin shell over
+:mod:`repro.core.experiments`; every number it prints is regenerable
+from the seed it echoes.  ``--quick`` swaps in reduced grids,
+``--plot`` renders scaling tables as ASCII log-log charts, and
+``compare`` diffs two result records within Monte-Carlo tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core.experiments import ALL_EXPERIMENTS
+from repro.core.results import save_result
+
+__all__ = ["build_parser", "main", "QUICK_OVERRIDES"]
+
+#: Reduced parameter grids for `repro run --quick`: same code paths,
+#: seconds instead of minutes.  Keys absent here run their defaults.
+QUICK_OVERRIDES = {
+    "E1": {"sizes": (60, 120, 240), "num_graphs": 2, "runs_per_graph": 1},
+    "E2": {"sizes": (60, 120, 240), "num_graphs": 2, "runs_per_graph": 1},
+    "E3": {"sizes": (60, 120), "num_graphs": 2, "runs_per_graph": 1},
+    "E4": {"a_values": (10, 50), "p_values": (0.25, 0.75),
+           "num_samples": 300},
+    "E5": {"n": 3000, "p_values": (0.25, 0.75), "num_trees": 2},
+    "E6": {"n": 2000},
+    "E7": {"sizes": (200, 400), "num_graphs": 2, "runs_per_graph": 1},
+    "E8": {"sides": (8, 12), "r_values": (0.0, 2.0, 4.0),
+           "pairs_per_grid": 8},
+    "E9": {"sizes": (100, 200), "num_graphs": 2},
+    "E10": {"n": 6},
+    "E11": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
+    "E12": {"n": 800, "replica_counts": (0, 16), "num_queries": 10},
+    "E13": {"sizes": (60, 120), "p_values": (0.0, 0.5, 1.0),
+            "num_graphs": 2},
+    "E14": {"sizes": (60, 120), "m_values": (1, 2), "num_graphs": 2},
+    "E15": {"sizes": (60, 120), "num_samples": 80},
+    "E16": {"n": 1500},
+    "E17": {"sizes": (100, 200), "num_graphs": 2},
+    "E18": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction experiments for 'Non-Searchability of "
+            "Random Scale-Free Graphs' (Duchon, Eggemann, Hanusse, "
+            "PODC 2007)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list", help="list available experiments"
+    )
+
+    run = subparsers.add_parser("run", help="run one experiment or 'all'")
+    run.add_argument(
+        "experiment",
+        help="experiment id (E1..E18) or 'all'",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's default seed",
+    )
+    run.add_argument(
+        "--json",
+        default=None,
+        help="also write the result record to this JSON file",
+    )
+    run.add_argument(
+        "--json-dir",
+        default=None,
+        help="with 'all': write one JSON record per experiment here",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced parameter grids (seconds instead of minutes)",
+    )
+    run.add_argument(
+        "--plot",
+        action="store_true",
+        help="render scaling tables as ASCII log-log plots",
+    )
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="diff two experiment JSON records within tolerance",
+    )
+    compare.add_argument("old", help="reference record (JSON)")
+    compare.add_argument("new", help="re-run record (JSON)")
+    compare.add_argument(
+        "--rtol",
+        type=float,
+        default=0.25,
+        help="relative tolerance for derived metrics (default 0.25)",
+    )
+    return parser
+
+
+def _plot_scaling_tables(result) -> None:
+    """Render any (n, algorithm, mean requests) table as a log-log plot."""
+    from repro.core.plotting import render_loglog
+
+    for table in result.tables:
+        columns = list(table.columns)
+        if not {"n", "algorithm", "mean requests"} <= set(columns):
+            continue
+        n_index = columns.index("n")
+        algo_index = columns.index("algorithm")
+        mean_index = columns.index("mean requests")
+        curves = {}
+        for row in table.rows:
+            xs, ys = curves.setdefault(row[algo_index], ([], []))
+            value = float(row[mean_index])
+            if value > 0:
+                xs.append(float(row[n_index]))
+                ys.append(value)
+        curves = {name: c for name, c in curves.items() if c[0]}
+        if curves:
+            print()
+            print(render_loglog(table.title, curves))
+
+
+def _run_one(
+    experiment_id: str,
+    seed: Optional[int],
+    json_path: Optional[str],
+    quick: bool = False,
+    plot: bool = False,
+) -> None:
+    function = ALL_EXPERIMENTS[experiment_id]
+    kwargs = {}
+    if quick:
+        kwargs.update(QUICK_OVERRIDES.get(experiment_id, {}))
+    if seed is not None and "seed" in function.__code__.co_varnames:
+        kwargs["seed"] = seed
+    result = function(**kwargs)
+    print(result.format())
+    if plot:
+        _plot_scaling_tables(result)
+    print()
+    if json_path:
+        save_result(result, json_path)
+        print(f"wrote {json_path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(
+            ALL_EXPERIMENTS, key=lambda e: int(e[1:])
+        ):
+            doc = ALL_EXPERIMENTS[experiment_id].__doc__ or ""
+            first_line = doc.strip().splitlines()[0] if doc else ""
+            print(f"{experiment_id:>4}  {first_line}")
+        return 0
+
+    if args.command == "run":
+        requested = args.experiment.upper()
+        if requested == "ALL":
+            for experiment_id in sorted(
+                ALL_EXPERIMENTS, key=lambda e: int(e[1:])
+            ):
+                json_path = None
+                if args.json_dir:
+                    os.makedirs(args.json_dir, exist_ok=True)
+                    json_path = os.path.join(
+                        args.json_dir, f"{experiment_id.lower()}.json"
+                    )
+                _run_one(
+                    experiment_id, args.seed, json_path,
+                    args.quick, args.plot,
+                )
+            return 0
+        if requested not in ALL_EXPERIMENTS:
+            print(
+                f"unknown experiment {args.experiment!r}; valid: "
+                f"{', '.join(sorted(ALL_EXPERIMENTS))} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        _run_one(
+            requested, args.seed, args.json, args.quick, args.plot
+        )
+        return 0
+
+    if args.command == "compare":
+        from repro.core.compare import compare_results
+        from repro.core.results import load_result
+
+        report = compare_results(
+            load_result(args.old), load_result(args.new),
+            rtol=args.rtol,
+        )
+        print(report.format())
+        return 0 if report.matches else 1
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Experiment engine: families, measurements, named experiments, results.
+
+* :mod:`repro.core.families` — uniform build/target handles over the
+  paper's graph models;
+* :mod:`repro.core.searchability` — Monte-Carlo estimation of expected
+  request counts and scaling sweeps;
+* :mod:`repro.core.experiments` — the named experiments E1–E14 that
+  regenerate every table/figure of the reproduction;
+* :mod:`repro.core.results` — printable tables and JSON records;
+* :mod:`repro.core.sweep` — parameter-grid helpers.
+"""
+
+from repro.core.families import (
+    BarabasiAlbertFamily,
+    ConfigurationFamily,
+    CooperFriezeFamily,
+    GraphFamily,
+    MoriFamily,
+    theorem_target_for_size,
+)
+from repro.core.results import ExperimentResult, Table, load_result, save_result
+from repro.core.searchability import (
+    CostMeasurement,
+    ScalingMeasurement,
+    constant_factory,
+    measure_scaling,
+    measure_search_cost,
+    omniscient_factory,
+)
+from repro.core.experiments import ALL_EXPERIMENTS
+
+__all__ = [
+    "GraphFamily",
+    "MoriFamily",
+    "CooperFriezeFamily",
+    "BarabasiAlbertFamily",
+    "ConfigurationFamily",
+    "theorem_target_for_size",
+    "Table",
+    "ExperimentResult",
+    "save_result",
+    "load_result",
+    "CostMeasurement",
+    "ScalingMeasurement",
+    "measure_search_cost",
+    "measure_scaling",
+    "constant_factory",
+    "omniscient_factory",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,131 @@
+"""Compare two experiment records (golden-run regression checking).
+
+Users re-running an experiment want to know whether their numbers match
+the recorded ones *up to Monte-Carlo noise*.  :func:`compare_results`
+diffs two :class:`~repro.core.results.ExperimentResult` records:
+
+* identity fields (experiment id) must match exactly;
+* parameters are diffed verbatim (a parameter change explains any
+  numeric difference, so it is reported first);
+* each shared ``derived`` scalar is compared with a relative tolerance;
+  missing/extra keys are reported.
+
+The CLI exposes it as ``repro compare old.json new.json [--rtol 0.2]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.results import ExperimentResult
+from repro.errors import ExperimentError
+
+__all__ = ["ComparisonReport", "compare_results"]
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing two experiment records.
+
+    Attributes
+    ----------
+    experiment_id:
+        The shared experiment id.
+    parameter_diffs:
+        Human-readable parameter mismatches.
+    metric_diffs:
+        Derived scalars outside tolerance, with both values.
+    missing_metrics:
+        Keys present in one record only.
+    num_compared:
+        Number of derived scalars compared.
+    """
+
+    experiment_id: str
+    parameter_diffs: List[str] = field(default_factory=list)
+    metric_diffs: List[str] = field(default_factory=list)
+    missing_metrics: List[str] = field(default_factory=list)
+    num_compared: int = 0
+
+    @property
+    def matches(self) -> bool:
+        """Whether the records agree within tolerance."""
+        return not (
+            self.parameter_diffs
+            or self.metric_diffs
+            or self.missing_metrics
+        )
+
+    def format(self) -> str:
+        """Render the report for terminal output."""
+        lines = [f"comparison for {self.experiment_id}:"]
+        if self.matches:
+            lines.append(
+                f"  MATCH ({self.num_compared} metrics within tolerance)"
+            )
+            return "\n".join(lines)
+        for diff in self.parameter_diffs:
+            lines.append(f"  param   {diff}")
+        for diff in self.metric_diffs:
+            lines.append(f"  metric  {diff}")
+        for key in self.missing_metrics:
+            lines.append(f"  missing {key}")
+        return "\n".join(lines)
+
+
+def _relative_gap(old: float, new: float) -> float:
+    scale = max(abs(old), abs(new))
+    if scale == 0:
+        return 0.0
+    return abs(old - new) / scale
+
+
+def compare_results(
+    old: ExperimentResult,
+    new: ExperimentResult,
+    rtol: float = 0.25,
+) -> ComparisonReport:
+    """Diff two experiment records (see module docstring).
+
+    Parameters
+    ----------
+    old, new:
+        The records to compare (``old`` is the reference).
+    rtol:
+        Relative tolerance for derived scalars; the default 0.25 is
+        calibrated to Monte-Carlo noise of the default grids — exact
+        quantities (E4, E10) reproduce bit-for-bit regardless.
+    """
+    if rtol < 0:
+        raise ExperimentError(f"rtol must be >= 0, got {rtol}")
+    if old.experiment_id != new.experiment_id:
+        raise ExperimentError(
+            "cannot compare different experiments: "
+            f"{old.experiment_id} vs {new.experiment_id}"
+        )
+    report = ComparisonReport(experiment_id=old.experiment_id)
+
+    keys = set(old.params) | set(new.params)
+    for key in sorted(keys):
+        old_value = old.params.get(key, "<absent>")
+        new_value = new.params.get(key, "<absent>")
+        if old_value != new_value:
+            report.parameter_diffs.append(
+                f"{key}: {old_value!r} -> {new_value!r}"
+            )
+
+    old_metrics = set(old.derived)
+    new_metrics = set(new.derived)
+    report.missing_metrics.extend(
+        sorted(old_metrics ^ new_metrics)
+    )
+    for key in sorted(old_metrics & new_metrics):
+        gap = _relative_gap(old.derived[key], new.derived[key])
+        report.num_compared += 1
+        if gap > rtol:
+            report.metric_diffs.append(
+                f"{key}: {old.derived[key]:.4g} -> "
+                f"{new.derived[key]:.4g} (gap {gap:.0%} > {rtol:.0%})"
+            )
+    return report

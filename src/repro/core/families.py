@@ -1,0 +1,163 @@
+"""Graph families: uniform handles over the paper's models.
+
+A *family* knows how to build an instance of a given size from a seed
+and where the theorem-faithful search target sits:
+
+* Theorem 1/2 search for **vertex n, the newest vertex**, inside a graph
+  of size ``t >= n + √n`` so the equivalence window ``[[n, b]]`` exists.
+  :meth:`GraphFamily.theorem_target` therefore returns
+  ``n - ⌊√n⌋ - 1``-ish — precisely, the largest target whose window
+  (per Lemma 3) still fits inside the built graph.
+* The configuration model is not connected; its family restricts to the
+  giant component (relabelled, order-preserving) so searches terminate,
+  and exposes the pre-restriction size for bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graphs.base import MultiGraph
+from repro.graphs.components import induced_subgraph, largest_component
+from repro.graphs.configuration import power_law_configuration_graph
+from repro.graphs.barabasi_albert import barabasi_albert_graph
+from repro.graphs.cooper_frieze import CooperFriezeParams, cooper_frieze_graph
+from repro.graphs.mori import merged_mori_graph
+from repro.rng import RandomLike
+
+__all__ = [
+    "GraphFamily",
+    "MoriFamily",
+    "CooperFriezeFamily",
+    "BarabasiAlbertFamily",
+    "ConfigurationFamily",
+    "theorem_target_for_size",
+]
+
+
+def theorem_target_for_size(size: int) -> int:
+    """Largest target whose Lemma-3 window fits in a size-``size`` graph.
+
+    The window for target ``n`` ends at ``b = (n-1) + ⌊√(n-2)⌋``; we
+    return the largest ``n >= 3`` with ``b <= size``.
+    """
+    if size < 4:
+        raise InvalidParameterError(
+            f"graph size must be >= 4 for a theorem target, got {size}"
+        )
+    target = size
+    while target >= 3:
+        b = (target - 1) + math.isqrt(target - 2)
+        if b <= size:
+            return target
+        target -= 1
+    raise InvalidParameterError(
+        f"no valid theorem target for size {size}"
+    )
+
+
+class GraphFamily:
+    """Interface: build instances and locate the theorem target."""
+
+    #: Stable identifier used in tables.
+    name: str = "abstract"
+
+    def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
+        """Build one instance with ``size`` vertices."""
+        raise NotImplementedError
+
+    def theorem_target(self, graph: MultiGraph) -> int:
+        """The search target Theorems 1/2 are about, for this instance."""
+        return theorem_target_for_size(graph.num_vertices)
+
+    def default_start(self, graph: MultiGraph) -> int:
+        """Default start vertex: the oldest (vertex 1, hub-adjacent).
+
+        Starting at the oldest vertex is the *favourable* case for the
+        searcher (it begins at the dense core), so lower-bound evidence
+        collected from it is conservative.
+        """
+        return 1
+
+
+@dataclass
+class MoriFamily(GraphFamily):
+    """Merged ``m``-out Móri graphs with parameter ``p`` (Theorem 1)."""
+
+    p: float = 0.5
+    m: int = 1
+
+    def __post_init__(self) -> None:
+        self.name = f"mori(m={self.m},p={self.p:g})"
+
+    def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
+        return merged_mori_graph(
+            size, self.m, self.p, seed=seed, keep_tree=False
+        ).graph
+
+
+@dataclass
+class CooperFriezeFamily(GraphFamily):
+    """Cooper–Frieze graphs with a full parameter vector (Theorem 2)."""
+
+    params: CooperFriezeParams = field(
+        default_factory=CooperFriezeParams
+    )
+
+    def __post_init__(self) -> None:
+        self.name = f"cooper-frieze(a={self.params.alpha:g})"
+
+    def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
+        return cooper_frieze_graph(size, self.params, seed=seed).graph
+
+
+@dataclass
+class BarabasiAlbertFamily(GraphFamily):
+    """Barabási–Albert graphs (Section 3 contrast)."""
+
+    m: int = 1
+
+    def __post_init__(self) -> None:
+        self.name = f"ba(m={self.m})"
+
+    def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
+        return barabasi_albert_graph(size, self.m, seed=seed)
+
+
+@dataclass
+class ConfigurationFamily(GraphFamily):
+    """Giant component of a power-law configuration model (Adamic, E7).
+
+    ``build`` generates a size-``size`` Molloy–Reed graph and returns
+    its largest component, relabelled order-preservingly (so the
+    highest new identity is still the "newest" vertex in spirit — ids
+    are arbitrary in this model anyway, neighbors being independent).
+    """
+
+    exponent: float = 2.5
+    min_degree: int = 1
+    max_degree: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.name = f"config(k={self.exponent:g})"
+
+    def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
+        full = power_law_configuration_graph(
+            size,
+            self.exponent,
+            min_degree=self.min_degree,
+            max_degree=self.max_degree,
+            seed=seed,
+        )
+        giant = largest_component(full)
+        return induced_subgraph(full, giant).graph
+
+    def theorem_target(self, graph: MultiGraph) -> int:
+        """Highest identity in the (relabelled) giant component."""
+        return graph.num_vertices
+
+    def default_start(self, graph: MultiGraph) -> int:
+        return 1

@@ -1,0 +1,146 @@
+"""Terminal-friendly ASCII plots of scaling curves.
+
+The benchmark environment has no plotting stack, so the "figures" of
+this reproduction are rendered as ASCII scatter charts: log-log by
+default (a power law appears as a straight line whose steepness is the
+exponent), one glyph per series, with the theoretical floor overlaid as
+a dedicated series when supplied.
+
+This is intentionally simple — fixed-size character canvas, nearest-
+cell rasterisation — but fully tested, because the CLI's ``--plot``
+output is part of the user-facing contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Series", "AsciiPlot", "render_loglog"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: paired x/y values (positive for log axes)."""
+
+    name: str
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise InvalidParameterError(
+                f"series {self.name!r}: {len(self.xs)} xs vs "
+                f"{len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise InvalidParameterError(
+                f"series {self.name!r} is empty"
+            )
+
+
+@dataclass
+class AsciiPlot:
+    """A character canvas with labelled axes."""
+
+    title: str
+    width: int = 60
+    height: int = 20
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(
+        self, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> None:
+        """Add one curve (coerces to tuples, validates)."""
+        self.series.append(Series(name, tuple(xs), tuple(ys)))
+
+    def render(self, loglog: bool = True) -> str:
+        """Render the canvas to a printable string."""
+        if not self.series:
+            raise InvalidParameterError("plot has no series")
+        if self.width < 10 or self.height < 5:
+            raise InvalidParameterError(
+                f"canvas too small: {self.width}x{self.height}"
+            )
+
+        def tx(value: float) -> float:
+            if not loglog:
+                return value
+            if value <= 0:
+                raise InvalidParameterError(
+                    "log-log plot requires positive data"
+                )
+            return math.log10(value)
+
+        all_x = [tx(x) for s in self.series for x in s.xs]
+        all_y = [tx(y) for s in self.series for y in s.ys]
+        x_low, x_high = min(all_x), max(all_x)
+        y_low, y_high = min(all_y), max(all_y)
+        x_span = (x_high - x_low) or 1.0
+        y_span = (y_high - y_low) or 1.0
+
+        grid = [
+            [" "] * self.width for _ in range(self.height)
+        ]
+        for index, series in enumerate(self.series):
+            glyph = _GLYPHS[index % len(_GLYPHS)]
+            for x, y in zip(series.xs, series.ys):
+                column = round(
+                    (tx(x) - x_low) / x_span * (self.width - 1)
+                )
+                row = round(
+                    (tx(y) - y_low) / y_span * (self.height - 1)
+                )
+                grid[self.height - 1 - row][column] = glyph
+
+        lines = [self.title]
+        y_top = f"{10 ** y_high:.3g}" if loglog else f"{y_high:.3g}"
+        y_bottom = f"{10 ** y_low:.3g}" if loglog else f"{y_low:.3g}"
+        label_width = max(len(y_top), len(y_bottom))
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = y_top.rjust(label_width)
+            elif row_index == self.height - 1:
+                label = y_bottom.rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}|")
+        x_left = f"{10 ** x_low:.3g}" if loglog else f"{x_low:.3g}"
+        x_right = f"{10 ** x_high:.3g}" if loglog else f"{x_high:.3g}"
+        axis = (
+            " " * label_width
+            + " +"
+            + "-" * self.width
+            + "+"
+        )
+        lines.append(axis)
+        gap = self.width - len(x_left) - len(x_right) + 2
+        lines.append(
+            " " * label_width + " " + x_left + " " * max(gap, 1) + x_right
+        )
+        legend = "   ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]} {s.name}"
+            for i, s in enumerate(self.series)
+        )
+        lines.append(f"{'scale: log-log' if loglog else 'scale: linear'}"
+                     f"   {legend}")
+        return "\n".join(lines)
+
+
+def render_loglog(
+    title: str,
+    curves: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 20,
+) -> str:
+    """Convenience: build and render a log-log plot from a dict of curves."""
+    plot = AsciiPlot(title=title, width=width, height=height)
+    for name in sorted(curves):
+        xs, ys = curves[name]
+        plot.add_series(name, xs, ys)
+    return plot.render(loglog=True)

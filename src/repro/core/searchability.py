@@ -1,0 +1,279 @@
+"""The searchability measurement engine.
+
+Monte-Carlo estimation of the paper's complexity measure: the expected
+number of oracle requests a local algorithm needs to reveal a target's
+identity.  The engine iterates (graph realisation) x (algorithm) x
+(repetition), keeps the full result lists, and reduces them to
+:class:`~repro.search.metrics.SearchCostSummary` rows.
+
+Algorithms are supplied as *factories* ``(graph, target) -> algorithm``
+because one portfolio member — the omniscient window baseline — needs
+the realised graph and window at construction time.  Plain algorithms
+are wrapped with :func:`constant_factory`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.families import GraphFamily
+from repro.errors import ExperimentError
+from repro.equivalence.events import equivalence_window
+from repro.graphs.base import MultiGraph
+from repro.rng import make_rng, substream
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.algorithms.omniscient import OmniscientWindowSearch
+from repro.search.metrics import (
+    SearchCostSummary,
+    SearchResult,
+    summarize_results,
+)
+from repro.search.process import default_budget, run_search
+
+__all__ = [
+    "AlgorithmFactory",
+    "constant_factory",
+    "omniscient_factory",
+    "CostMeasurement",
+    "measure_search_cost",
+    "ScalingMeasurement",
+    "measure_scaling",
+]
+
+AlgorithmFactory = Callable[[MultiGraph, int], SearchAlgorithm]
+
+
+def constant_factory(algorithm: SearchAlgorithm) -> AlgorithmFactory:
+    """Wrap an instance-independent algorithm as a factory."""
+
+    def factory(graph: MultiGraph, target: int) -> SearchAlgorithm:
+        return algorithm
+
+    return factory
+
+
+def omniscient_factory() -> AlgorithmFactory:
+    """Factory for the Lemma-1 omniscient window baseline.
+
+    The window is the theorem's ``[[target, b]]`` with
+    ``b = (target - 1) + ⌊√(target - 2)⌋``, clipped to the graph.
+    """
+
+    def factory(graph: MultiGraph, target: int) -> SearchAlgorithm:
+        _, b = equivalence_window(target)
+        window = range(target, min(b, graph.num_vertices) + 1)
+        return OmniscientWindowSearch(graph, list(window))
+
+    return factory
+
+
+@dataclass
+class CostMeasurement:
+    """Summaries per algorithm for one (family, size) cell.
+
+    Attributes
+    ----------
+    family_name, size:
+        The configuration measured.
+    summaries:
+        Algorithm name -> aggregated cost summary.
+    results:
+        Algorithm name -> raw per-run results (kept for bootstrap or
+        distribution plots).
+    """
+
+    family_name: str
+    size: int
+    summaries: Dict[str, SearchCostSummary] = field(default_factory=dict)
+    results: Dict[str, List[SearchResult]] = field(default_factory=dict)
+
+
+def measure_search_cost(
+    family: GraphFamily,
+    size: int,
+    factories: Dict[str, AlgorithmFactory],
+    num_graphs: int = 5,
+    runs_per_graph: int = 2,
+    budget: Optional[int] = None,
+    seed: int = 0,
+    neighbor_success: bool = False,
+    start_rule: str = "default",
+) -> CostMeasurement:
+    """Estimate expected request counts on ``family`` at ``size``.
+
+    Each of the ``num_graphs`` realisations is searched
+    ``runs_per_graph`` times by every algorithm (fresh algorithm RNG
+    per run, same instance across algorithms, so comparisons are
+    paired).  The target follows the family's theorem-faithful rule;
+    ``start_rule`` selects the initially discovered vertex:
+
+    * ``'default'`` — the family's choice (vertex 1, the hub-adjacent
+      oldest vertex — the searcher-favourable case);
+    * ``'random'`` — a uniform vertex different from the target,
+      drawn per graph (the paper's "starting from any vertex");
+    * ``'newest-other'`` — the vertex just below the equivalence
+      window (a young, peripheral start).
+    """
+    if num_graphs < 1 or runs_per_graph < 1:
+        raise ExperimentError(
+            "num_graphs and runs_per_graph must be >= 1, got "
+            f"{num_graphs}, {runs_per_graph}"
+        )
+    if start_rule not in ("default", "random", "newest-other"):
+        raise ExperimentError(
+            f"unknown start_rule {start_rule!r}"
+        )
+    measurement = CostMeasurement(family_name=family.name, size=size)
+    collected: Dict[str, List[SearchResult]] = {
+        name: [] for name in factories
+    }
+
+    for graph_index in range(num_graphs):
+        graph_seed = substream(seed, graph_index)
+        graph = family.build(size, seed=graph_seed)
+        target = family.theorem_target(graph)
+        start = _choose_start(
+            family, graph, target, start_rule, graph_seed
+        )
+        instance_budget = (
+            budget if budget is not None else default_budget(graph)
+        )
+        for name, factory in factories.items():
+            algorithm = factory(graph, target)
+            # str hashes are salted per process; crc32 keeps run seeds
+            # reproducible across interpreter invocations.
+            name_code = zlib.crc32(name.encode("utf-8"))
+            for run_index in range(runs_per_graph):
+                run_seed = substream(
+                    graph_seed, (name_code << 16) ^ run_index
+                )
+                result = run_search(
+                    algorithm,
+                    graph,
+                    start,
+                    target,
+                    budget=instance_budget,
+                    seed=run_seed,
+                    neighbor_success=neighbor_success,
+                )
+                collected[name].append(result)
+
+    for name, results in collected.items():
+        measurement.results[name] = results
+        measurement.summaries[name] = summarize_results(results)
+    return measurement
+
+
+def _choose_start(
+    family: GraphFamily,
+    graph: MultiGraph,
+    target: int,
+    start_rule: str,
+    graph_seed: int,
+) -> int:
+    """Resolve a start rule to a concrete vertex (never the target)."""
+    if start_rule == "default":
+        return family.default_start(graph)
+    if start_rule == "newest-other":
+        return target - 1 if target > 1 else target + 1
+    rng = make_rng(substream(graph_seed, 0xA11CE))
+    while True:
+        start = rng.randint(1, graph.num_vertices)
+        if start != target:
+            return start
+
+
+@dataclass
+class ScalingMeasurement:
+    """Cost measurements across a size sweep, with exponent fits.
+
+    Attributes
+    ----------
+    family_name:
+        The family swept.
+    sizes:
+        The sweep grid.
+    cells:
+        Size -> :class:`CostMeasurement`.
+    """
+
+    family_name: str
+    sizes: List[int]
+    cells: Dict[int, CostMeasurement] = field(default_factory=dict)
+
+    def mean_requests(self, algorithm: str) -> List[float]:
+        """Mean request counts of ``algorithm`` along the size sweep."""
+        return [
+            self.cells[size].summaries[algorithm].mean_requests
+            for size in self.sizes
+        ]
+
+    def median_requests(self, algorithm: str) -> List[float]:
+        """Median request counts — robust to heavy-tailed run costs."""
+        return [
+            self.cells[size].summaries[algorithm].median_requests
+            for size in self.sizes
+        ]
+
+    def fitted_exponent(
+        self, algorithm: str, statistic: str = "mean"
+    ) -> float:
+        """Empirical scaling exponent of ``algorithm``'s cost.
+
+        ``statistic`` selects the per-size aggregate to fit: ``'mean'``
+        (the paper's expected-cost measure, default) or ``'median'``
+        (robust when the cost distribution is heavy-tailed, as for
+        degree-greedy search on configuration graphs in E7).
+        """
+        from repro.analysis.scaling import fit_power_scaling
+
+        if statistic == "mean":
+            values = self.mean_requests(algorithm)
+        elif statistic == "median":
+            values = self.median_requests(algorithm)
+        else:
+            raise ExperimentError(
+                f"unknown statistic {statistic!r} "
+                "(expected 'mean' or 'median')"
+            )
+        # A zero aggregate (instant success at a tiny size) would break
+        # the log fit; clamp to one request.
+        values = [max(v, 1.0) for v in values]
+        return fit_power_scaling(
+            [float(s) for s in self.sizes], values
+        ).exponent
+
+
+def measure_scaling(
+    family: GraphFamily,
+    sizes: Sequence[int],
+    factories: Dict[str, AlgorithmFactory],
+    num_graphs: int = 5,
+    runs_per_graph: int = 2,
+    seed: int = 0,
+    neighbor_success: bool = False,
+    start_rule: str = "default",
+) -> ScalingMeasurement:
+    """Run :func:`measure_search_cost` across a size grid."""
+    ordered = sorted(set(sizes))
+    if len(ordered) < 2:
+        raise ExperimentError(
+            f"need at least 2 sizes for a scaling sweep, got {ordered}"
+        )
+    measurement = ScalingMeasurement(
+        family_name=family.name, sizes=ordered
+    )
+    for index, size in enumerate(ordered):
+        measurement.cells[size] = measure_search_cost(
+            family,
+            size,
+            factories,
+            num_graphs=num_graphs,
+            runs_per_graph=runs_per_graph,
+            seed=substream(seed, index),
+            neighbor_success=neighbor_success,
+            start_rule=start_rule,
+        )
+    return measurement

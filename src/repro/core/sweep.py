@@ -1,0 +1,62 @@
+"""Parameter-sweep helpers.
+
+Tiny utilities for enumerating experiment grids deterministically:
+:func:`grid` yields the cartesian product of named parameter lists as
+dicts (in a stable order, so seed substreams indexed by position are
+reproducible), and :func:`geometric_sizes` builds the size ladders used
+by the scaling experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["grid", "geometric_sizes"]
+
+
+def grid(**parameters: Sequence[Any]) -> Iterator[Dict[str, Any]]:
+    """Cartesian product of named parameter lists, as dicts.
+
+    Keys are iterated in sorted order so the enumeration order is a
+    pure function of the arguments.
+
+    >>> list(grid(a=[1, 2], b=["x"]))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not parameters:
+        return iter(())
+    names = sorted(parameters)
+    for name in names:
+        if not parameters[name]:
+            raise InvalidParameterError(
+                f"parameter {name!r} has an empty value list"
+            )
+    combos = itertools.product(*(parameters[name] for name in names))
+    return (dict(zip(names, combo)) for combo in combos)
+
+
+def geometric_sizes(
+    start: int, factor: float = 2.0, count: int = 4
+) -> List[int]:
+    """A geometric ladder of sizes: ``start, start*factor, ...``.
+
+    >>> geometric_sizes(100, 2.0, 3)
+    [100, 200, 400]
+    """
+    if start < 1:
+        raise InvalidParameterError(f"start must be >= 1, got {start}")
+    if factor <= 1.0:
+        raise InvalidParameterError(
+            f"factor must be > 1, got {factor}"
+        )
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    sizes = []
+    value = float(start)
+    for _ in range(count):
+        sizes.append(int(round(value)))
+        value *= factor
+    return sizes

@@ -1,0 +1,118 @@
+"""Sampling-based exchangeability diagnostics (beyond exhaustive sizes).
+
+Exhaustive Lemma 2 verification is limited to ``n <= 9``; for larger
+sizes this module tests *consequences* of conditional equivalence by
+Monte Carlo.  If the window vertices are exchangeable conditional on
+``E_{a,b}``, then conditional on the event every per-position statistic
+of the window (final indegree, number of children, subtree size) must
+have the same distribution at every window position.
+
+:func:`window_indegree_profile` estimates the per-position mean final
+indegree; :func:`profile_spread` reduces it to a single
+max-pairwise-deviation figure that tests and benchmarks can threshold.
+A systematic trend across positions (e.g. older window members ending
+up with higher indegree *conditional on the event*) would falsify
+Lemma 2; flatness is the reproducible signature of equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.equivalence.events import event_holds
+from repro.graphs.mori import mori_tree
+from repro.rng import RandomLike, make_rng
+
+__all__ = [
+    "WindowProfile",
+    "window_indegree_profile",
+    "profile_spread",
+]
+
+
+@dataclass(frozen=True)
+class WindowProfile:
+    """Per-position conditional statistics of an equivalence window.
+
+    Attributes
+    ----------
+    a, b:
+        The window bounds; positions correspond to ``a+1 .. b``.
+    num_samples:
+        Trees sampled in total.
+    num_event_samples:
+        Trees that satisfied ``E_{a,b}`` (the conditioning).
+    mean_indegree:
+        Conditional mean final indegree per window position.
+    """
+
+    a: int
+    b: int
+    num_samples: int
+    num_event_samples: int
+    mean_indegree: Tuple[float, ...]
+
+    @property
+    def event_rate(self) -> float:
+        """Fraction of samples on which the event held."""
+        return self.num_event_samples / self.num_samples
+
+
+def window_indegree_profile(
+    n: int,
+    a: int,
+    b: int,
+    p: float,
+    num_samples: int,
+    seed: RandomLike = None,
+) -> WindowProfile:
+    """Estimate conditional mean final indegrees across the window.
+
+    Samples size-``n`` Móri trees, keeps those in ``E_{a,b}``, and
+    averages the final indegree of each window vertex.  Raises
+    :class:`~repro.errors.AnalysisError` if no sample satisfied the
+    event (the caller chose a window too wide for its ``a``).
+    """
+    if not 1 <= a <= b <= n:
+        raise InvalidParameterError(
+            f"need 1 <= a <= b <= n, got a={a}, b={b}, n={n}"
+        )
+    if num_samples < 1:
+        raise InvalidParameterError(
+            f"num_samples must be >= 1, got {num_samples}"
+        )
+    rng = make_rng(seed)
+    window = range(a + 1, b + 1)
+    totals: List[int] = [0] * len(window)
+    hits = 0
+
+    for _ in range(num_samples):
+        tree = mori_tree(n, p, seed=rng)
+        if not event_holds(tree.parents, a, b):
+            continue
+        hits += 1
+        for position, vertex in enumerate(window):
+            totals[position] += tree.graph.in_degree(vertex)
+
+    if hits == 0:
+        raise AnalysisError(
+            f"no sample satisfied E_{{{a},{b}}} in {num_samples} draws; "
+            "increase samples or shrink the window"
+        )
+    return WindowProfile(
+        a=a,
+        b=b,
+        num_samples=num_samples,
+        num_event_samples=hits,
+        mean_indegree=tuple(total / hits for total in totals),
+    )
+
+
+def profile_spread(profile: WindowProfile) -> float:
+    """Max pairwise deviation of the conditional means (0 = perfectly flat)."""
+    means: Sequence[float] = profile.mean_indegree
+    if not means:
+        return 0.0
+    return max(means) - min(means)

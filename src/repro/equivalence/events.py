@@ -1,0 +1,93 @@
+"""The conditioning event ``E_{a,b}`` and its estimation (Lemma 2/3).
+
+``E_{a,b}`` is the event that every vertex in the window ``(a, b]``
+attached *below* the window: ``N_k <= a`` for all ``a < k <= b``.
+Conditional on it, the window vertices are probabilistically equivalent
+(Lemma 2) — none of them has been distinguished by the construction in
+any way visible to a search process.
+
+:func:`equivalence_window` instantiates the theorem's choice of window
+for a given target (``a = target - 1``, ``b = a + ⌊√(a-1)⌋``), giving
+the ``Θ(√n)`` set of interchangeable vertices behind Theorem 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graphs.mori import mori_tree
+from repro.rng import RandomLike, make_rng
+
+__all__ = [
+    "event_holds",
+    "equivalence_window",
+    "estimate_event_probability",
+]
+
+
+def event_holds(parents: Sequence[int], a: int, b: int) -> bool:
+    """Whether the parent vector lies in ``E_{a,b}``.
+
+    Parameters
+    ----------
+    parents:
+        Library-convention parent vector (indices 0 and 1 unused).
+    a, b:
+        Window bounds, ``1 <= a <= b <= n``.
+    """
+    n = len(parents) - 1
+    if not 1 <= a <= b <= n:
+        raise InvalidParameterError(
+            f"need 1 <= a <= b <= n={n}, got a={a}, b={b}"
+        )
+    return all(parents[k] <= a for k in range(a + 1, b + 1))
+
+
+def equivalence_window(target: int) -> Tuple[int, int]:
+    """The theorem's window ``(a, b]`` containing ``target``.
+
+    Sets ``a = target - 1`` (so the window starts at the target) and
+    ``b = a + ⌊(a - 1)^{1/2}⌋`` (Lemma 3's choice).  The window
+    ``V = [[a+1, b]] = [[target, b]]`` has ``⌊√(target - 2)⌋`` vertices.
+
+    Requires ``target >= 3`` so the window is non-empty.
+    """
+    if target < 3:
+        raise InvalidParameterError(
+            f"target must be >= 3 for a non-empty window, got {target}"
+        )
+    a = target - 1
+    b = a + math.isqrt(a - 1)
+    return a, b
+
+
+def estimate_event_probability(
+    a: int,
+    b: int,
+    p: float,
+    num_samples: int,
+    seed: RandomLike = None,
+) -> float:
+    """Monte-Carlo estimate of ``P(E_{a,b})`` in the Móri tree.
+
+    The event only involves vertices up to ``b``, so trees are sampled
+    at size ``b`` exactly.  Used to cross-check the closed form in
+    :func:`repro.equivalence.exact.exact_event_probability`.
+    """
+    if num_samples < 1:
+        raise InvalidParameterError(
+            f"num_samples must be >= 1, got {num_samples}"
+        )
+    if not 1 <= a <= b:
+        raise InvalidParameterError(f"need 1 <= a <= b, got a={a}, b={b}")
+    if b < 2:
+        raise InvalidParameterError(f"need b >= 2 to grow a tree, got b={b}")
+    rng = make_rng(seed)
+    hits = 0
+    for _ in range(num_samples):
+        tree = mori_tree(b, p, seed=rng)
+        if event_holds(tree.parents, a, b):
+            hits += 1
+    return hits / num_samples

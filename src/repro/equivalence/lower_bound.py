@@ -1,0 +1,110 @@
+"""Lower-bound calculators (Lemma 1, Theorems 1 and 2).
+
+Lemma 1: if a set ``V`` of vertices is equivalent conditional on an
+event ``E``, any weak-model search for a target in ``V`` costs at least
+``|V| * P(E) / 2`` expected requests.  Intuition: conditional on ``E``
+the target is uniform over ``V`` from the algorithm's viewpoint, so in
+expectation at least half of ``V`` must be examined.
+
+The theorem calculators instantiate the lemma with the paper's window
+(``a = target - 1``, ``b = a + ⌊√(a-1)⌋``) and the exact ``P(E_{a,b})``
+from :mod:`repro.equivalence.exact`, yielding *concrete numeric floors*
+— not just asymptotic shapes — that the experiments overlay against
+measured request counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+from repro.equivalence.events import equivalence_window
+from repro.equivalence.exact import exact_event_probability, lemma3_bound
+
+__all__ = [
+    "lemma1_lower_bound",
+    "theorem1_weak_bound",
+    "theorem2_weak_bound",
+    "strong_model_bound",
+]
+
+
+def lemma1_lower_bound(
+    window_size: int, event_probability: float
+) -> float:
+    """Lemma 1's floor ``|V| * P(E) / 2``."""
+    if window_size < 0:
+        raise InvalidParameterError(
+            f"window_size must be >= 0, got {window_size}"
+        )
+    if not 0.0 <= event_probability <= 1.0:
+        raise InvalidParameterError(
+            f"event_probability must lie in [0, 1], got "
+            f"{event_probability}"
+        )
+    return window_size * event_probability / 2.0
+
+
+def theorem1_weak_bound(target: int, p: float) -> float:
+    """Concrete Theorem 1 weak-model floor for finding ``target``.
+
+    Uses the exact ``P(E_{a,b})`` (not just Lemma 3's ``e^{-(1-p)}``
+    estimate), so this is the sharpest floor the paper's own argument
+    yields: ``⌊√(target-2)⌋ * P(E) / 2`` expected requests.
+
+    Valid in the Móri tree of any size ``>= b`` and, by the paper's
+    merging argument, in the merged ``m``-out graph for every ``m``.
+    """
+    a, b = equivalence_window(target)
+    window_size = b - a
+    probability = float(exact_event_probability(a, b, p))
+    return lemma1_lower_bound(window_size, probability)
+
+
+def theorem2_weak_bound(target: int, alpha: float = 0.5) -> float:
+    """Generic ``Θ(√n)`` floor for the Cooper–Frieze model.
+
+    The paper proves the same ``Ω(n^{1/2})`` for all ``0 < alpha < 1``
+    but does not give a closed-form event probability; following its
+    proof sketch ("the starting point is still the existence of a set
+    of Θ(√n) equivalent vertices"), we use the window size
+    ``⌊√(target-2)⌋`` with the conservative constant ``e^{-1}`` in
+    place of ``P(E)`` — the Lemma 3 bound at its weakest (``p -> 0``).
+    This is an *envelope for plotting*, not a proved constant; the
+    exponent 1/2 is the reproducible claim.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise InvalidParameterError(
+            f"Theorem 2 requires 0 < alpha < 1, got {alpha}"
+        )
+    if target < 3:
+        raise InvalidParameterError(
+            f"target must be >= 3, got {target}"
+        )
+    window_size = math.isqrt(target - 2)
+    return lemma1_lower_bound(window_size, math.exp(-1.0))
+
+
+def strong_model_bound(
+    target: int, p: float, epsilon: float = 0.05
+) -> float:
+    """Theorem 1's strong-model floor ``n^{1/2 - p - epsilon}``.
+
+    Only meaningful for ``p < 1/2`` (for larger ``p`` the exponent is
+    non-positive and the bound trivial, as the paper notes).  The
+    paper's argument divides the weak-model floor by the maximum degree
+    ``~ t^{p + epsilon}``; we return the resulting power of ``target``
+    with Lemma 3's constant.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must lie in [0, 1], got {p}")
+    if epsilon <= 0:
+        raise InvalidParameterError(
+            f"epsilon must be > 0, got {epsilon}"
+        )
+    if target < 3:
+        raise InvalidParameterError(
+            f"target must be >= 3, got {target}"
+        )
+    exponent = 0.5 - p - epsilon
+    return (lemma3_bound(p) / 2.0) * target ** exponent

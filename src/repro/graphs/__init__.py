@@ -1,0 +1,50 @@
+"""Random-graph substrates for the non-searchability reproduction.
+
+This subpackage implements, from scratch, every graph model the paper
+uses or contrasts against:
+
+* :mod:`repro.graphs.base` — the mutable multigraph all models build on;
+* :mod:`repro.graphs.mori` — the Móri random tree and its merged
+  ``m``-out variant (the paper's Theorem 1 object);
+* :mod:`repro.graphs.cooper_frieze` — the Cooper–Frieze general
+  web-graph model (Theorem 2 object);
+* :mod:`repro.graphs.barabasi_albert` — the classic BA model
+  (total-degree preferential attachment; §3 contrast);
+* :mod:`repro.graphs.power_law` / :mod:`repro.graphs.configuration` —
+  pure random graphs with power-law degree sequences (Molloy–Reed), the
+  substrate of the Adamic et al. comparison;
+* :mod:`repro.graphs.kleinberg` — Kleinberg's navigable small-world
+  lattice (the positive result the paper contrasts with);
+* :mod:`repro.graphs.sampling` — weighted samplers shared by the
+  evolving models;
+* :mod:`repro.graphs.merge` — vertex-merging used by the ``m``-out
+  construction.
+"""
+
+from repro.graphs.base import MultiGraph
+from repro.graphs.mori import (
+    MoriTree,
+    merged_mori_graph,
+    mori_edges_per_step_graph,
+    mori_tree,
+)
+from repro.graphs.cooper_frieze import CooperFriezeParams, cooper_frieze_graph
+from repro.graphs.barabasi_albert import barabasi_albert_graph
+from repro.graphs.configuration import configuration_model_graph
+from repro.graphs.power_law import power_law_degree_sequence
+from repro.graphs.kleinberg import KleinbergGrid, kleinberg_grid
+
+__all__ = [
+    "MultiGraph",
+    "MoriTree",
+    "mori_tree",
+    "merged_mori_graph",
+    "mori_edges_per_step_graph",
+    "CooperFriezeParams",
+    "cooper_frieze_graph",
+    "barabasi_albert_graph",
+    "configuration_model_graph",
+    "power_law_degree_sequence",
+    "KleinbergGrid",
+    "kleinberg_grid",
+]

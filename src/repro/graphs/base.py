@@ -1,0 +1,268 @@
+"""Mutable multigraph with stable edge identities.
+
+All random-graph models in this library are *evolving* constructions:
+vertices and edges are added one at a time and never removed.  The
+search oracles additionally need **edge identities** — in the weak model
+a request names a specific edge incident to a discovered vertex, so
+parallel edges and self-loops must be distinguishable objects, not
+collapsed adjacency entries.
+
+:class:`MultiGraph` therefore stores edges as an append-only list of
+``(tail, head)`` pairs indexed by a dense integer edge id, plus a
+per-vertex incidence list of edge ids.  Conventions:
+
+* vertices are the integers ``1 .. n`` (the paper labels vertices by
+  insertion time, starting at 1);
+* edges are directed *for construction* (``tail`` is the newer vertex
+  that chose ``head``), but **searching always takes place in the
+  corresponding undirected graph** (paper, Section 1) — incidence lists
+  and degrees are undirected;
+* a self-loop appears twice in its vertex's incidence list and
+  contributes 2 to the undirected degree (standard multigraph
+  convention, and what the merged Móri construction requires so that
+  degree mass is conserved by merging).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import GraphConstructionError
+
+__all__ = ["MultiGraph"]
+
+
+class MultiGraph:
+    """Append-only multigraph over vertices ``1 .. n``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of initial (isolated) vertices.
+
+    Examples
+    --------
+    >>> g = MultiGraph(2)
+    >>> eid = g.add_edge(2, 1)
+    >>> g.degree(1), g.degree(2)
+    (1, 1)
+    >>> g.other_endpoint(eid, 2)
+    1
+    """
+
+    __slots__ = ("_endpoints", "_incident", "_indegree", "_outdegree")
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise GraphConstructionError(
+                f"num_vertices must be >= 0, got {num_vertices}"
+            )
+        #: edge id -> (tail, head)
+        self._endpoints: List[Tuple[int, int]] = []
+        #: vertex -> list of incident edge ids (self-loops listed twice);
+        #: index 0 is a dummy so vertex v lives at _incident[v].
+        self._incident: List[List[int]] = [[] for _ in range(num_vertices + 1)]
+        #: vertex -> number of edges whose head is this vertex.
+        self._indegree: List[int] = [0] * (num_vertices + 1)
+        #: vertex -> number of edges whose tail is this vertex.
+        self._outdegree: List[int] = [0] * (num_vertices + 1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Append a new isolated vertex and return its identity."""
+        self._incident.append([])
+        self._indegree.append(0)
+        self._outdegree.append(0)
+        return len(self._incident) - 1
+
+    def add_edge(self, tail: int, head: int) -> int:
+        """Append a directed edge ``tail -> head`` and return its edge id.
+
+        Both endpoints must already exist.  Parallel edges and self-loops
+        are allowed.
+        """
+        self._check_vertex(tail)
+        self._check_vertex(head)
+        eid = len(self._endpoints)
+        self._endpoints.append((tail, head))
+        self._incident[tail].append(eid)
+        self._incident[head].append(eid)
+        self._indegree[head] += 1
+        self._outdegree[tail] += 1
+        return eid
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (vertex identities are ``1 .. num_vertices``)."""
+        return len(self._incident) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (edge ids are ``0 .. num_edges - 1``)."""
+        return len(self._endpoints)
+
+    def vertices(self) -> range:
+        """The vertex identities, as the range ``1 .. n``."""
+        return range(1, self.num_vertices + 1)
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether ``v`` is a valid vertex identity."""
+        return 1 <= v <= self.num_vertices
+
+    def degree(self, v: int) -> int:
+        """Undirected degree of ``v`` (self-loops count twice)."""
+        self._check_vertex(v)
+        return len(self._incident[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of edges whose head is ``v`` (construction orientation)."""
+        self._check_vertex(v)
+        return self._indegree[v]
+
+    def out_degree(self, v: int) -> int:
+        """Number of edges whose tail is ``v`` (construction orientation)."""
+        self._check_vertex(v)
+        return self._outdegree[v]
+
+    def incident_edges(self, v: int) -> Tuple[int, ...]:
+        """Edge ids incident to ``v``, self-loops repeated, in insertion order."""
+        self._check_vertex(v)
+        return tuple(self._incident[v])
+
+    def edge_endpoints(self, eid: int) -> Tuple[int, int]:
+        """The ``(tail, head)`` pair of edge ``eid``."""
+        self._check_edge(eid)
+        return self._endpoints[eid]
+
+    def other_endpoint(self, eid: int, v: int) -> int:
+        """The endpoint of ``eid`` other than ``v`` (``v`` for a self-loop)."""
+        tail, head = self.edge_endpoints(eid)
+        if v == tail:
+            return head
+        if v == head:
+            return tail
+        raise GraphConstructionError(
+            f"vertex {v} is not an endpoint of edge {eid} ({tail}, {head})"
+        )
+
+    def neighbors(self, v: int) -> List[int]:
+        """Multiset of neighbors of ``v`` (one entry per incident edge slot).
+
+        A self-loop contributes ``v`` twice; a parallel edge contributes
+        its far endpoint once per copy.
+        """
+        self._check_vertex(v)
+        seen_loops = 0
+        result: List[int] = []
+        for eid in self._incident[v]:
+            tail, head = self._endpoints[eid]
+            if tail == head:
+                # Each loop occupies two incidence slots; emit v once per slot.
+                result.append(v)
+                seen_loops += 1
+            else:
+                result.append(head if tail == v else tail)
+        return result
+
+    def unique_neighbors(self, v: int) -> List[int]:
+        """Sorted distinct neighbors of ``v`` (self-loop contributes ``v``)."""
+        return sorted(set(self.neighbors(v)))
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(eid, tail, head)`` triples in insertion order."""
+        for eid, (tail, head) in enumerate(self._endpoints):
+            yield eid, tail, head
+
+    def degree_sequence(self) -> List[int]:
+        """Undirected degrees of all vertices, indexed ``0 .. n-1`` for ``1 .. n``."""
+        return [len(self._incident[v]) for v in self.vertices()]
+
+    def num_self_loops(self) -> int:
+        """Number of self-loop edges."""
+        return sum(1 for tail, head in self._endpoints if tail == head)
+
+    # ------------------------------------------------------------------
+    # Structure checks
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the undirected graph is connected (vacuously true if n <= 1)."""
+        n = self.num_vertices
+        if n <= 1:
+            return True
+        seen = [False] * (n + 1)
+        stack = [1]
+        seen[1] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for eid in self._incident[v]:
+                tail, head = self._endpoints[eid]
+                w = head if tail == v else tail
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(w)
+        return count == n
+
+    def copy(self) -> "MultiGraph":
+        """An independent deep copy of this graph."""
+        clone = MultiGraph(self.num_vertices)
+        for tail, head in self._endpoints:
+            clone.add_edge(tail, head)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Dunder / internals
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.num_vertices}, "
+            f"m={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Equality as *labeled* multigraphs with ordered edge lists."""
+        if not isinstance(other, MultiGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self._endpoints == other._endpoints
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, tuple(self._endpoints)))
+
+    def _check_vertex(self, v: int) -> None:
+        if not 1 <= v <= self.num_vertices:
+            raise GraphConstructionError(
+                f"vertex {v} out of range [1, {self.num_vertices}]"
+            )
+
+    def _check_edge(self, eid: int) -> None:
+        if not 0 <= eid < len(self._endpoints):
+            raise GraphConstructionError(
+                f"edge id {eid} out of range [0, {len(self._endpoints) - 1}]"
+            )
+
+    # ------------------------------------------------------------------
+    # Bulk constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[Tuple[int, int]]
+    ) -> "MultiGraph":
+        """Build a graph from an iterable of ``(tail, head)`` pairs."""
+        graph = cls(num_vertices)
+        for tail, head in edges:
+            graph.add_edge(tail, head)
+        return graph

@@ -1,0 +1,153 @@
+"""Weighted-sampling primitives for evolving random graphs.
+
+Two samplers are provided:
+
+* :class:`EndpointUrn` — the dynamic urn underlying *preferential
+  attachment*.  Maintaining a flat list containing one entry per unit of
+  weight makes "sample proportional to (in)degree" an O(1) operation and
+  "add an edge" an O(1) update, which is what makes million-vertex
+  evolving graphs feasible in pure Python.
+* :class:`AliasSampler` — Walker's alias method for *static*
+  distributions, used by the configuration model and the Kleinberg
+  long-range link chooser where the weight vector is fixed up front.
+
+Both are deliberately independent of the graph classes so they can be
+unit- and property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["EndpointUrn", "AliasSampler", "discrete_distribution_sampler"]
+
+
+class EndpointUrn:
+    """Dynamic urn for degree-proportional sampling.
+
+    Every call to :meth:`add` drops one token for ``vertex`` into the
+    urn; :meth:`sample` draws a token uniformly at random, i.e. samples
+    a vertex with probability proportional to the number of times it was
+    added.  Evolving-graph models call ``add(head)`` once per edge to
+    obtain indegree-proportional sampling, or ``add(tail); add(head)``
+    for total-degree-proportional sampling.
+    """
+
+    __slots__ = ("_tokens",)
+
+    def __init__(self) -> None:
+        self._tokens: List[int] = []
+
+    def add(self, vertex: int, count: int = 1) -> None:
+        """Add ``count`` tokens for ``vertex`` (one unit of weight each)."""
+        if count < 0:
+            raise InvalidParameterError(f"count must be >= 0, got {count}")
+        self._tokens.extend([vertex] * count)
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a vertex with probability proportional to its token count."""
+        if not self._tokens:
+            raise InvalidParameterError("cannot sample from an empty urn")
+        return self._tokens[rng.randrange(len(self._tokens))]
+
+    @property
+    def total_weight(self) -> int:
+        """Total number of tokens currently in the urn."""
+        return len(self._tokens)
+
+    def count(self, vertex: int) -> int:
+        """Number of tokens held by ``vertex`` (O(total_weight); for tests)."""
+        return sum(1 for token in self._tokens if token == vertex)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __repr__(self) -> str:
+        return f"EndpointUrn(total_weight={len(self._tokens)})"
+
+
+class AliasSampler:
+    """Walker alias method: O(n) setup, O(1) sampling, exact probabilities.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative weights, at least one strictly positive.  Samples
+        are indices ``0 .. len(weights) - 1`` drawn with probability
+        ``weights[i] / sum(weights)``.
+    """
+
+    __slots__ = ("_prob", "_alias", "_size")
+
+    def __init__(self, weights: Sequence[float]):
+        if not weights:
+            raise InvalidParameterError("weights must be non-empty")
+        total = 0.0
+        for w in weights:
+            if w < 0:
+                raise InvalidParameterError(f"weights must be >= 0, got {w}")
+            total += w
+        if total <= 0:
+            raise InvalidParameterError("at least one weight must be positive")
+
+        size = len(weights)
+        scaled = [w * size / total for w in weights]
+        prob = [0.0] * size
+        alias = [0] * size
+        small = [i for i, s in enumerate(scaled) if s < 1.0]
+        large = [i for i, s in enumerate(scaled) if s >= 1.0]
+
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            prob[lo] = scaled[lo]
+            alias[lo] = hi
+            scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0
+            if scaled[hi] < 1.0:
+                small.append(hi)
+            else:
+                large.append(hi)
+        # Residual numerical mass: these columns sample themselves surely.
+        for rest in (large, small):
+            while rest:
+                prob[rest.pop()] = 1.0
+
+        self._prob = prob
+        self._alias = alias
+        self._size = size
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one index from the weight distribution."""
+        column = rng.randrange(self._size)
+        if rng.random() < self._prob[column]:
+            return column
+        return self._alias[column]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"AliasSampler(size={self._size})"
+
+
+def discrete_distribution_sampler(
+    probabilities: Sequence[float],
+) -> AliasSampler:
+    """Alias sampler over ``{1, 2, ...}`` offsets encoded as a validated pmf.
+
+    The Cooper–Frieze model is parameterised by two discrete
+    distributions over *numbers of edges per step*; this helper checks
+    they are genuine probability vectors (sum to 1 within tolerance)
+    before building the sampler.  ``probabilities[i]`` is the
+    probability of the value ``i + 1``; the returned sampler yields
+    0-based indices, so callers add 1.
+    """
+    total = sum(probabilities)
+    if abs(total - 1.0) > 1e-9:
+        raise InvalidParameterError(
+            f"probabilities must sum to 1 (got {total!r})"
+        )
+    return AliasSampler(probabilities)

@@ -1,0 +1,29 @@
+"""Local-search framework: knowledge models, algorithms, and metrics.
+
+The paper's two models of local knowledge are implemented as
+request-counting oracles (:class:`~repro.search.oracle.WeakOracle`,
+:class:`~repro.search.oracle.StrongOracle`) that enforce the protocol
+and share a :class:`~repro.search.oracle.Knowledge` view with the
+algorithm.  :func:`~repro.search.process.run_search` drives one search;
+aggregation lives in :mod:`repro.search.metrics`.
+"""
+
+from repro.search.metrics import (
+    SearchCostSummary,
+    SearchResult,
+    summarize_results,
+)
+from repro.search.oracle import Knowledge, StrongOracle, WeakOracle
+from repro.search.process import default_budget, make_oracle, run_search
+
+__all__ = [
+    "Knowledge",
+    "WeakOracle",
+    "StrongOracle",
+    "SearchResult",
+    "SearchCostSummary",
+    "summarize_results",
+    "run_search",
+    "make_oracle",
+    "default_budget",
+]

@@ -1,0 +1,78 @@
+"""The search-algorithm portfolio.
+
+The paper's lower bound quantifies over *all* local algorithms; the
+experiments check it against this diverse portfolio (see each module's
+docstring for the strategy and its provenance) plus the omniscient
+window baseline that realises Lemma 1's information-theoretic adversary.
+"""
+
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.algorithms.random_walk import RandomWalkSearch
+from repro.search.algorithms.flooding import FloodingSearch
+from repro.search.algorithms.high_degree import (
+    HighDegreeStrongSearch,
+    HighDegreeWeakSearch,
+)
+from repro.search.algorithms.age_greedy import AgeGreedySearch
+from repro.search.algorithms.biased_walk import DegreeBiasedWalkSearch
+from repro.search.algorithms.mixed import MixedStrategySearch
+from repro.search.algorithms.omniscient import OmniscientWindowSearch
+from repro.search.algorithms.percolation import (
+    PercolationQueryResult,
+    percolation_query,
+    replicate_content,
+)
+from repro.search.algorithms.kleinberg_greedy import (
+    GreedyRouteResult,
+    greedy_route,
+)
+from repro.search.algorithms.simulation import WeakSimulationOfStrong
+from repro.search.algorithms.walks import (
+    RestartingWalkSearch,
+    SelfAvoidingWalkSearch,
+)
+
+__all__ = [
+    "SearchAlgorithm",
+    "RandomWalkSearch",
+    "FloodingSearch",
+    "HighDegreeWeakSearch",
+    "HighDegreeStrongSearch",
+    "AgeGreedySearch",
+    "DegreeBiasedWalkSearch",
+    "MixedStrategySearch",
+    "OmniscientWindowSearch",
+    "PercolationQueryResult",
+    "percolation_query",
+    "replicate_content",
+    "GreedyRouteResult",
+    "greedy_route",
+    "WeakSimulationOfStrong",
+    "SelfAvoidingWalkSearch",
+    "RestartingWalkSearch",
+    "weak_model_portfolio",
+    "strong_model_portfolio",
+]
+
+
+def weak_model_portfolio():
+    """Fresh instances of the standard weak-model algorithm portfolio."""
+    return [
+        RandomWalkSearch(),
+        FloodingSearch(),
+        HighDegreeWeakSearch(),
+        AgeGreedySearch(mode="oldest"),
+        AgeGreedySearch(mode="closest-id"),
+        MixedStrategySearch(epsilon=0.25),
+        SelfAvoidingWalkSearch(),
+        RestartingWalkSearch(restart_prob=0.1),
+    ]
+
+
+def strong_model_portfolio():
+    """Fresh instances of the standard strong-model algorithm portfolio."""
+    return [
+        HighDegreeStrongSearch(),
+        DegreeBiasedWalkSearch(beta=0.0),
+        DegreeBiasedWalkSearch(beta=1.0),
+    ]

@@ -1,0 +1,85 @@
+"""Identity-guided greedy strategies in the weak model.
+
+In the paper's models, vertex identities *are* insertion times, so an
+algorithm may exploit the id itself — this is precisely the extra
+structure Kleinberg-style navigation uses (labels), and these
+strategies probe whether it helps in scale-free evolving graphs:
+
+* ``oldest`` mode — resolve edges of the lowest-id (oldest) discovered
+  vertex first.  Old vertices have the highest expected degree, so this
+  chases hubs without needing degree knowledge.
+* ``closest-id`` mode — resolve edges of the discovered vertex whose id
+  is nearest the target's.  In a navigable labeled graph this would
+  home in; Theorem 1 implies it cannot beat ``Ω(√n)`` here, because the
+  ids inside the equivalence window carry no positional information.
+
+Both are lazy-heap implementations, one request per step.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.metrics import SearchResult
+from repro.search.oracle import WeakOracle
+
+__all__ = ["AgeGreedySearch"]
+
+_MODES = ("oldest", "closest-id")
+
+
+class AgeGreedySearch(SearchAlgorithm):
+    """Greedy edge resolution ordered by vertex identity."""
+
+    model = "weak"
+
+    def __init__(self, mode: str = "oldest"):
+        if mode not in _MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self.name = f"age-greedy-{mode}"
+
+    def _key(self, vertex: int, target: int) -> int:
+        if self.mode == "oldest":
+            return vertex
+        return abs(vertex - target)
+
+    def run(
+        self, oracle: WeakOracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        knowledge = oracle.knowledge
+        target = oracle.target
+        # Heap of (key, vertex, cursor); cursor scans the edge tuple.
+        heap: List[Tuple[int, int, int]] = [
+            (self._key(oracle.start, target), oracle.start, 0)
+        ]
+        seen = {oracle.start}
+
+        while heap and not oracle.found and oracle.request_count < budget:
+            key, u, cursor = heapq.heappop(heap)
+            edges = knowledge.edges_of(u)
+            while cursor < len(edges) and knowledge.far_endpoint(
+                u, edges[cursor]
+            ) is not None:
+                far = knowledge.far_endpoint(u, edges[cursor])
+                if far not in seen:
+                    seen.add(far)
+                    heapq.heappush(
+                        heap, (self._key(far, target), far, 0)
+                    )
+                cursor += 1
+            if cursor >= len(edges):
+                continue
+            far = oracle.request(u, edges[cursor])
+            if far not in seen:
+                seen.add(far)
+                heapq.heappush(heap, (self._key(far, target), far, 0))
+            heapq.heappush(heap, (key, u, cursor + 1))
+
+        return self._result(oracle)

@@ -1,0 +1,68 @@
+"""Base class and conventions for search algorithms.
+
+An algorithm drives an oracle (weak or strong) until the target is
+revealed or its request budget is exhausted.  Algorithms may only read
+the oracle's shared :class:`~repro.search.oracle.Knowledge` object — the
+oracle raises on any request outside the model, so an algorithm that
+type-checks against this interface is automatically protocol-honest.
+
+The paper's lower bound quantifies over *all* local algorithms; since
+that cannot be tested directly, the library ships a diverse portfolio
+(walks, flooding, degree greedy, age greedy, mixtures, and an
+omniscient window baseline) and the experiments verify that no member
+beats the bound.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Union
+
+from repro.search.metrics import SearchResult
+from repro.search.oracle import StrongOracle, WeakOracle
+
+__all__ = ["SearchAlgorithm"]
+
+Oracle = Union[WeakOracle, StrongOracle]
+
+
+class SearchAlgorithm(ABC):
+    """A local search strategy.
+
+    Subclasses set :attr:`name` (a stable identifier used in result
+    tables) and :attr:`model` (``'weak'`` or ``'strong'``), and
+    implement :meth:`run`.
+    """
+
+    #: Stable identifier for result tables.
+    name: str = "abstract"
+    #: Knowledge model this algorithm requires.
+    model: str = "weak"
+
+    @abstractmethod
+    def run(
+        self, oracle: Oracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        """Drive ``oracle`` until the target is found or ``budget`` requests.
+
+        Implementations must stop as soon as ``oracle.found`` is true or
+        ``oracle.request_count >= budget``, and must never catch
+        :class:`~repro.errors.OracleProtocolError` (a protocol violation
+        is a bug, not a strategy).
+        """
+
+    def _result(self, oracle: Oracle, **extra: float) -> SearchResult:
+        """Package the oracle's final state into a :class:`SearchResult`."""
+        return SearchResult(
+            algorithm=self.name,
+            model=self.model,
+            found=oracle.found,
+            requests=oracle.request_count,
+            start=oracle.start,
+            target=oracle.target,
+            extra=dict(extra),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, model={self.model!r})"

@@ -1,0 +1,52 @@
+"""Breadth-first flooding in the weak model.
+
+Resolves every incident edge of every discovered vertex in FIFO
+(discovery) order.  This is the exhaustive strategy: it is guaranteed
+to find any target in a connected graph within ``num_edges`` requests
+(each edge is requested at most once — once resolved from one side, the
+far endpoint is known from both), and its expected cost on a uniformly
+hidden target is about half the edges it would ever scan.  It serves as
+the upper-envelope baseline in E1/E3 and as a termination guarantee in
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.metrics import SearchResult
+from repro.search.oracle import WeakOracle
+
+__all__ = ["FloodingSearch"]
+
+
+class FloodingSearch(SearchAlgorithm):
+    """BFS-order exhaustive edge resolution."""
+
+    name = "flooding"
+    model = "weak"
+
+    def run(
+        self, oracle: WeakOracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        knowledge = oracle.knowledge
+        queue = deque([oracle.start])
+        enqueued = {oracle.start}
+
+        while queue and not oracle.found:
+            u = queue.popleft()
+            for eid in knowledge.edges_of(u):
+                if oracle.found or oracle.request_count >= budget:
+                    break
+                far = knowledge.far_endpoint(u, eid)
+                if far is None:
+                    far = oracle.request(u, eid)
+                if far not in enqueued:
+                    enqueued.add(far)
+                    queue.append(far)
+            if oracle.request_count >= budget:
+                break
+
+        return self._result(oracle)

@@ -1,0 +1,96 @@
+"""Epsilon-mixed strategy: greedy hub expansion with random exploration.
+
+With probability ``1 - epsilon`` behave like the weak high-degree
+greedy (resolve an edge of the highest-degree discovered vertex); with
+probability ``epsilon`` resolve a uniformly random unresolved edge of a
+uniformly random discovered vertex.  The mixture breaks the failure
+mode of pure greedy (getting stuck milling around a hub whose edges all
+lead backwards) and adds a qualitatively different member to the
+algorithm portfolio over which the lower bound is checked.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.metrics import SearchResult
+from repro.search.oracle import WeakOracle
+
+__all__ = ["MixedStrategySearch"]
+
+
+class MixedStrategySearch(SearchAlgorithm):
+    """High-degree greedy with epsilon-random edge exploration."""
+
+    model = "weak"
+
+    def __init__(self, epsilon: float = 0.25):
+        if not 0.0 <= epsilon <= 1.0:
+            raise InvalidParameterError(
+                f"epsilon must lie in [0, 1], got {epsilon}"
+            )
+        self.epsilon = epsilon
+        self.name = f"mixed-e{epsilon:g}"
+
+    def run(
+        self, oracle: WeakOracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        knowledge = oracle.knowledge
+        heap: List[Tuple[int, int]] = []  # (-degree, vertex), lazy
+        open_vertices: List[int] = []  # vertices that may have work, lazy
+        seen = set()
+
+        def admit(v: int) -> None:
+            if v not in seen:
+                seen.add(v)
+                heapq.heappush(heap, (-knowledge.degree(v), v))
+                open_vertices.append(v)
+
+        admit(oracle.start)
+
+        while not oracle.found and oracle.request_count < budget:
+            if rng.random() < self.epsilon:
+                u = self._random_open_vertex(
+                    open_vertices, knowledge, rng
+                )
+            else:
+                u = self._greedy_open_vertex(heap, knowledge)
+            if u is None:
+                break  # everything resolved; target unreachable knowledge-wise
+            unresolved = knowledge.unresolved_edges(u)
+            eid = unresolved[rng.randrange(len(unresolved))]
+            far = oracle.request(u, eid)
+            admit(far)
+            # u may still have work; re-admit it to the greedy heap.
+            if knowledge.unresolved_edges(u):
+                heapq.heappush(heap, (-knowledge.degree(u), u))
+
+        return self._result(oracle)
+
+    @staticmethod
+    def _random_open_vertex(
+        open_vertices: List[int], knowledge, rng: random.Random
+    ):
+        """Uniform vertex with unresolved edges; swap-delete exhausted ones."""
+        while open_vertices:
+            index = rng.randrange(len(open_vertices))
+            v = open_vertices[index]
+            if knowledge.unresolved_edges(v):
+                return v
+            open_vertices[index] = open_vertices[-1]
+            open_vertices.pop()
+        return None
+
+    @staticmethod
+    def _greedy_open_vertex(heap, knowledge):
+        """Highest-degree vertex with unresolved edges; drop stale entries."""
+        while heap:
+            neg_degree, v = heapq.heappop(heap)
+            if knowledge.unresolved_edges(v):
+                # Push back: the caller resolves one edge and re-admits.
+                return v
+        return None

@@ -1,0 +1,140 @@
+"""Percolation search with content replication (Sarshar–Boykin–Roychowdhury).
+
+The paper cites [SBR04] as the P2P community's answer to
+non-searchability: if every *content* is first replicated along short
+random walks, an epidemic (bond-percolation) broadcast of the query —
+forwarding over each incident edge independently with probability
+``q`` — finds a replica with sublinear message cost, provided the
+replication factor is polynomial.  Experiment E12 regenerates the
+replication-vs-cost trade-off.
+
+This module is deliberately *outside* the weak/strong oracle framework:
+its success criterion (reach any replica) and its cost unit (messages,
+not requests) differ from the paper's search model, exactly as in the
+original.  The implementation simulates one query cascade as a BFS over
+the random subgraph in which each edge is kept independently with
+probability ``q`` (edges are sampled lazily, once each, on first
+contact — a faithful bond-percolation semantics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set
+
+from repro.errors import InvalidParameterError
+from repro.graphs.base import MultiGraph
+from repro.rng import RandomLike, make_rng
+
+__all__ = ["PercolationQueryResult", "replicate_content", "percolation_query"]
+
+
+@dataclass(frozen=True)
+class PercolationQueryResult:
+    """Outcome of one percolation-broadcast query.
+
+    Attributes
+    ----------
+    found:
+        Whether the cascade reached a vertex holding a replica.
+    messages:
+        Number of query messages sent (edges traversed by the cascade).
+    vertices_reached:
+        Number of distinct vertices the cascade visited.
+    """
+
+    found: bool
+    messages: int
+    vertices_reached: int
+
+
+def replicate_content(
+    graph: MultiGraph,
+    owner: int,
+    num_replicas: int,
+    walk_length: int,
+    seed: RandomLike = None,
+) -> FrozenSet[int]:
+    """Place replicas of ``owner``'s content along short random walks.
+
+    Each of the ``num_replicas`` replicas is deposited at the endpoint
+    of an independent ``walk_length``-step random walk from ``owner``
+    (the [SBR04] caching rule).  The owner always holds a copy.
+    """
+    if not graph.has_vertex(owner):
+        raise InvalidParameterError(f"owner {owner} not in graph")
+    if num_replicas < 0:
+        raise InvalidParameterError(
+            f"num_replicas must be >= 0, got {num_replicas}"
+        )
+    if walk_length < 0:
+        raise InvalidParameterError(
+            f"walk_length must be >= 0, got {walk_length}"
+        )
+    rng = make_rng(seed)
+    holders: Set[int] = {owner}
+    for _ in range(num_replicas):
+        current = owner
+        for _ in range(walk_length):
+            neighbors = graph.neighbors(current)
+            if not neighbors:
+                break
+            current = neighbors[rng.randrange(len(neighbors))]
+        holders.add(current)
+    return frozenset(holders)
+
+
+def percolation_query(
+    graph: MultiGraph,
+    source: int,
+    holders: FrozenSet[int],
+    broadcast_probability: float,
+    seed: RandomLike = None,
+) -> PercolationQueryResult:
+    """Run one epidemic query cascade from ``source``.
+
+    The query starts at ``source``; every time the cascade first
+    touches an edge, the edge transmits with probability
+    ``broadcast_probability`` (bond percolation).  Messages are counted
+    per transmitting edge.  The cascade is run to exhaustion and
+    success recorded if any reached vertex is in ``holders`` —
+    real deployments stop early on success, so the message count is an
+    upper bound on theirs, which is the conservative direction for the
+    sublinearity claim.
+    """
+    if not graph.has_vertex(source):
+        raise InvalidParameterError(f"source {source} not in graph")
+    if not 0.0 <= broadcast_probability <= 1.0:
+        raise InvalidParameterError(
+            "broadcast_probability must lie in [0, 1], got "
+            f"{broadcast_probability}"
+        )
+    rng = make_rng(seed)
+
+    edge_open: Dict[int, bool] = {}
+    reached: Set[int] = {source}
+    queue = deque([source])
+    messages = 0
+
+    while queue:
+        v = queue.popleft()
+        for eid in graph.incident_edges(v):
+            is_open = edge_open.get(eid)
+            if is_open is None:
+                is_open = rng.random() < broadcast_probability
+                edge_open[eid] = is_open
+            if not is_open:
+                continue
+            w = graph.other_endpoint(eid, v)
+            if w in reached:
+                continue
+            messages += 1
+            reached.add(w)
+            queue.append(w)
+
+    return PercolationQueryResult(
+        found=bool(reached & holders),
+        messages=messages,
+        vertices_reached=len(reached),
+    )

@@ -1,0 +1,59 @@
+"""Pure random walk in the weak model.
+
+The weakest reasonable strategy and the second baseline of Adamic et
+al.: from the current vertex, pick a uniformly random incident edge and
+move along it.  Moving along an edge whose far endpoint is already
+known (inferred from previously revealed incidence lists) is free; only
+genuinely new endpoint queries cost a request.  This "free revisits"
+refinement can only *reduce* the request count, so measurements made
+with it remain valid evidence for the paper's lower bound.
+
+On power-law configuration graphs Adamic et al. predict an expected
+cost around ``n^{3(1-2/k)}`` for this walk (experiment E7); on the Móri
+and Cooper–Frieze graphs it must respect the ``Ω(√n)`` floor of
+Theorems 1 and 2 (experiments E1/E3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.metrics import SearchResult
+from repro.search.oracle import WeakOracle
+
+__all__ = ["RandomWalkSearch"]
+
+
+class RandomWalkSearch(SearchAlgorithm):
+    """Uniform random walk; free movement along already-resolved edges."""
+
+    name = "random-walk"
+    model = "weak"
+
+    #: Wall-clock guard: a walk that keeps moving along known edges makes
+    #: no requests, so bound the number of *moves* relative to budget.
+    _MOVES_PER_REQUEST = 200
+
+    def run(
+        self, oracle: WeakOracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        knowledge = oracle.knowledge
+        current = oracle.start
+        hops = 0
+        max_moves = self._MOVES_PER_REQUEST * max(budget, 1)
+
+        while not oracle.found and oracle.request_count < budget:
+            if hops >= max_moves:
+                break
+            edges = knowledge.edges_of(current)
+            if not edges:
+                break  # isolated start vertex: nowhere to go
+            eid = edges[rng.randrange(len(edges))]
+            far = knowledge.far_endpoint(current, eid)
+            if far is None:
+                far = oracle.request(current, eid)
+            current = far
+            hops += 1
+
+        return self._result(oracle, hops=hops)

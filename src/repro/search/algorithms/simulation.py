@@ -1,0 +1,126 @@
+"""Weak-model simulation of strong-model algorithms (the paper's §2 step).
+
+The strong-model half of Theorem 1 rests on one sentence:
+
+    "Any algorithm operating in the strong model can be simulated in
+    the weak model by replacing each request about vertex u with
+    requests about all edges incident to u, which gives a slowdown
+    factor of at most the maximum degree."
+
+:class:`WeakSimulationOfStrong` makes that argument executable: it
+wraps any strong-model algorithm and runs it against a **weak** oracle,
+materialising each simulated strong request as a batch of weak
+requests.  The wrapped algorithm sees a faithful emulation (it receives
+exactly the neighbor set a strong oracle would have returned), while
+the cost meter counts genuine weak requests.
+
+Experiment E2 uses it to verify the slowdown inequality empirically:
+
+    weak_cost(simulated A) <= strong_cost(A) * max_degree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.errors import OracleProtocolError
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.metrics import SearchResult
+from repro.search.oracle import WeakOracle
+
+__all__ = ["WeakSimulationOfStrong"]
+
+
+class _EmulatedStrongOracle:
+    """Strong-oracle facade backed by weak requests.
+
+    Presents the :class:`~repro.search.oracle.StrongOracle` interface
+    (``request``, ``was_requested``, ``knowledge``, ``found``, ...) to
+    the wrapped algorithm, but answers every strong request by issuing
+    weak requests for each incident edge of the queried vertex.  Edges
+    whose far endpoint is already inferable are skipped — the
+    simulation is allowed to be smart, which only strengthens measured
+    upper bounds.
+    """
+
+    model_name = "strong"
+
+    def __init__(self, weak: WeakOracle, budget: int):
+        self._weak = weak
+        self._budget = budget
+        self._requested: set = set()
+        #: Number of *simulated strong* requests served (for slowdown
+        #: accounting; the weak cost lives on the weak oracle).
+        self.strong_request_count = 0
+        self.start = weak.start
+        self.target = weak.target
+
+    @property
+    def knowledge(self):
+        """The shared knowledge view (same object as the weak oracle's)."""
+        return self._weak.knowledge
+
+    @property
+    def found(self) -> bool:
+        """Whether the underlying weak search has succeeded."""
+        return self._weak.found
+
+    @property
+    def request_count(self) -> int:
+        """*Weak* requests spent so far — the simulation's true cost."""
+        return self._weak.request_count
+
+    def was_requested(self, u: int) -> bool:
+        """Whether ``u``'s neighborhood has been fully materialised."""
+        return u in self._requested
+
+    def request(self, u: int) -> Tuple[int, ...]:
+        """Emulate one strong request with <= degree(u) weak requests."""
+        knowledge = self._weak.knowledge
+        if not knowledge.is_discovered(u):
+            raise OracleProtocolError(
+                f"simulated strong request about undiscovered vertex {u}"
+            )
+        self.strong_request_count += 1
+        self._requested.add(u)
+        neighbors = set()
+        for eid in knowledge.edges_of(u):
+            far = knowledge.far_endpoint(u, eid)
+            if far is None:
+                if self._weak.request_count >= self._budget:
+                    break  # budget exhausted mid-batch
+                far = self._weak.request(u, eid)
+            neighbors.add(far)
+        return tuple(sorted(neighbors))
+
+
+class WeakSimulationOfStrong(SearchAlgorithm):
+    """Run a strong-model algorithm against a weak oracle.
+
+    Parameters
+    ----------
+    inner:
+        Any algorithm with ``model == 'strong'``.
+    """
+
+    model = "weak"
+
+    def __init__(self, inner: SearchAlgorithm):
+        if inner.model != "strong":
+            raise OracleProtocolError(
+                f"can only simulate strong-model algorithms, got "
+                f"{inner.name!r} with model {inner.model!r}"
+            )
+        self.inner = inner
+        self.name = f"weak-sim({inner.name})"
+
+    def run(
+        self, oracle: WeakOracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        emulated = _EmulatedStrongOracle(oracle, budget)
+        self.inner.run(emulated, rng, budget)
+        return self._result(
+            oracle,
+            strong_requests=float(emulated.strong_request_count),
+        )

@@ -1,0 +1,108 @@
+"""Additional walk-family strategies for the weak model.
+
+Two classical P2P variants that round out the portfolio over which the
+lower bound is checked:
+
+* :class:`SelfAvoidingWalkSearch` — never re-traverses an edge it has
+  already resolved when a fresh one is available at the current vertex;
+  falls back to a uniform step when stuck.  Self-avoidance removes the
+  walk's revisiting waste, a strictly stronger searcher than the plain
+  walk — and still bound by Ω(√n).
+* :class:`RestartingWalkSearch` — with probability ``restart_prob`` per
+  step, jump back to the start vertex (PageRank-style).  Restarts model
+  the common TTL-and-retry flooding discipline of unstructured P2P
+  systems; movement along known edges is free, so only fresh discovery
+  costs requests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import InvalidParameterError
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.metrics import SearchResult
+from repro.search.oracle import WeakOracle
+
+__all__ = ["SelfAvoidingWalkSearch", "RestartingWalkSearch"]
+
+
+class SelfAvoidingWalkSearch(SearchAlgorithm):
+    """Random walk preferring unresolved edges at each step."""
+
+    name = "self-avoiding-walk"
+    model = "weak"
+
+    _MOVES_PER_REQUEST = 200
+
+    def run(
+        self, oracle: WeakOracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        knowledge = oracle.knowledge
+        current = oracle.start
+        hops = 0
+        max_moves = self._MOVES_PER_REQUEST * max(budget, 1)
+
+        while not oracle.found and oracle.request_count < budget:
+            if hops >= max_moves:
+                break
+            unresolved = knowledge.unresolved_edges(current)
+            if unresolved:
+                eid = unresolved[rng.randrange(len(unresolved))]
+                current = oracle.request(current, eid)
+            else:
+                edges = knowledge.edges_of(current)
+                if not edges:
+                    break  # isolated start vertex
+                eid = edges[rng.randrange(len(edges))]
+                far = knowledge.far_endpoint(current, eid)
+                # All edges resolved here, so far is known — free move.
+                current = far if far is not None else current
+            hops += 1
+
+        return self._result(oracle, hops=hops)
+
+
+class RestartingWalkSearch(SearchAlgorithm):
+    """Random walk with PageRank-style restarts to the start vertex."""
+
+    model = "weak"
+
+    _MOVES_PER_REQUEST = 200
+
+    def __init__(self, restart_prob: float = 0.1):
+        if not 0.0 <= restart_prob < 1.0:
+            raise InvalidParameterError(
+                f"restart_prob must lie in [0, 1), got {restart_prob}"
+            )
+        self.restart_prob = restart_prob
+        self.name = f"restart-walk-r{restart_prob:g}"
+
+    def run(
+        self, oracle: WeakOracle, rng: random.Random, budget: int
+    ) -> SearchResult:
+        knowledge = oracle.knowledge
+        current = oracle.start
+        hops = 0
+        restarts = 0
+        max_moves = self._MOVES_PER_REQUEST * max(budget, 1)
+
+        while not oracle.found and oracle.request_count < budget:
+            if hops >= max_moves:
+                break
+            if rng.random() < self.restart_prob:
+                current = oracle.start
+                restarts += 1
+                hops += 1  # restarts count toward the move guard
+                continue
+            edges = knowledge.edges_of(current)
+            if not edges:
+                break
+            eid = edges[rng.randrange(len(edges))]
+            far = knowledge.far_endpoint(current, eid)
+            if far is None:
+                far = oracle.request(current, eid)
+            current = far
+            hops += 1
+
+        return self._result(oracle, hops=hops, restarts=restarts)

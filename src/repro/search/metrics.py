@@ -1,0 +1,139 @@
+"""Search-outcome records and aggregation.
+
+A single run produces a :class:`SearchResult`; repeated runs are folded
+into a :class:`SearchCostSummary` carrying the mean request count with a
+normal-approximation confidence interval.  Truncated runs (budget hit
+before the target was revealed) are kept and flagged: for lower-bound
+experiments, counting a truncated run at its budget value *understates*
+the true expected cost, so the reported means remain valid evidence for
+an ``Ω(·)`` claim (never against it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = ["SearchResult", "SearchCostSummary", "summarize_results"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one search run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that ran.
+    model:
+        ``'weak'`` or ``'strong'`` (or an algorithm-specific label for
+        the out-of-framework baselines, e.g. ``'kleinberg'``).
+    found:
+        Whether the target's identity was revealed within budget.
+    requests:
+        Number of oracle requests made (for truncated runs, the budget).
+    start, target:
+        Endpoints of the search instance.
+    extra:
+        Algorithm-specific diagnostics (e.g. hops for walks).
+    """
+
+    algorithm: str
+    model: str
+    found: bool
+    requests: int
+    start: int
+    target: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SearchCostSummary:
+    """Aggregate of many :class:`SearchResult` for one configuration.
+
+    Attributes
+    ----------
+    algorithm, model:
+        Copied from the results.
+    num_runs:
+        Number of runs aggregated.
+    num_found:
+        Runs that revealed the target within budget.
+    mean_requests:
+        Mean request count over *all* runs (truncated runs contribute
+        their budget value — a lower bound on their true cost).
+    std_requests:
+        Sample standard deviation (0 for a single run).
+    ci_halfwidth:
+        Half-width of the 95% normal-approximation confidence interval
+        for the mean.
+    median_requests:
+        Median request count.
+    """
+
+    algorithm: str
+    model: str
+    num_runs: int
+    num_found: int
+    mean_requests: float
+    std_requests: float
+    ci_halfwidth: float
+    median_requests: float
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs that found the target within budget."""
+        return self.num_found / self.num_runs
+
+    @property
+    def ci(self) -> Tuple[float, float]:
+        """The 95% confidence interval for the mean request count."""
+        return (
+            self.mean_requests - self.ci_halfwidth,
+            self.mean_requests + self.ci_halfwidth,
+        )
+
+
+def _median(sorted_values: Sequence[float]) -> float:
+    mid = len(sorted_values) // 2
+    if len(sorted_values) % 2 == 1:
+        return float(sorted_values[mid])
+    return (sorted_values[mid - 1] + sorted_values[mid]) / 2.0
+
+
+def summarize_results(results: Sequence[SearchResult]) -> SearchCostSummary:
+    """Fold runs of one (algorithm, model) configuration into a summary."""
+    if not results:
+        raise AnalysisError("cannot summarize an empty result list")
+    algorithms = {r.algorithm for r in results}
+    models = {r.model for r in results}
+    if len(algorithms) > 1 or len(models) > 1:
+        raise AnalysisError(
+            "summarize_results expects one configuration, got "
+            f"algorithms={sorted(algorithms)}, models={sorted(models)}"
+        )
+
+    counts: List[float] = sorted(float(r.requests) for r in results)
+    num_runs = len(counts)
+    mean = sum(counts) / num_runs
+    if num_runs > 1:
+        variance = sum((c - mean) ** 2 for c in counts) / (num_runs - 1)
+        std = math.sqrt(variance)
+        ci_halfwidth = 1.96 * std / math.sqrt(num_runs)
+    else:
+        std = 0.0
+        ci_halfwidth = 0.0
+
+    return SearchCostSummary(
+        algorithm=results[0].algorithm,
+        model=results[0].model,
+        num_runs=num_runs,
+        num_found=sum(1 for r in results if r.found),
+        mean_requests=mean,
+        std_requests=std,
+        ci_halfwidth=ci_halfwidth,
+        median_requests=_median(counts),
+    )

@@ -1,0 +1,267 @@
+"""The weak and strong models of local knowledge (paper, Section 1).
+
+The searching process has access to a list of already **discovered**
+vertices (initially just the start vertex), each with its degree and its
+list of incident edges.  At each time step it makes one *request*:
+
+* **weak model** — a request is a pair ``(u, e)`` where ``u`` is a
+  discovered vertex and ``e`` an edge incident to ``u``; the answer is
+  the identity ``v`` of the other endpoint of ``e`` together with the
+  list of all edges incident to ``v``;
+* **strong model** — a request is a vertex ``u`` that is adjacent to an
+  already discovered vertex (in practice: any vertex whose identity an
+  earlier answer revealed, or the start vertex); the answer is the list
+  of vertices adjacent to ``u``, each with its list of incident edges.
+
+The performance measure is the **number of requests made prior to
+stopping**; a search succeeds at the first request whose answer reveals
+the target's identity (at which point the process holds an explicit
+path to the target, matching the paper's "find a path to vertex n").
+
+The oracle enforces the protocol: requests about undiscovered vertices
+or non-incident edges raise :class:`~repro.errors.OracleProtocolError`
+instead of leaking information.  It also maintains a :class:`Knowledge`
+view shared with the algorithm — everything an algorithm may legally
+base decisions on is reachable from that object, and nothing else.
+
+Edges are opaque integer ids.  An algorithm may *infer* the far endpoint
+of an edge without a request when both endpoints' incidence lists have
+been revealed (the information is already in hand); :class:`Knowledge`
+performs that inference, including the self-loop case (an edge occurring
+twice in one vertex's list).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OracleProtocolError
+from repro.graphs.base import MultiGraph
+
+__all__ = ["Knowledge", "WeakOracle", "StrongOracle"]
+
+
+class Knowledge:
+    """Everything the searching process currently knows.
+
+    Tracks discovered vertices (identity + incident edge ids, hence
+    degree) and resolves edge endpoints as soon as both sides have been
+    revealed.  Algorithms read this; only oracles write to it.
+    """
+
+    def __init__(self) -> None:
+        self._edges_of: Dict[int, Tuple[int, ...]] = {}
+        #: eid -> vertices in whose revealed lists it appeared
+        #: (with multiplicity; a self-loop appears twice for one vertex).
+        self._occurrences: Dict[int, List[int]] = {}
+        #: (vertex, eid) -> far endpoint, once resolvable.
+        self._far: Dict[Tuple[int, int], int] = {}
+        #: discovery order (first element is the start vertex).
+        self._order: List[int] = []
+
+    # -- written by oracles -------------------------------------------
+
+    def _add_vertex(self, v: int, edges: Tuple[int, ...]) -> None:
+        if v in self._edges_of:
+            return
+        self._edges_of[v] = edges
+        self._order.append(v)
+        for eid in edges:
+            occurrences = self._occurrences.setdefault(eid, [])
+            occurrences.append(v)
+            if len(occurrences) == 2:
+                a, b = occurrences
+                self._far[(a, eid)] = b
+                self._far[(b, eid)] = a
+
+    # -- read by algorithms -------------------------------------------
+
+    def is_discovered(self, v: int) -> bool:
+        """Whether ``v``'s identity and edge list are known."""
+        return v in self._edges_of
+
+    def discovered(self) -> Tuple[int, ...]:
+        """Discovered vertices in discovery order (start first)."""
+        return tuple(self._order)
+
+    @property
+    def num_discovered(self) -> int:
+        """Number of discovered vertices."""
+        return len(self._order)
+
+    def edges_of(self, v: int) -> Tuple[int, ...]:
+        """Incident edge ids of a discovered vertex."""
+        self._require_discovered(v)
+        return self._edges_of[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of a discovered vertex (its revealed edge-list length)."""
+        self._require_discovered(v)
+        return len(self._edges_of[v])
+
+    def far_endpoint(self, v: int, eid: int) -> Optional[int]:
+        """The other endpoint of ``eid`` as seen from ``v``, if inferable.
+
+        Returns ``None`` when the information in hand does not determine
+        it (the far side has not been revealed yet).
+        """
+        return self._far.get((v, eid))
+
+    def unresolved_edges(self, v: int) -> List[int]:
+        """Incident edges of ``v`` whose far endpoint is still unknown."""
+        self._require_discovered(v)
+        return [
+            eid
+            for eid in self._edges_of[v]
+            if (v, eid) not in self._far
+        ]
+
+    def _require_discovered(self, v: int) -> None:
+        if v not in self._edges_of:
+            raise OracleProtocolError(
+                f"vertex {v} has not been discovered"
+            )
+
+
+def _success_zone(
+    graph: MultiGraph, target: int, neighbor_success: bool
+) -> frozenset:
+    """Vertices whose discovery ends the search.
+
+    Default (paper-faithful for Theorems 1/2): only the target itself —
+    success means the target's identity has been revealed, i.e. the
+    process holds an explicit path ("find a path to vertex n").
+
+    With ``neighbor_success=True``, discovering any neighbor of the
+    target also succeeds.  This models the *second-neighbor knowledge*
+    of Adamic et al. [ALPH01] (a visited vertex recognises the target
+    among its neighbors' neighbors) and is used only by the E7
+    comparison; under it the Lemma-1 floor does not apply, because the
+    target's parent is outside the equivalence window.
+    """
+    if not neighbor_success:
+        return frozenset({target})
+    return frozenset({target}) | frozenset(
+        graph.unique_neighbors(target)
+    )
+
+
+class WeakOracle:
+    """Request-answering oracle for the weak model.
+
+    Parameters
+    ----------
+    graph:
+        The (undirected view of the) graph being searched.
+    start:
+        The initially discovered vertex.
+    target:
+        The vertex identity being sought.
+    neighbor_success:
+        If true, discovering any neighbor of the target also counts as
+        success (Adamic et al.'s knowledge model; see
+        :func:`_success_zone`).  Default false — the paper's criterion.
+    """
+
+    model_name = "weak"
+
+    def __init__(
+        self,
+        graph: MultiGraph,
+        start: int,
+        target: int,
+        neighbor_success: bool = False,
+    ):
+        if not graph.has_vertex(start):
+            raise OracleProtocolError(f"start vertex {start} not in graph")
+        if not graph.has_vertex(target):
+            raise OracleProtocolError(f"target vertex {target} not in graph")
+        self._graph = graph
+        self.start = start
+        self.target = target
+        self._zone = _success_zone(graph, target, neighbor_success)
+        self.knowledge = Knowledge()
+        self.request_count = 0
+        self.found = start in self._zone
+        self.knowledge._add_vertex(start, graph.incident_edges(start))
+
+    def request(self, u: int, eid: int) -> int:
+        """Ask for the far endpoint of edge ``eid`` from vertex ``u``.
+
+        Returns the identity of the far endpoint; as a side effect the
+        far vertex becomes discovered (its edge list enters the shared
+        :class:`Knowledge`).  Counts one request even if the answer was
+        already inferable.
+        """
+        if not self.knowledge.is_discovered(u):
+            raise OracleProtocolError(
+                f"weak request about undiscovered vertex {u}"
+            )
+        if eid not in self.knowledge.edges_of(u):
+            raise OracleProtocolError(
+                f"edge {eid} is not incident to vertex {u}"
+            )
+        self.request_count += 1
+        v = self._graph.other_endpoint(eid, u)
+        self.knowledge._add_vertex(v, self._graph.incident_edges(v))
+        if v in self._zone:
+            self.found = True
+        return v
+
+
+class StrongOracle:
+    """Request-answering oracle for the strong model.
+
+    A request names a discovered vertex (any vertex an earlier answer
+    revealed, or the start vertex — each such vertex is adjacent to a
+    previously requested one, matching the paper's "adjacent to an
+    already discovered vertex").  The answer reveals all of ``u``'s
+    neighbors together with their incident-edge lists.
+    """
+
+    model_name = "strong"
+
+    def __init__(
+        self,
+        graph: MultiGraph,
+        start: int,
+        target: int,
+        neighbor_success: bool = False,
+    ):
+        if not graph.has_vertex(start):
+            raise OracleProtocolError(f"start vertex {start} not in graph")
+        if not graph.has_vertex(target):
+            raise OracleProtocolError(f"target vertex {target} not in graph")
+        self._graph = graph
+        self.start = start
+        self.target = target
+        self._zone = _success_zone(graph, target, neighbor_success)
+        self.knowledge = Knowledge()
+        self.request_count = 0
+        self.found = start in self._zone
+        self._requested: set = set()
+        self.knowledge._add_vertex(start, graph.incident_edges(start))
+
+    def was_requested(self, u: int) -> bool:
+        """Whether ``u`` has already been the subject of a request."""
+        return u in self._requested
+
+    def request(self, u: int) -> Tuple[int, ...]:
+        """Ask for the neighborhood of discovered vertex ``u``.
+
+        Returns the distinct neighbor identities (sorted); as a side
+        effect every neighbor becomes discovered.  Re-requesting a
+        vertex is legal but wasteful — it is still counted.
+        """
+        if not self.knowledge.is_discovered(u):
+            raise OracleProtocolError(
+                f"strong request about undiscovered vertex {u}"
+            )
+        self.request_count += 1
+        self._requested.add(u)
+        neighbors = tuple(self._graph.unique_neighbors(u))
+        for w in neighbors:
+            self.knowledge._add_vertex(w, self._graph.incident_edges(w))
+            if w in self._zone:
+                self.found = True
+        return neighbors

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.base import MultiGraph
+from repro.graphs.mori import merged_mori_graph, mori_tree
+
+
+@pytest.fixture
+def triangle() -> MultiGraph:
+    """A 3-cycle: the smallest graph with a real choice at every vertex."""
+    return MultiGraph.from_edges(3, [(2, 1), (3, 2), (3, 1)])
+
+
+@pytest.fixture
+def path4() -> MultiGraph:
+    """A path 1-2-3-4."""
+    return MultiGraph.from_edges(4, [(2, 1), (3, 2), (4, 3)])
+
+
+@pytest.fixture
+def loop_graph() -> MultiGraph:
+    """Two vertices, a connecting edge, and a self-loop at vertex 2."""
+    graph = MultiGraph(2)
+    graph.add_edge(2, 1)
+    graph.add_edge(2, 2)
+    return graph
+
+
+@pytest.fixture
+def parallel_graph() -> MultiGraph:
+    """Two vertices joined by two parallel edges."""
+    return MultiGraph.from_edges(2, [(2, 1), (2, 1)])
+
+
+@pytest.fixture
+def small_tree():
+    """A deterministic small Móri tree (seeded)."""
+    return mori_tree(30, 0.5, seed=42)
+
+
+@pytest.fixture
+def small_merged():
+    """A deterministic small merged Móri graph (seeded)."""
+    return merged_mori_graph(20, 2, 0.5, seed=42)

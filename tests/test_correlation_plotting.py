@@ -1,0 +1,139 @@
+"""Unit tests for degree correlations and the ASCII plot renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.correlation import (
+    age_degree_correlation,
+    degree_assortativity,
+)
+from repro.core.plotting import AsciiPlot, Series, render_loglog
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.graphs.base import MultiGraph
+from repro.graphs.configuration import power_law_configuration_graph
+from repro.graphs.mori import mori_tree
+
+
+class TestDegreeAssortativity:
+    def test_star_is_disassortative(self):
+        graph = MultiGraph.from_edges(
+            5, [(2, 1), (3, 1), (4, 1), (5, 1)]
+        )
+        assert degree_assortativity(graph) < 0
+
+    def test_regular_graph_degenerate(self, triangle):
+        # All degrees equal: zero variance, correlation undefined.
+        with pytest.raises(AnalysisError):
+            degree_assortativity(triangle)
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(AnalysisError):
+            degree_assortativity(MultiGraph(3))
+
+    def test_symmetric_in_orientation(self):
+        forward = MultiGraph.from_edges(4, [(2, 1), (3, 2), (4, 3)])
+        backward = MultiGraph.from_edges(4, [(1, 2), (2, 3), (3, 4)])
+        assert degree_assortativity(forward) == pytest.approx(
+            degree_assortativity(backward)
+        )
+
+    def test_range(self):
+        graph = mori_tree(300, 0.5, seed=1).graph
+        value = degree_assortativity(graph)
+        assert -1.0 <= value <= 1.0
+
+
+class TestAgeDegreeCorrelation:
+    def test_evolving_graph_strongly_negative(self):
+        graph = mori_tree(1000, 0.75, seed=2).graph
+        assert age_degree_correlation(graph) < -0.1
+
+    def test_pure_random_graph_near_zero(self):
+        graph = power_law_configuration_graph(2000, 2.5, seed=3)
+        assert abs(age_degree_correlation(graph)) < 0.1
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(AnalysisError):
+            age_degree_correlation(MultiGraph(1))
+
+    def test_degenerate_degrees(self, triangle):
+        with pytest.raises(AnalysisError):
+            age_degree_correlation(triangle)
+
+
+class TestSeries:
+    def test_validates_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_validates_nonempty(self):
+        with pytest.raises(InvalidParameterError):
+            Series("s", (), ())
+
+
+class TestAsciiPlot:
+    def test_render_contains_title_and_legend(self):
+        plot = AsciiPlot(title="My Plot")
+        plot.add_series("alpha", [1, 10, 100], [1, 10, 100])
+        text = plot.render()
+        assert "My Plot" in text
+        assert "alpha" in text
+        assert "log-log" in text
+
+    def test_empty_plot_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AsciiPlot(title="t").render()
+
+    def test_tiny_canvas_rejected(self):
+        plot = AsciiPlot(title="t", width=3, height=2)
+        plot.add_series("s", [1, 2], [1, 2])
+        with pytest.raises(InvalidParameterError):
+            plot.render()
+
+    def test_log_plot_requires_positive(self):
+        plot = AsciiPlot(title="t")
+        plot.add_series("s", [1, 2], [0, 2])
+        with pytest.raises(InvalidParameterError):
+            plot.render(loglog=True)
+
+    def test_linear_mode_accepts_zero(self):
+        plot = AsciiPlot(title="t")
+        plot.add_series("s", [1, 2], [0, 2])
+        assert "linear" in plot.render(loglog=False)
+
+    def test_straight_line_on_loglog(self):
+        """A power law rasterises to a monotone staircase."""
+        plot = AsciiPlot(title="t", width=40, height=10)
+        xs = [10.0 * 2 ** k for k in range(8)]
+        plot.add_series("pow", xs, [x ** 0.5 for x in xs])
+        text = plot.render()
+        rows = [
+            line.split("|")[1]
+            for line in text.splitlines()
+            if line.count("|") == 2
+        ]
+        columns = []
+        for row_index, row in enumerate(rows):
+            for col_index, ch in enumerate(row):
+                if ch == "o":
+                    columns.append((col_index, row_index))
+        columns.sort()
+        # Monotone: larger x (columns) means smaller row index (higher).
+        rows_in_order = [r for _, r in columns]
+        assert rows_in_order == sorted(rows_in_order, reverse=True)
+
+    def test_multiple_series_distinct_glyphs(self):
+        plot = AsciiPlot(title="t")
+        plot.add_series("a", [1, 10], [1, 10])
+        plot.add_series("b", [1, 10], [10, 1])
+        text = plot.render()
+        assert "o a" in text
+        assert "x b" in text
+
+    def test_render_loglog_convenience(self):
+        text = render_loglog(
+            "curves", {"s": ([1.0, 10.0], [2.0, 20.0])}
+        )
+        assert "curves" in text
+        assert "s" in text

@@ -1,0 +1,147 @@
+"""Unit tests for Lemma 1 / theorem bound calculators and empirical profiles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.equivalence.empirical import (
+    profile_spread,
+    window_indegree_profile,
+)
+from repro.equivalence.lower_bound import (
+    lemma1_lower_bound,
+    strong_model_bound,
+    theorem1_weak_bound,
+    theorem2_weak_bound,
+)
+
+
+class TestLemma1:
+    def test_formula(self):
+        assert lemma1_lower_bound(10, 0.5) == 2.5
+        assert lemma1_lower_bound(0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            lemma1_lower_bound(-1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            lemma1_lower_bound(5, 1.5)
+
+
+class TestTheorem1Bound:
+    def test_scales_like_sqrt(self):
+        # bound(n) / sqrt(n) should stabilise to a positive constant.
+        ratios = [
+            theorem1_weak_bound(n, 0.5) / math.sqrt(n)
+            for n in (100, 400, 1600, 6400)
+        ]
+        assert all(r > 0.1 for r in ratios)
+        assert max(ratios) / min(ratios) < 1.6
+
+    def test_increasing_in_n(self):
+        values = [theorem1_weak_bound(n, 0.5) for n in (50, 200, 800)]
+        assert values == sorted(values)
+
+    def test_uses_exact_probability(self):
+        # With p = 1 the event is certain, so the bound equals |V|/2.
+        n = 101
+        assert theorem1_weak_bound(n, 1.0) == pytest.approx(
+            math.isqrt(n - 2) / 2
+        )
+
+    def test_bound_above_lemma3_floor(self):
+        for p in (0.1, 0.5, 0.9):
+            n = 500
+            floor = (
+                math.isqrt(n - 2) * math.exp(-(1 - p)) / 2
+            )
+            assert theorem1_weak_bound(n, p) >= floor - 1e-9
+
+
+class TestTheorem2Bound:
+    def test_scales_like_sqrt(self):
+        ratios = [
+            theorem2_weak_bound(n) / math.sqrt(n)
+            for n in (100, 1600, 25600)
+        ]
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_alpha_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theorem2_weak_bound(100, alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            theorem2_weak_bound(100, alpha=1.0)
+
+    def test_target_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theorem2_weak_bound(2)
+
+
+class TestStrongBound:
+    def test_exponent(self):
+        p, eps = 0.25, 0.05
+        v1 = strong_model_bound(100, p, eps)
+        v2 = strong_model_bound(10000, p, eps)
+        # Ratio should be 100^(0.5 - 0.3) = 100^0.2.
+        assert v2 / v1 == pytest.approx(100 ** (0.5 - p - eps), rel=1e-9)
+
+    def test_trivial_for_large_p(self):
+        # p >= 1/2 makes the exponent non-positive: bound decays.
+        assert strong_model_bound(10000, 0.6) < strong_model_bound(
+            100, 0.6
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            strong_model_bound(100, 1.5)
+        with pytest.raises(InvalidParameterError):
+            strong_model_bound(100, 0.3, epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            strong_model_bound(2, 0.3)
+
+
+class TestEmpiricalProfile:
+    def test_profile_flat_under_conditioning(self):
+        # Lemma 2 consequence: conditional mean indegrees across the
+        # window are equal; with moderate sampling the spread is small.
+        profile = window_indegree_profile(
+            n=40, a=20, b=24, p=0.5, num_samples=3000, seed=0
+        )
+        assert profile.num_event_samples > 100
+        assert len(profile.mean_indegree) == 4
+        assert profile_spread(profile) < 0.25
+
+    def test_event_rate_close_to_exact(self):
+        from repro.equivalence.exact import exact_event_probability
+
+        profile = window_indegree_profile(
+            n=30, a=20, b=24, p=0.5, num_samples=3000, seed=1
+        )
+        exact = float(exact_event_probability(20, 24, 0.5))
+        assert abs(profile.event_rate - exact) < 0.05
+
+    def test_no_event_samples_raises(self):
+        # A window far wider than sqrt(a) makes the event essentially
+        # impossible at p = 0; expect a clean error.
+        with pytest.raises(AnalysisError):
+            window_indegree_profile(
+                n=60, a=3, b=59, p=0.0, num_samples=50, seed=2
+            )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            window_indegree_profile(10, 0, 5, 0.5, 10)
+        with pytest.raises(InvalidParameterError):
+            window_indegree_profile(10, 3, 5, 0.5, 0)
+
+    def test_spread_of_empty_profile(self):
+        from repro.equivalence.empirical import WindowProfile
+
+        empty = WindowProfile(
+            a=5, b=5, num_samples=10, num_event_samples=10,
+            mean_indegree=(),
+        )
+        assert profile_spread(empty) == 0.0

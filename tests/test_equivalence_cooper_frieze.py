@@ -1,0 +1,157 @@
+"""Unit tests for the Cooper–Frieze equivalence machinery (Theorem 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.equivalence.cooper_frieze import (
+    estimate_untouched_probability,
+    untouched_window_event,
+    window_parent_degree_profile,
+)
+from repro.graphs.cooper_frieze import (
+    CooperFriezeParams,
+    cooper_frieze_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_cf():
+    return cooper_frieze_graph(
+        60, CooperFriezeParams(alpha=0.8), seed=5, record_trace=True
+    )
+
+
+class TestTraceRecording:
+    def test_trace_absent_by_default(self):
+        cf = cooper_frieze_graph(20, seed=0)
+        assert cf.trace is None
+
+    def test_trace_covers_all_steps(self, traced_cf):
+        assert len(traced_cf.trace) == traced_cf.num_steps
+        new_steps = [r for r in traced_cf.trace if r.kind == "new"]
+        assert len(new_steps) == traced_cf.num_new_steps
+
+    def test_trace_edges_partition_the_graph(self, traced_cf):
+        traced_edges = [
+            eid for record in traced_cf.trace for eid in record.edge_ids
+        ]
+        # Every edge except the initial self-loop (edge 0) is traced,
+        # each exactly once, in insertion order.
+        assert traced_edges == list(
+            range(1, traced_cf.graph.num_edges)
+        )
+
+    def test_new_records_match_vertex_births(self, traced_cf):
+        new_vertices = [
+            record.vertex
+            for record in traced_cf.trace
+            if record.kind == "new"
+        ]
+        assert new_vertices == list(range(2, traced_cf.n + 1))
+
+
+class TestUntouchedEvent:
+    def test_requires_trace(self):
+        cf = cooper_frieze_graph(20, seed=0)
+        with pytest.raises(InvalidParameterError):
+            untouched_window_event(cf, 15, 20)
+
+    def test_bounds_validated(self, traced_cf):
+        with pytest.raises(InvalidParameterError):
+            untouched_window_event(traced_cf, 0, 10)
+        with pytest.raises(InvalidParameterError):
+            untouched_window_event(traced_cf, 10, 61)
+
+    def test_trivial_window(self, traced_cf):
+        # Empty window (b = a): event vacuously true.
+        assert untouched_window_event(traced_cf, 30, 30)
+
+    def test_event_implies_structure(self, traced_cf):
+        """Whenever the event holds, the structural conditions hold."""
+        n = traced_cf.n
+        a, b = n - 5, n
+        if untouched_window_event(traced_cf, a, b):
+            graph = traced_cf.graph
+            for v in range(a + 1, b + 1):
+                assert graph.in_degree(v) == 0
+                assert graph.out_degree(v) == 1
+                (eid,) = [
+                    e
+                    for e in graph.incident_edges(v)
+                    if graph.edge_endpoints(e)[0] == v
+                ]
+                assert graph.edge_endpoints(eid)[1] <= a
+
+    def test_event_detects_touched_window(self):
+        """With alpha small, OLD steps batter the newest vertices, so
+        wide windows are essentially never untouched."""
+        params = CooperFriezeParams(alpha=0.3)
+        hits = 0
+        for seed in range(20):
+            cf = cooper_frieze_graph(
+                40, params, seed=seed, record_trace=True
+            )
+            hits += untouched_window_event(cf, 20, 40)
+        assert hits <= 6  # wide window, many OLD steps: rare event
+
+
+class TestProbabilityEstimation:
+    def test_probability_in_unit_interval(self):
+        params = CooperFriezeParams(alpha=0.75)
+        probability = estimate_untouched_probability(
+            80, 72, 80, params, num_samples=100, seed=1
+        )
+        assert 0.0 <= probability <= 1.0
+
+    def test_sqrt_window_probability_stays_positive(self):
+        """The Theorem 2 premise: for sqrt-width windows the event
+        probability does not collapse as n grows."""
+        params = CooperFriezeParams(alpha=0.75)
+        import math
+
+        values = []
+        for n in (64, 144, 256):
+            width = math.isqrt(n)
+            values.append(
+                estimate_untouched_probability(
+                    n, n - width, n, params,
+                    num_samples=150, seed=n,
+                )
+            )
+        assert all(v > 0.3 for v in values)
+
+    def test_validation(self):
+        params = CooperFriezeParams()
+        with pytest.raises(InvalidParameterError):
+            estimate_untouched_probability(10, 5, 8, params, 0)
+        with pytest.raises(InvalidParameterError):
+            estimate_untouched_probability(10, 0, 8, params, 10)
+
+
+class TestParentDegreeProfile:
+    def test_profile_shape(self):
+        params = CooperFriezeParams(alpha=0.8)
+        profile = window_parent_degree_profile(
+            50, 45, 50, params, num_samples=300, seed=3
+        )
+        assert len(profile.mean_parent_degree) == 5
+        assert profile.num_event_samples > 0
+        assert 0.0 < profile.event_rate <= 1.0
+        assert profile.spread >= 0.0
+
+    def test_no_event_raises(self):
+        # alpha small + huge window: event essentially impossible.
+        params = CooperFriezeParams(alpha=0.3)
+        with pytest.raises(AnalysisError):
+            window_parent_degree_profile(
+                40, 5, 40, params, num_samples=20, seed=4
+            )
+
+    def test_validation(self):
+        params = CooperFriezeParams()
+        with pytest.raises(InvalidParameterError):
+            window_parent_degree_profile(10, 0, 5, params, 10)
+        with pytest.raises(InvalidParameterError):
+            window_parent_degree_profile(10, 5, 8, params, 0)

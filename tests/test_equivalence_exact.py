@@ -1,0 +1,253 @@
+"""Exact-arithmetic tests for Lemmas 2 and 3 (the paper's core machinery)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.equivalence.events import (
+    equivalence_window,
+    estimate_event_probability,
+    event_holds,
+)
+from repro.equivalence.exact import (
+    as_fraction,
+    ensemble_total_probability,
+    enumerate_parent_vectors,
+    enumerated_event_probability,
+    exact_event_probability,
+    lemma3_bound,
+    lemma3_window_end,
+    tree_probability,
+    verify_lemma2,
+)
+
+
+class TestTreeProbability:
+    def test_minimal_tree_is_certain(self):
+        assert tree_probability((0, 0, 1), 0.5) == 1
+
+    def test_time3_probabilities(self):
+        # P(N_3 = 1) = 1/(2-p), P(N_3 = 2) = (1-p)/(2-p).
+        p = Fraction(1, 2)
+        assert tree_probability((0, 0, 1, 1), p) == Fraction(1, 2) / (
+            2 - p
+        ) * 2  # 1/(2-p) = 2/3
+        assert tree_probability((0, 0, 1, 1), p) == Fraction(2, 3)
+        assert tree_probability((0, 0, 1, 2), p) == Fraction(1, 3)
+
+    def test_uniform_case(self):
+        # p = 0: every recursive tree on n vertices has prob 1/(n-1)!.
+        for parents in enumerate_parent_vectors(5):
+            assert tree_probability(parents, 0) == Fraction(
+                1, math.factorial(4)
+            )
+
+    def test_pure_preferential_star(self):
+        # p = 1: the star at the root is the only tree with positive
+        # probability.
+        star = (0, 0, 1, 1, 1)
+        assert tree_probability(star, 1) == 1
+        chain = (0, 0, 1, 2, 3)
+        assert tree_probability(chain, 1) == 0
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    @pytest.mark.parametrize("p", [0, Fraction(1, 4), Fraction(1, 2), 1])
+    def test_normalization(self, n, p):
+        assert ensemble_total_probability(n, p) == 1
+
+    def test_matches_sampler(self):
+        # The exact probability of N_3 = 1 must match the Monte-Carlo
+        # frequency of the actual generator.
+        from repro.graphs.mori import mori_tree
+
+        p = 0.3
+        exact = float(tree_probability((0, 0, 1, 1), p))
+        hits = sum(
+            mori_tree(3, p, seed=s).parents == (0, 0, 1, 1)
+            for s in range(4000)
+        )
+        assert abs(hits / 4000 - exact) < 0.03
+
+    def test_invalid_vector_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tree_probability((0, 0, 2), 0.5)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tree_probability((0, 0, 1), 1.5)
+
+    def test_as_fraction_decimal_semantics(self):
+        assert as_fraction(0.3) == Fraction(3, 10)
+        assert as_fraction("1/3") == Fraction(1, 3)
+        assert as_fraction(1) == 1
+        with pytest.raises(InvalidParameterError):
+            as_fraction(True)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n,count", [(2, 1), (3, 2), (4, 6), (5, 24)])
+    def test_counts_are_factorials(self, n, count):
+        assert sum(1 for _ in enumerate_parent_vectors(n)) == count
+
+    def test_all_valid(self):
+        from repro.equivalence.permutation import is_valid_parent_vector
+
+        assert all(
+            is_valid_parent_vector(parents)
+            for parents in enumerate_parent_vectors(6)
+        )
+
+    def test_distinct(self):
+        vectors = list(enumerate_parent_vectors(6))
+        assert len(vectors) == len(set(vectors))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_parent_vectors(1))
+
+
+class TestEventProbability:
+    @pytest.mark.parametrize("p", [0, Fraction(1, 4), Fraction(1, 2), 1])
+    @pytest.mark.parametrize("a,b", [(2, 3), (3, 5), (2, 5), (4, 6)])
+    def test_closed_form_equals_enumeration(self, p, a, b):
+        n = max(b, 6)
+        assert exact_event_probability(
+            a, b, p
+        ) == enumerated_event_probability(n, a, b, p)
+
+    def test_trivial_window(self):
+        # b = a: empty window, event is certain.
+        assert exact_event_probability(5, 5, 0.5) == 1
+
+    def test_monotone_in_a(self):
+        # Larger a (with the same b) makes the event easier.
+        p = Fraction(1, 2)
+        assert exact_event_probability(
+            3, 6, p
+        ) < exact_event_probability(4, 6, p)
+
+    def test_monotone_in_p(self):
+        # Conditional on the event, mass concentrates below a; higher p
+        # (more preferential) makes staying below a easier.
+        a, b = 10, 13
+        values = [
+            exact_event_probability(a, b, Fraction(i, 10))
+            for i in range(0, 11)
+        ]
+        assert values == sorted(values)
+
+    def test_p_one_is_certain(self):
+        # Pure preferential: all mass already below a, event certain.
+        assert exact_event_probability(5, 7, 1) == 1
+
+    def test_lemma3_bound_holds_exactly(self):
+        for p in (0, 0.1, 0.25, 0.5, 0.75, 1.0):
+            for a in (2, 5, 10, 50, 200, 1000):
+                b = lemma3_window_end(a)
+                exact = exact_event_probability(a, b, p)
+                assert float(exact) >= lemma3_bound(p) - 1e-12, (
+                    f"Lemma 3 violated at p={p}, a={a}"
+                )
+
+    def test_monte_carlo_agrees(self):
+        a, b = 20, lemma3_window_end(20)
+        exact = float(exact_event_probability(a, b, 0.5))
+        estimate = estimate_event_probability(
+            a, b, 0.5, num_samples=4000, seed=0
+        )
+        assert abs(estimate - exact) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            exact_event_probability(0, 3, 0.5)
+        with pytest.raises(InvalidParameterError):
+            exact_event_probability(4, 3, 0.5)
+        with pytest.raises(InvalidParameterError):
+            lemma3_window_end(0)
+        with pytest.raises(InvalidParameterError):
+            lemma3_bound(1.2)
+
+
+class TestEventHolds:
+    def test_star_always_in_event(self):
+        parents = (0, 0, 1, 1, 1, 1, 1)  # star on 6 vertices
+        assert event_holds(parents, 1, 6)
+        assert event_holds(parents, 3, 6)
+
+    def test_chain_violates(self):
+        parents = (0, 0, 1, 2, 3, 4)
+        assert not event_holds(parents, 2, 5)
+        assert event_holds(parents, 4, 5)  # N_5 = 4 <= 4
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            event_holds((0, 0, 1), 0, 2)
+        with pytest.raises(InvalidParameterError):
+            event_holds((0, 0, 1), 2, 5)
+
+
+class TestEquivalenceWindow:
+    def test_matches_lemma3(self):
+        a, b = equivalence_window(100)
+        assert a == 99
+        assert b == 99 + math.isqrt(98)
+
+    def test_window_nonempty(self):
+        for target in (3, 10, 1000):
+            a, b = equivalence_window(target)
+            assert a < b or target == 3  # a=2,b=2+isqrt(1)=3 -> nonempty
+            assert a + 1 == target
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            equivalence_window(2)
+
+
+class TestLemma2:
+    @pytest.mark.parametrize("p", [0, Fraction(1, 3), Fraction(1, 2), 1])
+    def test_holds_small(self, p):
+        report = verify_lemma2(6, 3, 5, p)
+        assert report.holds
+        assert report.max_discrepancy == 0
+        assert report.num_trees == 120
+        assert report.num_transpositions == 1
+
+    def test_holds_wider_window(self):
+        report = verify_lemma2(7, 3, 6, Fraction(2, 5))
+        assert report.holds
+        assert report.num_transpositions == 3
+
+    def test_holds_with_descendants_beyond_window(self):
+        # n > b: vertices 6,7 may attach into the window; equivalence
+        # must still hold (their edges get relabeled consistently).
+        report = verify_lemma2(7, 2, 4, Fraction(1, 2))
+        assert report.holds
+
+    def test_event_probability_consistent(self):
+        report = verify_lemma2(6, 3, 5, Fraction(1, 2))
+        assert report.event_probability == exact_event_probability(
+            3, 5, Fraction(1, 2)
+        )
+
+    def test_non_equivalence_without_event(self):
+        # Concrete counterexample: swapping vertices 3 and 4 in the
+        # chain 3->1, 4->3 gives 3->4 (invalid), so without the event
+        # the orbit leaves the tree space — exchangeability fails.
+        from repro.equivalence.permutation import (
+            apply_permutation_to_parents,
+            is_valid_parent_vector,
+        )
+
+        chain = (0, 0, 1, 1, 3)  # n=4: N_4 = 3, parent inside the window
+        image = apply_permutation_to_parents(chain, {3: 4, 4: 3})
+        assert not is_valid_parent_vector(image)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            verify_lemma2(5, 0, 3, 0.5)
+        with pytest.raises(InvalidParameterError):
+            verify_lemma2(5, 3, 6, 0.5)

@@ -1,0 +1,117 @@
+"""Unit tests for the permutation action (Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.base import MultiGraph
+from repro.equivalence.permutation import (
+    apply_permutation_to_graph,
+    apply_permutation_to_parents,
+    is_valid_parent_vector,
+    window_permutations,
+    window_transpositions,
+)
+
+
+class TestGraphAction:
+    def test_identity(self, triangle):
+        assert apply_permutation_to_graph(triangle, {}) == triangle
+
+    def test_transposition(self):
+        graph = MultiGraph.from_edges(3, [(2, 1), (3, 1)])
+        image = apply_permutation_to_graph(graph, {2: 3, 3: 2})
+        assert list(image.edges()) == [(0, 3, 1), (1, 2, 1)]
+
+    def test_preserves_counts(self, small_merged):
+        graph = small_merged.graph
+        image = apply_permutation_to_graph(graph, {5: 6, 6: 5})
+        assert image.num_vertices == graph.num_vertices
+        assert image.num_edges == graph.num_edges
+        assert sorted(image.degree_sequence()) == sorted(
+            graph.degree_sequence()
+        )
+
+    def test_degree_transport(self, small_merged):
+        graph = small_merged.graph
+        image = apply_permutation_to_graph(graph, {5: 6, 6: 5})
+        assert image.degree(5) == graph.degree(6)
+        assert image.degree(6) == graph.degree(5)
+
+    def test_involution(self, small_merged):
+        graph = small_merged.graph
+        sigma = {3: 7, 7: 3}
+        twice = apply_permutation_to_graph(
+            apply_permutation_to_graph(graph, sigma), sigma
+        )
+        assert twice == graph
+
+    def test_invalid_permutation_rejected(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            apply_permutation_to_graph(triangle, {1: 2})  # not a bijection
+
+    def test_moving_missing_vertex_rejected(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            apply_permutation_to_graph(triangle, {4: 5, 5: 4})
+
+
+class TestParentAction:
+    def test_identity(self):
+        parents = (0, 0, 1, 2, 1)
+        assert apply_permutation_to_parents(parents, {}) == parents
+
+    def test_swap_window_vertices(self):
+        # Tree: 2->1, 3->1, 4->1.  Swapping 3 and 4 fixes the vector.
+        parents = (0, 0, 1, 1, 1)
+        image = apply_permutation_to_parents(parents, {3: 4, 4: 3})
+        assert image == parents
+
+    def test_swap_moves_parent_pointers(self):
+        # Tree: 2->1, 3->2, 4->3.  Swap 3,4: N'_4 = sigma(N_3) = sigma(2)=2,
+        # N'_3 = sigma(N_4) = sigma(3) = 4 -> invalid (parent newer).
+        parents = (0, 0, 1, 2, 3)
+        image = apply_permutation_to_parents(parents, {3: 4, 4: 3})
+        assert image == (0, 0, 1, 4, 2)
+        assert not is_valid_parent_vector(image)
+
+    def test_children_of_window_relabeled(self):
+        # Tree: 2->1, 3->1, 4->1, 5->3.  Swap 3,4: vertex 5's parent
+        # becomes 4; vectors stay valid.
+        parents = (0, 0, 1, 1, 1, 3)
+        image = apply_permutation_to_parents(parents, {3: 4, 4: 3})
+        assert image == (0, 0, 1, 1, 1, 4)
+        assert is_valid_parent_vector(image)
+
+    def test_root_must_be_fixed(self):
+        with pytest.raises(InvalidParameterError):
+            apply_permutation_to_parents((0, 0, 1), {1: 2, 2: 1})
+
+
+class TestValidity:
+    def test_valid_vectors(self):
+        assert is_valid_parent_vector((0, 0, 1))
+        assert is_valid_parent_vector((0, 0, 1, 2, 1))
+
+    def test_invalid_vectors(self):
+        assert not is_valid_parent_vector(())
+        assert not is_valid_parent_vector((0,))
+        assert not is_valid_parent_vector((0, 0, 2))  # parent not older
+        assert not is_valid_parent_vector((0, 0, 1, 3))  # self/newer
+        assert not is_valid_parent_vector((0, 1, 1))  # slot 1 must be 0
+        assert not is_valid_parent_vector((1, 0, 1))  # slot 0 must be 0
+
+
+class TestWindowEnumeration:
+    def test_transpositions_count(self):
+        transpositions = list(window_transpositions([4, 5, 6]))
+        assert len(transpositions) == 3
+        assert {4: 5, 5: 4} in transpositions
+
+    def test_permutations_count(self):
+        permutations = list(window_permutations([4, 5, 6]))
+        assert len(permutations) == 5  # 3! - identity
+
+    def test_single_vertex_window(self):
+        assert list(window_transpositions([7])) == []
+        assert list(window_permutations([7])) == []

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are part of the public contract; each is executed as a real
+subprocess (its own interpreter, its own argv) at a reduced size, and
+its output is checked for the landmark lines a reader is promised.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+)
+
+
+def run_example(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        scripts = sorted(
+            f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+        )
+        assert scripts == [
+            "lower_bound_audit.py",
+            "navigable_vs_scalefree.py",
+            "p2p_file_search.py",
+            "quickstart.py",
+        ]
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "400")
+        assert "Theorem 1 floor" in out
+        assert "flooding" in out
+        assert "True" in out
+
+    def test_p2p_file_search(self):
+        out = run_example("p2p_file_search.py", "800")
+        assert "P2P network" in out
+        assert "high-degree" in out
+        assert "percolation" in out
+        assert "hit rate" in out
+
+    @pytest.mark.slow
+    def test_navigable_vs_scalefree(self):
+        out = run_example("navigable_vs_scalefree.py")
+        assert "kleinberg" in out
+        assert "sqrt(n)" in out
+
+    def test_lower_bound_audit_sections(self):
+        out = run_example("lower_bound_audit.py")
+        assert "Step 1" in out
+        assert "holds: True" in out
+        assert "Step 2" in out
+        assert "margin=+" in out
+        assert "Step 3" in out

@@ -1,0 +1,309 @@
+"""Smoke/shape tests for the named experiments and the CLI.
+
+Experiments run on deliberately tiny grids here; the benchmark harness
+exercises the paper-scale versions.  Shape assertions target the claims
+each experiment exists to check (exponent floors, bound margins) with
+tolerances loose enough to be seed-robust at these sizes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.experiments import (
+    ALL_EXPERIMENTS,
+    e1_mori_weak,
+    e3_cooper_frieze,
+    e4_event_probability,
+    e5_max_degree,
+    e6_degree_distribution,
+    e8_kleinberg,
+    e9_diameter_vs_search,
+    e10_equivalence_exact,
+    e11_lemma1_floor,
+    e12_percolation,
+    e13_ablation_p,
+)
+
+
+class TestExperimentRegistry:
+    def test_all_eighteen_registered(self):
+        assert len(ALL_EXPERIMENTS) == 18
+        assert set(ALL_EXPERIMENTS) == {
+            f"E{i}" for i in range(1, 19)
+        }
+
+    def test_all_have_docstrings(self):
+        for function in ALL_EXPERIMENTS.values():
+            assert function.__doc__
+
+
+class TestE1:
+    def test_shape(self):
+        result = e1_mori_weak(
+            sizes=(60, 120, 240), num_graphs=2, runs_per_graph=1, seed=1
+        )
+        assert result.experiment_id == "E1"
+        assert result.tables
+        # Every algorithm present with a fitted exponent.
+        exponents = {
+            k: v
+            for k, v in result.derived.items()
+            if k.startswith("exponent/")
+        }
+        assert len(exponents) == 9  # 8-member portfolio + omniscient
+        assert result.derived["floor@largest"] > 0
+
+
+class TestE3:
+    def test_shape(self):
+        result = e3_cooper_frieze(
+            sizes=(60, 120), num_graphs=2, runs_per_graph=1, seed=3
+        )
+        assert result.experiment_id == "E3"
+        assert any(
+            k.startswith("exponent/") for k in result.derived
+        )
+
+
+class TestE4:
+    def test_bound_never_violated(self):
+        result = e4_event_probability(
+            a_values=(10, 40), p_values=(0.25, 0.75), num_samples=300,
+            seed=4,
+        )
+        # Lemma 3 is a theorem: the exact margin must be non-negative.
+        assert result.derived["min_margin_exact_minus_bound"] >= 0
+
+
+class TestE5:
+    def test_exponent_ordering(self):
+        result = e5_max_degree(
+            n=3000, p_values=(0.25, 0.75), num_trees=3, seed=5
+        )
+        low = result.derived["mori_exponent/p=0.25"]
+        high = result.derived["mori_exponent/p=0.75"]
+        # Max-degree growth increases with p.
+        assert low < high
+        # And BA sits near 1/2.
+        assert 0.3 < result.derived["ba_exponent"] < 0.7
+
+
+class TestE6:
+    def test_scale_free_vs_lattice(self):
+        result = e6_degree_distribution(n=3000, seed=6)
+        ba_exp = result.derived["exponent/ba(m=2)"]
+        assert 1.5 < ba_exp < 4.0
+        kleinberg_keys = [
+            k for k in result.derived if "kleinberg" in k and "exponent" in k
+        ]
+        assert kleinberg_keys
+        # Kleinberg's concentrated degrees produce a huge fitted
+        # exponent (no heavy tail).
+        assert result.derived[kleinberg_keys[0]] > 4.0
+
+
+class TestE8:
+    def test_navigability_crossover(self):
+        result = e8_kleinberg(
+            sides=(8, 12, 18), r_values=(0.0, 2.0, 4.0),
+            pairs_per_grid=10, seed=8,
+        )
+        e0 = result.derived["exponent/r=0"]
+        e2 = result.derived["exponent/r=2"]
+        e4 = result.derived["exponent/r=4"]
+        # r=2 grows slowest (poly-log => smallest fitted exponent).
+        assert e2 < e0
+        assert e2 < e4
+
+
+class TestE9:
+    def test_contrast(self):
+        result = e9_diameter_vs_search(
+            sizes=(100, 200, 400), num_graphs=2, seed=9
+        )
+        assert result.derived["diameter_log_r2"] > 0.5
+        assert result.derived["search_cost_exponent"] > 0.3
+
+
+class TestE10:
+    def test_exact_lemma2(self):
+        result = e10_equivalence_exact(n=6, p_values=(0.5, 1.0))
+        assert result.derived["all_windows_hold"] == 1.0
+
+
+class TestE11:
+    def test_floor_respected(self):
+        result = e11_lemma1_floor(
+            sizes=(100, 200), num_graphs=3, runs_per_graph=1, seed=11
+        )
+        # Lemma 1 is a theorem; sampled means can fluctuate below the
+        # floor only via Monte-Carlo noise, so allow a small slack.
+        assert result.derived["min_ratio"] > 0.5
+
+
+class TestE12:
+    def test_replication_helps(self):
+        result = e12_percolation(
+            n=800,
+            replica_counts=(0, 32),
+            num_queries=12,
+            seed=12,
+        )
+        assert (
+            result.derived["hit_rate/replicas=32"]
+            >= result.derived["hit_rate/replicas=0"]
+        )
+
+
+class TestE13:
+    def test_runs_across_p(self):
+        result = e13_ablation_p(
+            sizes=(60, 120), p_values=(0.0, 1.0), num_graphs=2, seed=13
+        )
+        assert "exponent/p=0" in result.derived
+        assert "exponent/p=1" in result.derived
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+        assert "E14" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_e10_with_json(self, tmp_path, capsys):
+        json_path = tmp_path / "e10.json"
+        assert main(["run", "e10", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E10" in out
+        data = json.loads(json_path.read_text())
+        assert data["experiment_id"] == "E10"
+
+    def test_run_e4_quick_with_seed_override(self, capsys):
+        assert main(["run", "E4", "--quick", "--seed", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=99" in out
+
+    def test_quick_overrides_cover_all_experiments(self):
+        from repro.cli import QUICK_OVERRIDES
+
+        assert set(QUICK_OVERRIDES) == set(ALL_EXPERIMENTS)
+
+
+class TestE15:
+    def test_window_probability_positive(self):
+        from repro.core.experiments import e15_cf_equivalence
+
+        result = e15_cf_equivalence(
+            sizes=(60, 120), num_samples=100, seed=15
+        )
+        assert result.derived["min_p_untouched"] > 0.2
+        assert result.derived["profile_spread"] >= 0.0
+
+
+class TestE16:
+    def test_evolving_vs_pure(self):
+        from repro.core.experiments import e16_neighbor_dependence
+
+        result = e16_neighbor_dependence(n=1500, seed=16)
+        for name in (
+            "mori(p=0.5, m=2)",
+            "cooper-frieze(a=0.75)",
+            "ba(m=2)",
+        ):
+            assert result.derived[f"age_corr/{name}"] < -0.1
+        assert abs(result.derived["age_corr/config(k=2.5)"]) < 0.1
+
+
+class TestE17:
+    def test_simulation_inequality(self):
+        from repro.core.experiments import e17_simulation_slowdown
+
+        result = e17_simulation_slowdown(
+            sizes=(100, 200), num_graphs=2, seed=17
+        )
+        assert result.derived["worst_ratio"] <= 1.0
+
+
+class TestCLIPlot:
+    def test_plot_flag_renders_ascii(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "E1", "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "log-log" in out
+
+
+class TestCLICompare:
+    def test_compare_roundtrip_matches(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "e10.json"
+        assert main(["run", "E10", "--quick", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(path), str(path)]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_compare_flags_divergence(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path_a = tmp_path / "a.json"
+        assert main(
+            ["run", "E10", "--quick", "--json", str(path_a)]
+        ) == 0
+        data = json.loads(path_a.read_text())
+        data["derived"]["all_windows_hold"] = 0.0
+        path_b = tmp_path / "b.json"
+        path_b.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["compare", str(path_a), str(path_b)]) == 1
+        out = capsys.readouterr().out
+        assert "metric" in out
+
+
+class TestE18:
+    def test_start_rules_all_measured(self):
+        from repro.core.experiments import e18_start_rule
+
+        result = e18_start_rule(
+            sizes=(60, 120), num_graphs=2, runs_per_graph=1, seed=18
+        )
+        for rule in ("default", "random", "newest-other"):
+            assert f"exponent/start={rule}" in result.derived
+
+
+class TestCLIRunAll:
+    @pytest.mark.slow
+    def test_run_all_quick_with_json_dir(self, tmp_path, capsys):
+        import os
+
+        json_dir = tmp_path / "records"
+        assert (
+            main(
+                [
+                    "run",
+                    "all",
+                    "--quick",
+                    "--json-dir",
+                    str(json_dir),
+                ]
+            )
+            == 0
+        )
+        written = sorted(os.listdir(json_dir))
+        assert written == sorted(
+            f"e{i}.json" for i in range(1, 19)
+        )
+        out = capsys.readouterr().out
+        for i in range(1, 19):
+            assert f"E{i}:" in out

@@ -1,0 +1,165 @@
+"""Unit tests for repro.graphs.base.MultiGraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graphs.base import MultiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = MultiGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.vertices()) == []
+
+    def test_initial_vertices_are_isolated(self):
+        graph = MultiGraph(3)
+        assert graph.num_vertices == 3
+        assert all(graph.degree(v) == 0 for v in graph.vertices())
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            MultiGraph(-1)
+
+    def test_add_vertex_returns_new_identity(self):
+        graph = MultiGraph(2)
+        assert graph.add_vertex() == 3
+        assert graph.add_vertex() == 4
+        assert graph.num_vertices == 4
+
+    def test_add_edge_returns_sequential_ids(self):
+        graph = MultiGraph(3)
+        assert graph.add_edge(2, 1) == 0
+        assert graph.add_edge(3, 1) == 1
+        assert graph.num_edges == 2
+
+    def test_add_edge_to_missing_vertex_rejected(self):
+        graph = MultiGraph(2)
+        with pytest.raises(GraphConstructionError):
+            graph.add_edge(1, 3)
+        with pytest.raises(GraphConstructionError):
+            graph.add_edge(0, 1)
+
+    def test_from_edges(self):
+        graph = MultiGraph.from_edges(3, [(2, 1), (3, 2)])
+        assert graph.num_edges == 2
+        assert graph.edge_endpoints(0) == (2, 1)
+        assert graph.edge_endpoints(1) == (3, 2)
+
+
+class TestDegrees:
+    def test_simple_degrees(self, triangle):
+        assert [triangle.degree(v) for v in triangle.vertices()] == [
+            2,
+            2,
+            2,
+        ]
+
+    def test_self_loop_counts_twice(self, loop_graph):
+        assert loop_graph.degree(2) == 3  # edge to 1 plus loop twice
+        assert loop_graph.degree(1) == 1
+
+    def test_parallel_edges_count_separately(self, parallel_graph):
+        assert parallel_graph.degree(1) == 2
+        assert parallel_graph.degree(2) == 2
+
+    def test_in_out_degree_orientation(self):
+        graph = MultiGraph.from_edges(3, [(2, 1), (3, 1)])
+        assert graph.in_degree(1) == 2
+        assert graph.out_degree(1) == 0
+        assert graph.out_degree(2) == 1
+        assert graph.in_degree(2) == 0
+
+    def test_degree_sum_equals_twice_edges(self, small_merged):
+        graph = small_merged.graph
+        assert sum(graph.degree_sequence()) == 2 * graph.num_edges
+
+    def test_degree_of_missing_vertex_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.degree(4)
+
+
+class TestIncidence:
+    def test_incident_edges_order(self):
+        graph = MultiGraph(3)
+        e0 = graph.add_edge(2, 1)
+        e1 = graph.add_edge(3, 1)
+        assert graph.incident_edges(1) == (e0, e1)
+
+    def test_self_loop_listed_twice(self, loop_graph):
+        assert loop_graph.incident_edges(2).count(1) == 2
+
+    def test_other_endpoint(self, triangle):
+        assert triangle.other_endpoint(0, 1) == 2
+        assert triangle.other_endpoint(0, 2) == 1
+
+    def test_other_endpoint_of_loop_is_self(self, loop_graph):
+        assert loop_graph.other_endpoint(1, 2) == 2
+
+    def test_other_endpoint_rejects_non_incident_vertex(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.other_endpoint(0, 3)
+
+    def test_edge_endpoints_bad_id_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.edge_endpoints(99)
+        with pytest.raises(GraphConstructionError):
+            triangle.edge_endpoints(-1)
+
+
+class TestNeighbors:
+    def test_neighbors_multiset(self, parallel_graph):
+        assert parallel_graph.neighbors(1) == [2, 2]
+
+    def test_neighbors_with_loop(self, loop_graph):
+        assert sorted(loop_graph.neighbors(2)) == [1, 2, 2]
+
+    def test_unique_neighbors(self, loop_graph):
+        assert loop_graph.unique_neighbors(2) == [1, 2]
+
+    def test_unique_neighbors_sorted(self):
+        graph = MultiGraph.from_edges(4, [(1, 3), (1, 2), (1, 4)])
+        assert graph.unique_neighbors(1) == [2, 3, 4]
+
+
+class TestStructure:
+    def test_is_connected_true(self, triangle):
+        assert triangle.is_connected()
+
+    def test_is_connected_false(self):
+        graph = MultiGraph(3)
+        graph.add_edge(2, 1)
+        assert not graph.is_connected()
+
+    def test_trivial_graphs_connected(self):
+        assert MultiGraph(0).is_connected()
+        assert MultiGraph(1).is_connected()
+
+    def test_num_self_loops(self, loop_graph):
+        assert loop_graph.num_self_loops() == 1
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        assert clone == triangle
+        clone.add_edge(1, 2)
+        assert clone != triangle
+        assert triangle.num_edges == 3
+
+    def test_equality_is_labeled(self):
+        g1 = MultiGraph.from_edges(2, [(2, 1)])
+        g2 = MultiGraph.from_edges(2, [(1, 2)])
+        assert g1 != g2  # orientation matters for labeled equality
+
+    def test_hash_consistent_with_equality(self, triangle):
+        assert hash(triangle) == hash(triangle.copy())
+
+    def test_edges_iteration(self, triangle):
+        listed = list(triangle.edges())
+        assert listed == [(0, 2, 1), (1, 3, 2), (2, 3, 1)]
+
+    def test_repr_mentions_counts(self, triangle):
+        assert "n=3" in repr(triangle)
+        assert "m=3" in repr(triangle)

@@ -1,0 +1,272 @@
+"""Unit tests for repro.graphs.mori (Móri tree and merged m-out graph)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.mori import merged_mori_graph, mori_tree
+
+
+class TestMoriTree:
+    def test_minimal_tree(self):
+        tree = mori_tree(2, 0.5, seed=0)
+        assert tree.n == 2
+        assert tree.graph.num_edges == 1
+        assert tree.parents == (0, 0, 1)
+
+    def test_tree_shape(self, small_tree):
+        graph = small_tree.graph
+        assert graph.num_edges == graph.num_vertices - 1
+        assert graph.is_connected()
+        assert graph.num_self_loops() == 0
+
+    def test_parents_are_older(self, small_tree):
+        for k in range(2, small_tree.n + 1):
+            assert 1 <= small_tree.parent(k) < k
+
+    def test_parent_matches_graph_edges(self, small_tree):
+        for eid, tail, head in small_tree.graph.edges():
+            assert tail == eid + 2  # edge added at time eid + 2
+            assert head == small_tree.parents[tail]
+
+    def test_parent_out_of_range_rejected(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            small_tree.parent(1)
+        with pytest.raises(InvalidParameterError):
+            small_tree.parent(small_tree.n + 1)
+
+    def test_n_below_two_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mori_tree(1, 0.5)
+
+    def test_p_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mori_tree(10, -0.1)
+        with pytest.raises(InvalidParameterError):
+            mori_tree(10, 1.5)
+
+    def test_deterministic_with_seed(self):
+        t1 = mori_tree(50, 0.5, seed=11)
+        t2 = mori_tree(50, 0.5, seed=11)
+        assert t1.parents == t2.parents
+
+    def test_different_seeds_differ(self):
+        t1 = mori_tree(50, 0.5, seed=1)
+        t2 = mori_tree(50, 0.5, seed=2)
+        assert t1.parents != t2.parents
+
+    def test_p_one_is_star_at_root(self):
+        # Pure indegree preference: vertex 2 has weight 0 forever, so
+        # every later vertex attaches to vertex 1.
+        tree = mori_tree(20, 1.0, seed=3)
+        assert all(tree.parents[k] == 1 for k in range(3, 21))
+
+    def test_p_zero_is_uniform_attachment(self):
+        # Uniform attachment: P(N_3 = 1) = 1/2; check empirically.
+        hits = sum(
+            mori_tree(3, 0.0, seed=s).parents[3] == 1
+            for s in range(2000)
+        )
+        assert 0.44 < hits / 2000 < 0.56
+
+    def test_preferential_bias_toward_root(self):
+        # At p close to 1 the root (earliest, highest-indegree) vertex
+        # should collect far more children than under uniform.
+        big_p = mori_tree(500, 0.9, seed=7)
+        small_p = mori_tree(500, 0.0, seed=7)
+        assert big_p.graph.in_degree(1) > small_p.graph.in_degree(1)
+
+    def test_indegree_at_time(self, small_tree):
+        # Indegree of 1 just before time 3 is exactly 1 (from vertex 2).
+        assert small_tree.indegree_at_time(1, 3) == 1
+        assert small_tree.indegree_at_time(2, 3) == 0
+        # Final indegree is consistent with the graph.
+        for v in range(1, small_tree.n):
+            assert small_tree.indegree_at_time(
+                v, small_tree.n + 1
+            ) == small_tree.graph.in_degree(v)
+
+    def test_indegree_at_time_validates(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            small_tree.indegree_at_time(5, 4)
+
+    def test_satisfies_event(self):
+        tree = mori_tree(6, 1.0, seed=0)  # star: all parents are 1
+        assert tree.satisfies_event(2, 6)
+        assert tree.satisfies_event(1, 6)
+
+    def test_satisfies_event_validates(self, small_tree):
+        with pytest.raises(InvalidParameterError):
+            small_tree.satisfies_event(0, 5)
+        with pytest.raises(InvalidParameterError):
+            small_tree.satisfies_event(5, small_tree.n + 1)
+
+    def test_attachment_distribution_time3(self):
+        # At t = 3: weight(1) = p*1 + (1-p), weight(2) = (1-p);
+        # P(N_3 = 1) = (p + (1-p)) / (p + 2(1-p)) = 1 / (2 - p).
+        p = 0.5
+        expected = 1.0 / (2.0 - p)
+        hits = sum(
+            mori_tree(3, p, seed=s).parents[3] == 1 for s in range(4000)
+        )
+        assert abs(hits / 4000 - expected) < 0.03
+
+
+class TestMergedMoriGraph:
+    def test_m1_is_the_tree(self):
+        merged = merged_mori_graph(30, 1, 0.5, seed=5)
+        tree = mori_tree(30, 0.5, seed=5)
+        assert merged.graph.num_edges == tree.graph.num_edges
+        assert [
+            merged.graph.edge_endpoints(e)
+            for e in range(merged.graph.num_edges)
+        ] == [
+            tree.graph.edge_endpoints(e)
+            for e in range(tree.graph.num_edges)
+        ]
+
+    def test_sizes(self, small_merged):
+        assert small_merged.n == 20
+        assert small_merged.graph.num_vertices == 20
+        # Tree on 40 vertices has 39 edges, all survive merging.
+        assert small_merged.graph.num_edges == 39
+
+    def test_connected(self, small_merged):
+        assert small_merged.graph.is_connected()
+
+    def test_out_degree_is_m(self, small_merged):
+        graph = small_merged.graph
+        m = small_merged.m
+        # Vertex 1 absorbs tree vertex 1 (no out-edge): out-degree m-1.
+        assert graph.out_degree(1) == m - 1
+        for v in range(2, graph.num_vertices + 1):
+            assert graph.out_degree(v) == m
+
+    def test_degree_mass_conserved(self, small_merged):
+        tree = small_merged.tree
+        graph = small_merged.graph
+        assert sum(graph.degree_sequence()) == sum(
+            tree.graph.degree_sequence()
+        )
+
+    def test_tree_vertex_to_merged(self, small_merged):
+        assert small_merged.tree_vertex_to_merged(1) == 1
+        assert small_merged.tree_vertex_to_merged(2) == 1
+        assert small_merged.tree_vertex_to_merged(3) == 2
+        assert small_merged.tree_vertex_to_merged(40) == 20
+
+    def test_tree_vertex_to_merged_validates(self, small_merged):
+        with pytest.raises(InvalidParameterError):
+            small_merged.tree_vertex_to_merged(0)
+
+    def test_edges_respect_merge_mapping(self, small_merged):
+        tree = small_merged.tree
+        graph = small_merged.graph
+        for eid in range(graph.num_edges):
+            tail, head = graph.edge_endpoints(eid)
+            tree_tail, tree_head = tree.graph.edge_endpoints(eid)
+            assert tail == small_merged.tree_vertex_to_merged(tree_tail)
+            assert head == small_merged.tree_vertex_to_merged(tree_head)
+
+    def test_keep_tree_false(self):
+        merged = merged_mori_graph(10, 2, 0.5, seed=1, keep_tree=False)
+        assert merged.tree is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            merged_mori_graph(1, 1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            merged_mori_graph(10, 0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            merged_mori_graph(10, 1, 2.0)
+
+    def test_deterministic_with_seed(self):
+        g1 = merged_mori_graph(20, 3, 0.25, seed=9)
+        g2 = merged_mori_graph(20, 3, 0.25, seed=9)
+        assert g1.graph == g2.graph
+
+    def test_self_loops_possible_with_merging(self):
+        # With m large, consecutive tree vertices merge together and
+        # in-block attachments become self-loops; check they are kept.
+        counts = Counter()
+        for seed in range(30):
+            merged = merged_mori_graph(5, 8, 0.5, seed=seed)
+            counts["loops"] += merged.graph.num_self_loops()
+        assert counts["loops"] > 0
+
+
+class TestEdgesPerStepVariant:
+    """The paper's other higher-out-degree construction."""
+
+    def test_sizes(self):
+        from repro.graphs.mori import mori_edges_per_step_graph
+
+        graph = mori_edges_per_step_graph(50, 3, 0.5, seed=1)
+        assert graph.num_vertices == 50
+        # m initial parallel edges + m per vertex 3..n.
+        assert graph.num_edges == 3 * 49
+        assert graph.is_connected()
+
+    def test_out_degrees(self):
+        from repro.graphs.mori import mori_edges_per_step_graph
+
+        graph = mori_edges_per_step_graph(30, 2, 0.5, seed=2)
+        assert graph.out_degree(1) == 0
+        assert all(
+            graph.out_degree(v) == 2 for v in range(2, 31)
+        )
+
+    def test_m1_matches_tree_distribution(self):
+        """At m=1 the variant IS the Mori tree process: attachment
+        frequencies at time 3 must match the tree's."""
+        from repro.graphs.mori import mori_edges_per_step_graph
+
+        p = 0.5
+        expected = 1.0 / (2.0 - p)  # P(N_3 = 1), see tree tests
+        hits = 0
+        for seed in range(3000):
+            graph = mori_edges_per_step_graph(3, 1, p, seed=seed)
+            _, head = graph.edge_endpoints(1)
+            hits += head == 1
+        assert abs(hits / 3000 - expected) < 0.03
+
+    def test_no_self_loops(self):
+        from repro.graphs.mori import mori_edges_per_step_graph
+
+        graph = mori_edges_per_step_graph(60, 4, 0.75, seed=3)
+        assert graph.num_self_loops() == 0
+
+    def test_deterministic(self):
+        from repro.graphs.mori import mori_edges_per_step_graph
+
+        assert mori_edges_per_step_graph(
+            40, 2, 0.5, seed=9
+        ) == mori_edges_per_step_graph(40, 2, 0.5, seed=9)
+
+    def test_validation(self):
+        from repro.graphs.mori import mori_edges_per_step_graph
+        from repro.errors import InvalidParameterError
+        import pytest as _pytest
+
+        with _pytest.raises(InvalidParameterError):
+            mori_edges_per_step_graph(1, 1, 0.5)
+        with _pytest.raises(InvalidParameterError):
+            mori_edges_per_step_graph(10, 0, 0.5)
+        with _pytest.raises(InvalidParameterError):
+            mori_edges_per_step_graph(10, 1, -0.1)
+
+    def test_searchable_floor_still_applies(self):
+        """Quick sanity: searching the variant is also expensive."""
+        from repro.graphs.mori import mori_edges_per_step_graph
+        from repro.search.algorithms import HighDegreeWeakSearch
+        from repro.search.process import run_search
+
+        graph = mori_edges_per_step_graph(400, 2, 0.5, seed=4)
+        result = run_search(
+            HighDegreeWeakSearch(), graph, 1, 380, seed=0
+        )
+        assert result.found
+        assert result.requests > 20  # far above the ~6-hop diameter

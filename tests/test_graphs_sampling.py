@@ -1,0 +1,123 @@
+"""Unit tests for repro.graphs.sampling."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.sampling import (
+    AliasSampler,
+    EndpointUrn,
+    discrete_distribution_sampler,
+)
+
+
+class TestEndpointUrn:
+    def test_empty_urn_rejects_sampling(self):
+        with pytest.raises(InvalidParameterError):
+            EndpointUrn().sample(random.Random(0))
+
+    def test_single_token_always_sampled(self):
+        urn = EndpointUrn()
+        urn.add(7)
+        rng = random.Random(0)
+        assert all(urn.sample(rng) == 7 for _ in range(20))
+
+    def test_add_count(self):
+        urn = EndpointUrn()
+        urn.add(1, count=3)
+        assert urn.total_weight == 3
+        assert urn.count(1) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EndpointUrn().add(1, count=-1)
+
+    def test_zero_count_is_noop(self):
+        urn = EndpointUrn()
+        urn.add(1, count=0)
+        assert len(urn) == 0
+
+    def test_proportional_sampling(self):
+        urn = EndpointUrn()
+        urn.add(1, count=1)
+        urn.add(2, count=3)
+        rng = random.Random(123)
+        counts = Counter(urn.sample(rng) for _ in range(20000))
+        ratio = counts[2] / counts[1]
+        assert 2.6 < ratio < 3.4  # expect ~3
+
+    def test_len_and_repr(self):
+        urn = EndpointUrn()
+        urn.add(5, count=4)
+        assert len(urn) == 4
+        assert "4" in repr(urn)
+
+
+class TestAliasSampler:
+    def test_empty_weights_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AliasSampler([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AliasSampler([1.0, -0.5])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AliasSampler([0.0, 0.0])
+
+    def test_point_mass(self):
+        sampler = AliasSampler([0.0, 1.0, 0.0])
+        rng = random.Random(0)
+        assert all(sampler.sample(rng) == 1 for _ in range(50))
+
+    def test_uniform_distribution(self):
+        sampler = AliasSampler([1.0] * 4)
+        rng = random.Random(7)
+        counts = Counter(sampler.sample(rng) for _ in range(40000))
+        for index in range(4):
+            assert 0.23 < counts[index] / 40000 < 0.27
+
+    def test_skewed_distribution(self):
+        weights = [1.0, 2.0, 7.0]
+        sampler = AliasSampler(weights)
+        rng = random.Random(99)
+        n = 50000
+        counts = Counter(sampler.sample(rng) for _ in range(n))
+        total = sum(weights)
+        for index, weight in enumerate(weights):
+            expected = weight / total
+            assert abs(counts[index] / n - expected) < 0.02
+
+    def test_len(self):
+        assert len(AliasSampler([1, 2, 3])) == 3
+
+    def test_single_weight(self):
+        sampler = AliasSampler([5.0])
+        assert sampler.sample(random.Random(0)) == 0
+
+
+class TestDiscreteDistributionSampler:
+    def test_valid_pmf_accepted(self):
+        sampler = discrete_distribution_sampler((0.5, 0.5))
+        assert len(sampler) == 2
+
+    def test_non_normalized_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            discrete_distribution_sampler((0.5, 0.6))
+
+    def test_point_mass_pmf(self):
+        sampler = discrete_distribution_sampler((1.0,))
+        assert sampler.sample(random.Random(0)) == 0
+
+    def test_pmf_sampling_matches(self):
+        sampler = discrete_distribution_sampler((0.2, 0.8))
+        rng = random.Random(5)
+        n = 30000
+        counts = Counter(sampler.sample(rng) for _ in range(n))
+        assert abs(counts[0] / n - 0.2) < 0.02
+        assert abs(counts[1] / n - 0.8) < 0.02

@@ -1,0 +1,173 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the same paths the examples and benchmarks use, at small
+scale, asserting the *paper-level* claims end to end:
+
+1. the Ω(√n) floor holds against the whole portfolio on both models;
+2. the exact Lemma-1 floor never exceeds any measured mean;
+3. the navigable/non-navigable contrast is visible in one run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.diameter import estimate_diameter
+from repro.analysis.scaling import fit_power_scaling
+from repro.core.families import (
+    CooperFriezeFamily,
+    MoriFamily,
+    theorem_target_for_size,
+)
+from repro.core.searchability import (
+    constant_factory,
+    measure_scaling,
+    measure_search_cost,
+    omniscient_factory,
+)
+from repro.equivalence.lower_bound import theorem1_weak_bound
+from repro.graphs.kleinberg import kleinberg_grid
+from repro.graphs.mori import merged_mori_graph
+from repro.search.algorithms import (
+    FloodingSearch,
+    HighDegreeWeakSearch,
+    RandomWalkSearch,
+    greedy_route,
+    weak_model_portfolio,
+)
+from repro.search.process import run_search
+
+
+class TestLowerBoundPipeline:
+    def test_portfolio_respects_floor_on_mori(self):
+        """Measured mean cost of every weak algorithm >= Lemma-1 floor."""
+        family = MoriFamily(p=0.5, m=1)
+        size = 400
+        factories = {
+            algorithm.name: constant_factory(algorithm)
+            for algorithm in weak_model_portfolio()
+        }
+        factories["omniscient"] = omniscient_factory()
+        cell = measure_search_cost(
+            family, size, factories, num_graphs=6, runs_per_graph=2,
+            seed=100,
+        )
+        floor = theorem1_weak_bound(theorem_target_for_size(size), 0.5)
+        for name, summary in cell.summaries.items():
+            # Allow Monte-Carlo slack on a theorem about expectations.
+            assert summary.mean_requests >= 0.5 * floor, (
+                f"{name} beat the theoretical floor: "
+                f"{summary.mean_requests} < {floor}"
+            )
+
+    def test_scaling_exponents_at_least_half_ish(self):
+        family = MoriFamily(p=0.5, m=1)
+        factories = {
+            "flooding": constant_factory(FloodingSearch()),
+            "high-degree": constant_factory(HighDegreeWeakSearch()),
+        }
+        measurement = measure_scaling(
+            family,
+            (100, 200, 400, 800),
+            factories,
+            num_graphs=5,
+            runs_per_graph=2,
+            seed=101,
+        )
+        for name in factories:
+            exponent = measurement.fitted_exponent(name)
+            assert exponent > 0.35, (
+                f"{name} fitted exponent {exponent} suspiciously low"
+            )
+
+    def test_cooper_frieze_costs_grow(self):
+        family = CooperFriezeFamily()
+        factories = {"flooding": constant_factory(FloodingSearch())}
+        measurement = measure_scaling(
+            family,
+            (100, 400),
+            factories,
+            num_graphs=3,
+            runs_per_graph=1,
+            seed=102,
+        )
+        means = measurement.mean_requests("flooding")
+        assert means[1] > 1.5 * means[0]
+
+
+class TestContrastPipeline:
+    def test_small_world_yet_unsearchable(self):
+        """One graph exhibits both headline properties at once."""
+        size = 800
+        merged = merged_mori_graph(size, 2, 0.5, seed=7)
+        graph = merged.graph
+        # Diameter logarithmic-ish: well under any polynomial in n.
+        diameter_value = estimate_diameter(graph, seed=1)
+        assert diameter_value <= 6 * math.log(size)
+        # Yet searching for the theorem target costs >> diameter.
+        target = theorem_target_for_size(size)
+        result = run_search(
+            HighDegreeWeakSearch(), graph, 1, target, seed=2
+        )
+        assert result.found
+        assert result.requests > 4 * diameter_value
+
+    def test_kleinberg_is_navigable_where_mori_is_not(self):
+        # Comparable sizes: 28^2 = 784 vs 800.
+        grid = kleinberg_grid(28, r=2.0, q=1, seed=3)
+        hops = greedy_route(
+            grid, 1, grid.n - 5
+        ).hops
+        merged = merged_mori_graph(800, 2, 0.5, seed=3)
+        target = theorem_target_for_size(800)
+        requests = run_search(
+            HighDegreeWeakSearch(), merged.graph, 1, target, seed=4
+        ).requests
+        # Greedy routing with distance knowledge: tens of hops.
+        # Local search on the scale-free graph: hundreds of requests.
+        assert hops < 60
+        assert requests > hops
+
+    def test_random_walk_is_never_better_than_flooding_asymptotically(
+        self,
+    ):
+        family = MoriFamily(p=0.5, m=1)
+        factories = {
+            "flooding": constant_factory(FloodingSearch()),
+            "random-walk": constant_factory(RandomWalkSearch()),
+        }
+        measurement = measure_scaling(
+            family,
+            (200, 800),
+            factories,
+            num_graphs=5,
+            runs_per_graph=2,
+            seed=103,
+        )
+        walk = measurement.mean_requests("random-walk")
+        flood = measurement.mean_requests("flooding")
+        # At the larger size the walk should not be dramatically
+        # cheaper than exhaustive flooding (both are Θ(n)-ish here).
+        assert walk[-1] > 0.2 * flood[-1]
+
+
+class TestReproducibilityPipeline:
+    def test_full_measurement_is_seed_deterministic(self):
+        family = MoriFamily(p=0.5, m=2)
+        factories = {
+            "high-degree": constant_factory(HighDegreeWeakSearch())
+        }
+
+        def run_once():
+            cell = measure_search_cost(
+                family, 150, factories, num_graphs=3,
+                runs_per_graph=2, seed=42,
+            )
+            return cell.summaries["high-degree"]
+
+        first = run_once()
+        second = run_once()
+        assert first.mean_requests == second.mean_requests
+        assert first.median_requests == second.median_requests

@@ -1,0 +1,137 @@
+"""Property-based tests for the analysis toolkit."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.powerlaw_fit import fit_power_law
+from repro.analysis.scaling import fit_logarithmic, fit_power_scaling
+from repro.analysis.stats import mean, mean_ci, sample_std
+from repro.graphs.power_law import power_law_degree_sequence
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestScalingFitProperties:
+    @given(
+        exponent=st.floats(min_value=-2.0, max_value=2.0),
+        prefactor=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_noiseless_power_law(self, exponent, prefactor):
+        xs = [10.0, 50.0, 250.0, 1250.0]
+        ys = [prefactor * x ** exponent for x in xs]
+        assume(all(y > 0 for y in ys))
+        fit = fit_power_scaling(xs, ys)
+        assert abs(fit.exponent - exponent) < 1e-6
+        assert abs(fit.prefactor - prefactor) / prefactor < 1e-6
+
+    @given(
+        coefficient=st.floats(min_value=-10.0, max_value=10.0),
+        intercept=st.floats(min_value=-100.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_noiseless_logarithm(self, coefficient, intercept):
+        xs = [2.0, 8.0, 64.0, 1024.0]
+        ys = [intercept + coefficient * math.log(x) for x in xs]
+        fit = fit_logarithmic(xs, ys)
+        assert abs(fit.coefficient - coefficient) < 1e-6
+        assert abs(fit.intercept - intercept) < 1e-4
+
+    @given(
+        exponent=st.floats(min_value=0.2, max_value=1.5),
+        noise_seed=seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_robust_to_small_noise(self, exponent, noise_seed):
+        rng = random.Random(noise_seed)
+        xs = [float(10 * 2 ** k) for k in range(8)]
+        ys = [
+            (x ** exponent) * math.exp(rng.gauss(0, 0.05)) for x in xs
+        ]
+        fit = fit_power_scaling(xs, ys)
+        assert abs(fit.exponent - exponent) < 0.15
+
+
+class TestPowerLawFitProperties:
+    @given(
+        exponent=st.floats(min_value=2.05, max_value=3.2),
+        sample_seed=seeds,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_mle_recovers_generating_exponent(
+        self, exponent, sample_seed
+    ):
+        degrees = power_law_degree_sequence(
+            8000,
+            exponent,
+            min_degree=1,
+            max_degree=300,
+            seed=sample_seed,
+        )
+        fit = fit_power_law(degrees, d_min=1)
+        assert abs(fit.exponent - exponent) < 0.25
+
+    @given(sample_seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_ks_small_for_true_power_law(self, sample_seed):
+        degrees = power_law_degree_sequence(
+            5000, 2.5, min_degree=1, max_degree=200, seed=sample_seed
+        )
+        fit = fit_power_law(degrees, d_min=1)
+        assert fit.ks_distance < 0.05
+
+
+class TestStatsProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ci_contains_mean_and_is_ordered(self, values):
+        m, low, high = mean_ci(values)
+        assert low <= m <= high
+        assert m == mean(values)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3),
+            min_size=1,
+            max_size=50,
+        ),
+        shift=st.floats(min_value=-100.0, max_value=100.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_std_is_shift_invariant(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert math.isclose(
+            sample_std(values),
+            sample_std(shifted),
+            rel_tol=1e-6,
+            abs_tol=1e-6,
+        )
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3),
+            min_size=1,
+            max_size=50,
+        ),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_std_scales_linearly(self, values, scale):
+        scaled = [v * scale for v in values]
+        assert math.isclose(
+            sample_std(scaled),
+            scale * sample_std(values),
+            rel_tol=1e-6,
+            abs_tol=1e-6,
+        )

@@ -1,0 +1,137 @@
+"""Property-based tests for the search layer (oracle honesty, termination)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.mori import merged_mori_graph
+from repro.search.algorithms import (
+    AgeGreedySearch,
+    DegreeBiasedWalkSearch,
+    FloodingSearch,
+    HighDegreeStrongSearch,
+    HighDegreeWeakSearch,
+    MixedStrategySearch,
+    RandomWalkSearch,
+)
+from repro.search.oracle import StrongOracle, WeakOracle
+from repro.search.process import run_search
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+small_n = st.integers(min_value=3, max_value=40)
+
+ALGORITHM_BUILDERS = [
+    RandomWalkSearch,
+    FloodingSearch,
+    HighDegreeWeakSearch,
+    lambda: AgeGreedySearch("oldest"),
+    lambda: AgeGreedySearch("closest-id"),
+    lambda: MixedStrategySearch(0.3),
+    HighDegreeStrongSearch,
+    lambda: DegreeBiasedWalkSearch(1.0),
+]
+
+
+class TestSearchProperties:
+    @given(
+        n=small_n,
+        m=st.integers(min_value=1, max_value=3),
+        graph_seed=seeds,
+        algo_seed=seeds,
+        algo_index=st.integers(0, len(ALGORITHM_BUILDERS) - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_terminates_and_respects_budget(
+        self, n, m, graph_seed, algo_seed, algo_index, data
+    ):
+        graph = merged_mori_graph(n, m, 0.5, seed=graph_seed).graph
+        target = data.draw(
+            st.integers(min_value=1, max_value=n), label="target"
+        )
+        start = data.draw(
+            st.integers(min_value=1, max_value=n), label="start"
+        )
+        budget = data.draw(
+            st.integers(min_value=0, max_value=4 * graph.num_edges),
+            label="budget",
+        )
+        algorithm = ALGORITHM_BUILDERS[algo_index]()
+        result = run_search(
+            algorithm, graph, start, target, budget=budget, seed=algo_seed
+        )
+        # Budget is a hard cap.
+        assert result.requests <= budget
+        # Result metadata is faithful.
+        assert result.start == start
+        assert result.target == target
+        # Connected graph + full budget >= edges: flooding always finds.
+        if (
+            isinstance(algorithm, FloodingSearch)
+            and budget >= graph.num_edges
+        ):
+            assert result.found
+
+    @given(n=small_n, graph_seed=seeds, algo_seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_weak_oracle_counts_every_discovery(
+        self, n, graph_seed, algo_seed
+    ):
+        """Discovered vertices never exceed requests + 1 in the weak model."""
+        graph = merged_mori_graph(n, 1, 0.5, seed=graph_seed).graph
+        oracle = WeakOracle(graph, start=1, target=n)
+        algorithm = FloodingSearch()
+        import random
+
+        algorithm.run(oracle, random.Random(algo_seed), graph.num_edges)
+        assert (
+            oracle.knowledge.num_discovered <= oracle.request_count + 1
+        )
+
+    @given(n=small_n, graph_seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_strong_oracle_discovery_bound(self, n, graph_seed):
+        """Each strong request discovers at most max-degree new vertices."""
+        graph = merged_mori_graph(n, 1, 0.5, seed=graph_seed).graph
+        oracle = StrongOracle(graph, start=1, target=n)
+        import random
+
+        HighDegreeStrongSearch().run(
+            oracle, random.Random(0), graph.num_vertices
+        )
+        max_deg = max(graph.degree_sequence())
+        assert (
+            oracle.knowledge.num_discovered
+            <= 1 + oracle.request_count * max_deg
+        )
+
+    @given(n=small_n, graph_seed=seeds, algo_seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_found_iff_target_discovered(self, n, graph_seed, algo_seed):
+        graph = merged_mori_graph(n, 2, 0.5, seed=graph_seed).graph
+        oracle = WeakOracle(graph, start=1, target=n)
+        import random
+
+        RandomWalkSearch().run(
+            oracle, random.Random(algo_seed), 2 * graph.num_edges
+        )
+        assert oracle.found == oracle.knowledge.is_discovered(n)
+
+    @given(n=small_n, graph_seed=seeds, algo_seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_knowledge_inference_is_sound(self, n, graph_seed, algo_seed):
+        """Every inferred far endpoint matches the true graph."""
+        graph = merged_mori_graph(n, 2, 0.5, seed=graph_seed).graph
+        oracle = WeakOracle(graph, start=1, target=n)
+        import random
+
+        FloodingSearch().run(
+            oracle, random.Random(algo_seed), graph.num_edges
+        )
+        knowledge = oracle.knowledge
+        for v in knowledge.discovered():
+            for eid in knowledge.edges_of(v):
+                inferred = knowledge.far_endpoint(v, eid)
+                if inferred is not None:
+                    assert inferred == graph.other_endpoint(eid, v)

@@ -1,0 +1,106 @@
+"""Public-API surface tests.
+
+Downstream users import from ``repro`` and its documented subpackages;
+these tests pin the surface: everything in ``__all__`` exists, is
+importable, and the headline entry points are callable with their
+documented signatures.  A rename or accidental removal fails here
+before it fails in a user's code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.graphs",
+    "repro.search",
+    "repro.search.algorithms",
+    "repro.equivalence",
+    "repro.analysis",
+    "repro.core",
+]
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_docstrings_everywhere(self):
+        """Every public callable in __all__ carries a docstring."""
+        for module_name in ["repro"] + SUBPACKAGES:
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if callable(obj):
+                    assert inspect.getdoc(obj), (
+                        f"{module_name}.{name} lacks a docstring"
+                    )
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README's quickstart code runs verbatim."""
+        from repro import (
+            merged_mori_graph,
+            run_search,
+            theorem1_weak_bound,
+        )
+        from repro.search.algorithms import HighDegreeWeakSearch
+
+        g = merged_mori_graph(n=200, m=2, p=0.5, seed=7)
+        result = run_search(
+            HighDegreeWeakSearch(), g.graph, start=1, target=190, seed=0
+        )
+        assert isinstance(result.found, bool)
+        assert theorem1_weak_bound(190, p=0.5) > 0
+
+    def test_docstring_example_in_package_init(self):
+        """The module docstring's example names real symbols."""
+        doc = repro.__doc__
+        assert "merged_mori_graph" in doc
+        assert "run_search" in doc
+
+    def test_error_hierarchy(self):
+        from repro import (
+            AnalysisError,
+            ExperimentError,
+            GraphConstructionError,
+            InvalidParameterError,
+            OracleProtocolError,
+            ReproError,
+            SearchError,
+        )
+
+        for exc in (
+            InvalidParameterError,
+            GraphConstructionError,
+            OracleProtocolError,
+            SearchError,
+            AnalysisError,
+            ExperimentError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_multigraph_doctest_example(self):
+        """The MultiGraph class docstring example holds."""
+        from repro import MultiGraph
+
+        g = MultiGraph(2)
+        eid = g.add_edge(2, 1)
+        assert (g.degree(1), g.degree(2)) == (1, 1)
+        assert g.other_endpoint(eid, 2) == 1

@@ -1,0 +1,295 @@
+"""Unit tests for the search-algorithm portfolio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.base import MultiGraph
+from repro.graphs.mori import merged_mori_graph, mori_tree
+from repro.search.algorithms import (
+    AgeGreedySearch,
+    DegreeBiasedWalkSearch,
+    FloodingSearch,
+    HighDegreeStrongSearch,
+    HighDegreeWeakSearch,
+    MixedStrategySearch,
+    OmniscientWindowSearch,
+    RandomWalkSearch,
+    strong_model_portfolio,
+    weak_model_portfolio,
+)
+from repro.search.process import run_search
+
+WEAK_ALGORITHMS = [
+    RandomWalkSearch(),
+    FloodingSearch(),
+    HighDegreeWeakSearch(),
+    AgeGreedySearch("oldest"),
+    AgeGreedySearch("closest-id"),
+    MixedStrategySearch(0.25),
+]
+STRONG_ALGORITHMS = [
+    HighDegreeStrongSearch(),
+    DegreeBiasedWalkSearch(0.0),
+    DegreeBiasedWalkSearch(1.0),
+]
+
+
+@pytest.fixture(scope="module")
+def mori_instance():
+    return merged_mori_graph(60, 2, 0.5, seed=17).graph
+
+
+class TestPortfolioOnMori:
+    @pytest.mark.parametrize(
+        "algorithm", WEAK_ALGORITHMS + STRONG_ALGORITHMS,
+        ids=lambda a: f"{a.name}-{a.model}",
+    )
+    def test_finds_target(self, mori_instance, algorithm):
+        result = run_search(
+            algorithm, mori_instance, start=1, target=55, seed=3
+        )
+        assert result.found
+        assert result.requests >= 1
+        assert result.algorithm == algorithm.name
+        assert result.model == algorithm.model
+
+    @pytest.mark.parametrize(
+        "algorithm", WEAK_ALGORITHMS + STRONG_ALGORITHMS,
+        ids=lambda a: f"{a.name}-{a.model}",
+    )
+    def test_zero_requests_when_start_is_target(
+        self, mori_instance, algorithm
+    ):
+        result = run_search(
+            algorithm, mori_instance, start=7, target=7, seed=0
+        )
+        assert result.found
+        assert result.requests == 0
+
+    @pytest.mark.parametrize(
+        "algorithm", WEAK_ALGORITHMS + STRONG_ALGORITHMS,
+        ids=lambda a: f"{a.name}-{a.model}",
+    )
+    def test_budget_respected(self, mori_instance, algorithm):
+        result = run_search(
+            algorithm, mori_instance, start=1, target=55, budget=3, seed=3
+        )
+        assert result.requests <= 3
+
+    @pytest.mark.parametrize(
+        "algorithm", WEAK_ALGORITHMS + STRONG_ALGORITHMS,
+        ids=lambda a: f"{a.name}-{a.model}",
+    )
+    def test_deterministic_given_seed(self, mori_instance, algorithm):
+        r1 = run_search(algorithm, mori_instance, 1, 50, seed=9)
+        r2 = run_search(algorithm, mori_instance, 1, 50, seed=9)
+        assert r1.requests == r2.requests
+        assert r1.found == r2.found
+
+
+class TestFlooding:
+    def test_cost_bounded_by_edges(self):
+        graph = merged_mori_graph(100, 1, 0.5, seed=5).graph
+        result = run_search(FloodingSearch(), graph, 1, 97, seed=0)
+        assert result.found
+        # Each edge is requested at most once (inference resolves the
+        # second side for free).
+        assert result.requests <= graph.num_edges
+
+    def test_explores_whole_graph_for_any_target(self):
+        graph = mori_tree(40, 0.5, seed=8).graph
+        for target in (2, 20, 40):
+            assert run_search(
+                FloodingSearch(), graph, 1, target, seed=0
+            ).found
+
+    def test_handles_self_loops(self, loop_graph):
+        result = run_search(FloodingSearch(), loop_graph, 2, 1, seed=0)
+        assert result.found
+
+    def test_handles_parallel_edges(self, parallel_graph):
+        result = run_search(
+            FloodingSearch(), parallel_graph, 1, 2, seed=0
+        )
+        assert result.found
+        assert result.requests == 1
+
+
+class TestRandomWalk:
+    def test_walk_on_path(self, path4):
+        result = run_search(RandomWalkSearch(), path4, 1, 4, seed=1)
+        assert result.found
+        assert result.extra["hops"] >= 3
+
+    def test_isolated_start_gives_up(self):
+        graph = MultiGraph(2)
+        result = run_search(RandomWalkSearch(), graph, 1, 2, seed=0)
+        assert not result.found
+        assert result.requests == 0
+
+    def test_free_movement_on_known_edges(self, triangle):
+        # Once all of the triangle is discovered, further movement
+        # costs nothing; the walk can only make <= num_edges requests
+        # before finding any target.
+        result = run_search(RandomWalkSearch(), triangle, 1, 3, seed=2)
+        assert result.found
+        assert result.requests <= 3
+
+
+class TestHighDegree:
+    def test_weak_visits_hubs_first(self):
+        # Star with an appended path: the hub's edges all get resolved
+        # before the path tail, so a leaf target is found in <= deg(hub)
+        # requests.
+        graph = MultiGraph(6)
+        for leaf in (2, 3, 4, 5):
+            graph.add_edge(leaf, 1)
+        graph.add_edge(6, 5)
+        result = run_search(HighDegreeWeakSearch(), graph, 1, 4, seed=0)
+        assert result.found
+        assert result.requests <= 4
+
+    def test_weak_terminates_when_target_unreachable(self):
+        graph = MultiGraph(3)
+        graph.add_edge(2, 1)
+        # Vertex 3 is disconnected; budget exhausts or frontier empties.
+        result = run_search(HighDegreeWeakSearch(), graph, 1, 3, seed=0)
+        assert not result.found
+        assert result.requests <= 1
+
+    def test_strong_expands_max_degree(self, mori_instance):
+        result = run_search(
+            HighDegreeStrongSearch(), mori_instance, 1, 55, seed=1
+        )
+        assert result.found
+
+    def test_strong_never_rerequests(self, mori_instance):
+        # Request count is bounded by the number of vertices.
+        result = run_search(
+            HighDegreeStrongSearch(), mori_instance, 1, 55, seed=1
+        )
+        assert result.requests <= mori_instance.num_vertices
+
+
+class TestAgeGreedy:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AgeGreedySearch("newest")
+
+    def test_names_distinct(self):
+        assert AgeGreedySearch("oldest").name != AgeGreedySearch(
+            "closest-id"
+        ).name
+
+    def test_oldest_prefers_low_ids(self, path4):
+        result = run_search(AgeGreedySearch("oldest"), path4, 2, 4, seed=0)
+        assert result.found
+
+    def test_closest_id_uses_target_knowledge(self, mori_instance):
+        result = run_search(
+            AgeGreedySearch("closest-id"), mori_instance, 1, 55, seed=0
+        )
+        assert result.found
+
+
+class TestMixed:
+    def test_epsilon_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            MixedStrategySearch(-0.1)
+        with pytest.raises(InvalidParameterError):
+            MixedStrategySearch(1.5)
+
+    def test_epsilon_zero_and_one_work(self, mori_instance):
+        for eps in (0.0, 1.0):
+            result = run_search(
+                MixedStrategySearch(eps), mori_instance, 1, 55, seed=4
+            )
+            assert result.found
+
+    def test_terminates_on_unreachable_target(self):
+        graph = MultiGraph(3)
+        graph.add_edge(2, 1)
+        result = run_search(
+            MixedStrategySearch(0.5), graph, 1, 3, seed=0
+        )
+        assert not result.found
+
+
+class TestBiasedWalk:
+    def test_beta_zero_uniform(self, path4):
+        result = run_search(
+            DegreeBiasedWalkSearch(0.0), path4, 1, 4, seed=5
+        )
+        assert result.found
+
+    def test_negative_beta_hub_avoiding(self, mori_instance):
+        result = run_search(
+            DegreeBiasedWalkSearch(-1.0), mori_instance, 1, 55, seed=5
+        )
+        # Hub-avoiding may need the whole budget but must not crash.
+        assert result.requests >= 1
+
+    def test_name_encodes_beta(self):
+        assert "b1" in DegreeBiasedWalkSearch(1.0).name
+        assert "b-0.5" in DegreeBiasedWalkSearch(-0.5).name
+
+    def test_cached_revisits_cost_nothing(self, triangle):
+        result = run_search(
+            DegreeBiasedWalkSearch(0.0), triangle, 1, 3, seed=0
+        )
+        assert result.found
+        assert result.requests <= 3
+
+
+class TestOmniscient:
+    def test_requires_nonempty_window(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            OmniscientWindowSearch(triangle, [])
+
+    def test_window_vertices_must_exist(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            OmniscientWindowSearch(triangle, [9])
+
+    def test_target_outside_window_rejected(self, mori_instance):
+        algorithm = OmniscientWindowSearch(mori_instance, [50, 51])
+        with pytest.raises(InvalidParameterError):
+            run_search(algorithm, mori_instance, 1, 55, seed=0)
+
+    def test_finds_target_in_window(self, mori_instance):
+        window = list(range(50, 56))
+        algorithm = OmniscientWindowSearch(mori_instance, window)
+        result = run_search(algorithm, mori_instance, 1, 53, seed=0)
+        assert result.found
+
+    def test_cost_near_half_window(self):
+        # On a large instance the probe count should be ~|V|/2 on
+        # average over seeds.
+        graph = merged_mori_graph(400, 1, 0.5, seed=3).graph
+        window = list(range(380, 400))
+        probes = []
+        for seed in range(30):
+            algorithm = OmniscientWindowSearch(graph, window)
+            result = run_search(algorithm, graph, 1, 390, seed=seed)
+            assert result.found
+            probes.append(result.extra["probes"])
+        mean_probes = sum(probes) / len(probes)
+        assert 0.25 * len(window) <= mean_probes <= 0.85 * len(window)
+
+
+class TestPortfolioFactories:
+    def test_weak_portfolio_models(self):
+        for algorithm in weak_model_portfolio():
+            assert algorithm.model == "weak"
+
+    def test_strong_portfolio_models(self):
+        for algorithm in strong_model_portfolio():
+            assert algorithm.model == "strong"
+
+    def test_name_model_pairs_unique(self):
+        pairs = [
+            (a.name, a.model)
+            for a in weak_model_portfolio() + strong_model_portfolio()
+        ]
+        assert len(pairs) == len(set(pairs))

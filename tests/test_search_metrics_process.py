@@ -1,0 +1,105 @@
+"""Unit tests for search metrics aggregation and the run_search driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.search.metrics import (
+    SearchResult,
+    summarize_results,
+)
+from repro.search.algorithms import FloodingSearch, RandomWalkSearch
+from repro.search.process import default_budget, make_oracle, run_search
+from repro.search.oracle import StrongOracle, WeakOracle
+
+
+def _result(requests: int, found: bool = True) -> SearchResult:
+    return SearchResult(
+        algorithm="x",
+        model="weak",
+        found=found,
+        requests=requests,
+        start=1,
+        target=2,
+    )
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize_results([])
+
+    def test_mixed_configurations_rejected(self):
+        other = SearchResult(
+            algorithm="y",
+            model="weak",
+            found=True,
+            requests=1,
+            start=1,
+            target=2,
+        )
+        with pytest.raises(AnalysisError):
+            summarize_results([_result(1), other])
+
+    def test_single_run(self):
+        summary = summarize_results([_result(5)])
+        assert summary.mean_requests == 5
+        assert summary.std_requests == 0.0
+        assert summary.ci_halfwidth == 0.0
+        assert summary.median_requests == 5
+        assert summary.success_rate == 1.0
+
+    def test_mean_and_median(self):
+        summary = summarize_results([_result(r) for r in (1, 2, 9)])
+        assert summary.mean_requests == pytest.approx(4.0)
+        assert summary.median_requests == 2
+
+    def test_even_median(self):
+        summary = summarize_results([_result(r) for r in (1, 3)])
+        assert summary.median_requests == pytest.approx(2.0)
+
+    def test_success_rate(self):
+        results = [_result(5), _result(10, found=False)]
+        summary = summarize_results(results)
+        assert summary.success_rate == pytest.approx(0.5)
+        assert summary.num_found == 1
+
+    def test_ci_contains_mean(self):
+        summary = summarize_results(
+            [_result(r) for r in (4, 5, 6, 5, 4, 6)]
+        )
+        low, high = summary.ci
+        assert low <= summary.mean_requests <= high
+        assert summary.ci_halfwidth > 0
+
+
+class TestRunSearch:
+    def test_default_budget_formula(self, triangle):
+        assert default_budget(triangle) == 4 * 3 + 16
+
+    def test_make_oracle_dispatch(self, triangle):
+        assert isinstance(
+            make_oracle("weak", triangle, 1, 2), WeakOracle
+        )
+        assert isinstance(
+            make_oracle("strong", triangle, 1, 2), StrongOracle
+        )
+        with pytest.raises(InvalidParameterError):
+            make_oracle("psychic", triangle, 1, 2)
+
+    def test_negative_budget_rejected(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            run_search(FloodingSearch(), triangle, 1, 2, budget=-1)
+
+    def test_zero_budget_returns_unfound(self, triangle):
+        result = run_search(
+            FloodingSearch(), triangle, 1, 3, budget=0, seed=0
+        )
+        assert not result.found
+        assert result.requests == 0
+
+    def test_result_records_endpoints(self, triangle):
+        result = run_search(RandomWalkSearch(), triangle, 1, 3, seed=0)
+        assert result.start == 1
+        assert result.target == 3

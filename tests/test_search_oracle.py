@@ -1,0 +1,195 @@
+"""Unit tests for the weak/strong oracles and the Knowledge view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OracleProtocolError
+from repro.graphs.base import MultiGraph
+from repro.search.oracle import Knowledge, StrongOracle, WeakOracle
+
+
+class TestKnowledge:
+    def test_initial_discovery(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        knowledge = oracle.knowledge
+        assert knowledge.is_discovered(1)
+        assert not knowledge.is_discovered(2)
+        assert knowledge.discovered() == (1,)
+        assert knowledge.num_discovered == 1
+        assert knowledge.degree(1) == 2
+
+    def test_undiscovered_queries_raise(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        with pytest.raises(OracleProtocolError):
+            oracle.knowledge.edges_of(2)
+        with pytest.raises(OracleProtocolError):
+            oracle.knowledge.degree(2)
+        with pytest.raises(OracleProtocolError):
+            oracle.knowledge.unresolved_edges(2)
+
+    def test_far_endpoint_inference(self, triangle):
+        # Triangle edges: 0=(2,1), 1=(3,2), 2=(3,1).
+        oracle = WeakOracle(triangle, start=1, target=99 if False else 2)
+        oracle = WeakOracle(triangle, start=1, target=2)
+        knowledge = oracle.knowledge
+        # Before any request nothing is resolvable.
+        assert knowledge.far_endpoint(1, 0) is None
+        oracle.request(1, 0)  # reveals vertex 2
+        # Edge 0 now resolved from both sides.
+        assert knowledge.far_endpoint(1, 0) == 2
+        assert knowledge.far_endpoint(2, 0) == 1
+        # Edge 2 (3,1): only vertex 1's list seen; still unresolved.
+        assert knowledge.far_endpoint(1, 2) is None
+
+    def test_inference_without_request(self, triangle):
+        # Discover 2 and 3 via requests on vertex 1's edges; edge 1=(3,2)
+        # then resolves *by inference*, with no request about it.
+        oracle = WeakOracle(triangle, start=1, target=3)
+        oracle.request(1, 0)  # reveals 2
+        oracle.request(1, 2)  # reveals 3
+        knowledge = oracle.knowledge
+        assert knowledge.far_endpoint(2, 1) == 3
+        assert knowledge.far_endpoint(3, 1) == 2
+        assert oracle.request_count == 2
+
+    def test_self_loop_resolution(self, loop_graph):
+        # Edges: 0=(2,1), 1=(2,2) loop.
+        oracle = WeakOracle(loop_graph, start=2, target=1)
+        knowledge = oracle.knowledge
+        # The loop appears twice in 2's own list, so it resolves to 2
+        # immediately at discovery.
+        assert knowledge.far_endpoint(2, 1) == 2
+        assert knowledge.unresolved_edges(2) == [0]
+
+    def test_unresolved_edges_shrink(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        assert oracle.knowledge.unresolved_edges(1) == [0, 2]
+        oracle.request(1, 0)
+        assert oracle.knowledge.unresolved_edges(1) == [2]
+
+
+class TestWeakOracle:
+    def test_start_equals_target(self, triangle):
+        oracle = WeakOracle(triangle, start=2, target=2)
+        assert oracle.found
+        assert oracle.request_count == 0
+
+    def test_request_counts(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        oracle.request(1, 0)
+        assert oracle.request_count == 1
+        # Re-requesting a resolved edge still costs a request.
+        oracle.request(1, 0)
+        assert oracle.request_count == 2
+
+    def test_found_on_reveal(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        assert not oracle.found
+        result = oracle.request(1, 2)  # edge 2 = (3,1)
+        assert result == 3
+        assert oracle.found
+
+    def test_request_undiscovered_vertex_rejected(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        with pytest.raises(OracleProtocolError):
+            oracle.request(2, 0)
+
+    def test_request_non_incident_edge_rejected(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        with pytest.raises(OracleProtocolError):
+            oracle.request(1, 1)  # edge 1 = (3,2), not incident to 1
+
+    def test_invalid_start_or_target(self, triangle):
+        with pytest.raises(OracleProtocolError):
+            WeakOracle(triangle, start=9, target=1)
+        with pytest.raises(OracleProtocolError):
+            WeakOracle(triangle, start=1, target=9)
+
+    def test_answer_includes_edge_list(self, triangle):
+        oracle = WeakOracle(triangle, start=1, target=3)
+        v = oracle.request(1, 0)
+        assert v == 2
+        assert oracle.knowledge.edges_of(2) == triangle.incident_edges(2)
+
+    def test_parallel_edges_are_distinct_requests(self, parallel_graph):
+        oracle = WeakOracle(parallel_graph, start=1, target=2)
+        assert oracle.knowledge.unresolved_edges(1) == [0, 1]
+        oracle.request(1, 0)
+        # Both copies resolve once vertex 2's list is revealed.
+        assert oracle.knowledge.far_endpoint(1, 1) == 2
+
+
+class TestStrongOracle:
+    def test_start_equals_target(self, triangle):
+        oracle = StrongOracle(triangle, start=2, target=2)
+        assert oracle.found
+
+    def test_request_reveals_neighborhood(self, path4):
+        oracle = StrongOracle(path4, start=2, target=4)
+        neighbors = oracle.request(2)
+        assert neighbors == (1, 3)
+        assert oracle.knowledge.is_discovered(1)
+        assert oracle.knowledge.is_discovered(3)
+        assert not oracle.found
+
+    def test_found_when_target_is_neighbor(self, path4):
+        oracle = StrongOracle(path4, start=2, target=4)
+        oracle.request(2)
+        oracle.request(3)
+        assert oracle.found
+        assert oracle.request_count == 2
+
+    def test_request_undiscovered_rejected(self, path4):
+        oracle = StrongOracle(path4, start=1, target=4)
+        with pytest.raises(OracleProtocolError):
+            oracle.request(3)  # not yet revealed
+
+    def test_was_requested(self, path4):
+        oracle = StrongOracle(path4, start=2, target=4)
+        assert not oracle.was_requested(2)
+        oracle.request(2)
+        assert oracle.was_requested(2)
+
+    def test_neighbors_include_loop_self(self, loop_graph):
+        oracle = StrongOracle(loop_graph, start=1, target=2)
+        neighbors = oracle.request(1)
+        assert neighbors == (2,)
+        # Requesting 2 now reveals 1 and 2 (loop).
+        neighbors2 = oracle.request(2)
+        assert neighbors2 == (1, 2)
+
+    def test_degrees_of_neighbors_known(self, path4):
+        # The Adamic premise: one request exposes neighbor degrees.
+        oracle = StrongOracle(path4, start=2, target=4)
+        oracle.request(2)
+        assert oracle.knowledge.degree(1) == 1
+        assert oracle.knowledge.degree(3) == 2
+
+    def test_invalid_start_or_target(self, triangle):
+        with pytest.raises(OracleProtocolError):
+            StrongOracle(triangle, start=0, target=1)
+        with pytest.raises(OracleProtocolError):
+            StrongOracle(triangle, start=1, target=0)
+
+
+class TestModelSeparation:
+    def test_weak_never_reveals_unrequested_neighbors(self, path4):
+        """The weak oracle must not leak neighbor identities."""
+        oracle = WeakOracle(path4, start=2, target=4)
+        # After discovering vertex 3 we know its edge ids but NOT the
+        # identity of its other neighbor (vertex 4).
+        oracle.request(2, 1)  # edge 1 = (3,2)
+        knowledge = oracle.knowledge
+        assert knowledge.is_discovered(3)
+        assert not knowledge.is_discovered(4)
+        assert knowledge.far_endpoint(3, 2) is None  # edge 2 = (4,3)
+
+    def test_strong_is_strictly_more_informative(self, path4):
+        weak = WeakOracle(path4, start=2, target=4)
+        strong = StrongOracle(path4, start=2, target=4)
+        weak.request(2, 1)
+        strong.request(2)
+        # One request: weak discovered one vertex, strong discovered two.
+        assert weak.knowledge.num_discovered == 2
+        assert strong.knowledge.num_discovered == 3

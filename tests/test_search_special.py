@@ -1,0 +1,149 @@
+"""Unit tests for percolation search and Kleinberg greedy routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.base import MultiGraph
+from repro.graphs.configuration import power_law_configuration_graph
+from repro.graphs.components import induced_subgraph, largest_component
+from repro.graphs.kleinberg import kleinberg_grid
+from repro.search.algorithms.kleinberg_greedy import greedy_route
+from repro.search.algorithms.percolation import (
+    percolation_query,
+    replicate_content,
+)
+
+
+@pytest.fixture(scope="module")
+def giant():
+    full = power_law_configuration_graph(800, 2.3, min_degree=2, seed=2)
+    return induced_subgraph(full, largest_component(full)).graph
+
+
+class TestReplication:
+    def test_owner_always_holds(self, giant):
+        holders = replicate_content(
+            giant, owner=1, num_replicas=0, walk_length=3, seed=0
+        )
+        assert holders == frozenset({1})
+
+    def test_replicas_spread(self, giant):
+        holders = replicate_content(
+            giant, owner=1, num_replicas=50, walk_length=4, seed=1
+        )
+        assert len(holders) > 10
+        assert 1 in holders
+
+    def test_zero_walk_length_stays_home(self, giant):
+        holders = replicate_content(
+            giant, owner=5, num_replicas=10, walk_length=0, seed=0
+        )
+        assert holders == frozenset({5})
+
+    def test_validation(self, giant):
+        with pytest.raises(InvalidParameterError):
+            replicate_content(giant, owner=0, num_replicas=1, walk_length=1)
+        with pytest.raises(InvalidParameterError):
+            replicate_content(giant, owner=1, num_replicas=-1, walk_length=1)
+        with pytest.raises(InvalidParameterError):
+            replicate_content(giant, owner=1, num_replicas=1, walk_length=-1)
+
+
+class TestPercolationQuery:
+    def test_source_holding_succeeds_free(self, giant):
+        outcome = percolation_query(
+            giant, source=3, holders=frozenset({3}), broadcast_probability=0.0,
+            seed=0,
+        )
+        assert outcome.found
+        assert outcome.messages == 0
+
+    def test_zero_probability_reaches_nobody(self, giant):
+        outcome = percolation_query(
+            giant, source=3, holders=frozenset({4}), broadcast_probability=0.0,
+            seed=0,
+        )
+        assert not outcome.found
+        assert outcome.vertices_reached == 1
+
+    def test_probability_one_floods_component(self, giant):
+        outcome = percolation_query(
+            giant,
+            source=1,
+            holders=frozenset({giant.num_vertices}),
+            broadcast_probability=1.0,
+            seed=0,
+        )
+        assert outcome.found
+        assert outcome.vertices_reached == giant.num_vertices
+        assert outcome.messages == giant.num_vertices - 1
+
+    def test_messages_bounded_by_edges(self, giant):
+        outcome = percolation_query(
+            giant, source=1, holders=frozenset({2}),
+            broadcast_probability=0.3, seed=5,
+        )
+        assert outcome.messages <= giant.num_edges
+
+    def test_more_replicas_help(self, giant):
+        few_hits = 0
+        many_hits = 0
+        for seed in range(20):
+            few = replicate_content(
+                giant, owner=7, num_replicas=1, walk_length=3, seed=seed
+            )
+            many = replicate_content(
+                giant, owner=7, num_replicas=60, walk_length=3, seed=seed
+            )
+            few_hits += percolation_query(
+                giant, 1, few, 0.15, seed=seed
+            ).found
+            many_hits += percolation_query(
+                giant, 1, many, 0.15, seed=seed
+            ).found
+        assert many_hits >= few_hits
+
+    def test_validation(self, giant):
+        with pytest.raises(InvalidParameterError):
+            percolation_query(giant, 0, frozenset({1}), 0.5)
+        with pytest.raises(InvalidParameterError):
+            percolation_query(giant, 1, frozenset({1}), 1.5)
+
+
+class TestGreedyRouting:
+    def test_routes_to_self(self):
+        grid = kleinberg_grid(5, q=0)
+        assert greedy_route(grid, 3, 3).hops == 0
+
+    def test_routes_on_pure_lattice(self):
+        grid = kleinberg_grid(8, q=0)
+        source = grid.vertex_at(0, 0)
+        target = grid.vertex_at(3, 3)
+        result = greedy_route(grid, source, target)
+        assert result.delivered
+        # Pure lattice: greedy walks exactly the L1 distance.
+        assert result.hops == grid.distance(source, target)
+
+    def test_long_range_contacts_never_hurt(self):
+        base = kleinberg_grid(10, q=0)
+        augmented = kleinberg_grid(10, r=2.0, q=3, seed=1)
+        source = base.vertex_at(0, 0)
+        target = base.vertex_at(5, 5)
+        plain = greedy_route(base, source, target).hops
+        fancy = greedy_route(augmented, source, target).hops
+        assert fancy <= plain
+
+    def test_always_delivers(self):
+        grid = kleinberg_grid(9, r=2.0, q=1, seed=3)
+        for seed_pair in [(1, 40), (17, 60), (5, 81)]:
+            result = greedy_route(grid, seed_pair[0], seed_pair[1])
+            assert result.delivered
+
+    def test_validation(self):
+        grid = kleinberg_grid(4, q=0)
+        with pytest.raises(InvalidParameterError):
+            greedy_route(grid, 0, 1)
+        with pytest.raises(InvalidParameterError):
+            greedy_route(grid, 1, 99)
