@@ -1,0 +1,24 @@
+# Developer entry points.  PYTHONPATH is injected so no editable
+# install is required (the image has no network for pip).
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: verify verify-full bench
+
+# Tier-1: the fast suite (pytest.ini excludes `slow`-marked tests).
+verify:
+	$(PYTEST) -x -q
+
+# Everything, including multi-process `slow` tests; the -m expression
+# overrides the pytest.ini filter.
+verify-full:
+	$(PYTEST) -q -m "slow or not slow"
+
+# Paper-scale benchmark harness.  REPRO_BENCH_JOBS fans trials out
+# over worker processes; REPRO_BENCH_CACHE_DIR replays finished trials.
+bench:
+	$(PYTEST) -q -s benchmarks/bench_e1_mori_weak.py \
+		benchmarks/bench_e2_mori_strong.py \
+		benchmarks/bench_e3_cooper_frieze.py \
+		benchmarks/bench_e6_degree_distribution.py \
+		benchmarks/bench_e17_simulation.py

@@ -10,7 +10,7 @@ check is exact).
 
 from __future__ import annotations
 
-from bench_utils import record_result
+from bench_utils import record_result, runner_kwargs
 
 from repro.core.experiments import e17_simulation_slowdown
 
@@ -20,7 +20,8 @@ SIZES = (200, 400, 800, 1600)
 def test_e17_simulation_slowdown(benchmark):
     result = benchmark.pedantic(
         lambda: e17_simulation_slowdown(
-            sizes=SIZES, p=0.25, num_graphs=5, seed=17
+            sizes=SIZES, p=0.25, num_graphs=5, seed=17,
+            **runner_kwargs(),
         ),
         rounds=1,
         iterations=1,

@@ -14,7 +14,7 @@ Shape claims checked:
 
 from __future__ import annotations
 
-from bench_utils import record_result
+from bench_utils import record_result, runner_kwargs
 
 from repro.core.experiments import e1_mori_weak
 
@@ -25,7 +25,7 @@ def test_e1_mori_weak(benchmark):
     result = benchmark.pedantic(
         lambda: e1_mori_weak(
             sizes=SIZES, p=0.5, m=1, num_graphs=5, runs_per_graph=2,
-            seed=1,
+            seed=1, **runner_kwargs(),
         ),
         rounds=1,
         iterations=1,

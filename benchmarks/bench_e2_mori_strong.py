@@ -8,7 +8,7 @@ the theorem's 1/2 - p - ε floor.
 
 from __future__ import annotations
 
-from bench_utils import record_result
+from bench_utils import record_result, runner_kwargs
 
 from repro.core.experiments import e2_mori_strong
 
@@ -27,6 +27,7 @@ def test_e2_mori_strong(benchmark):
             num_graphs=5,
             runs_per_graph=2,
             seed=2,
+            **runner_kwargs(),
         ),
         rounds=1,
         iterations=1,

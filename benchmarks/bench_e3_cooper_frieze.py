@@ -7,7 +7,7 @@ claim is identical — all weak-model exponents clear ~1/2.
 
 from __future__ import annotations
 
-from bench_utils import record_result
+from bench_utils import record_result, runner_kwargs
 
 from repro.core.experiments import e3_cooper_frieze
 
@@ -22,6 +22,7 @@ def test_e3_cooper_frieze(benchmark):
             num_graphs=4,
             runs_per_graph=2,
             seed=3,
+            **runner_kwargs(),
         ),
         rounds=1,
         iterations=1,

@@ -9,14 +9,14 @@ scale-free band while the lattice is rejected.
 
 from __future__ import annotations
 
-from bench_utils import record_result
+from bench_utils import record_result, runner_kwargs
 
 from repro.core.experiments import e6_degree_distribution
 
 
 def test_e6_degree_distribution(benchmark):
     result = benchmark.pedantic(
-        lambda: e6_degree_distribution(n=20000, seed=6),
+        lambda: e6_degree_distribution(n=20000, seed=6, **runner_kwargs()),
         rounds=1,
         iterations=1,
     )

@@ -6,6 +6,17 @@ reproduction — see DESIGN.md's index), records the result under
 (visible with ``pytest -s``), and asserts the *shape* claims the paper
 makes — who wins, which exponents clear which floors — never absolute
 numbers.
+
+Runner-dispatched benchmarks (E1, E2, E3, E6, E17) honour two
+environment variables so BENCH numbers can exercise the parallel and
+cached paths without editing code::
+
+    REPRO_BENCH_JOBS=8 pytest -s benchmarks/bench_e1_mori_weak.py
+    REPRO_BENCH_CACHE_DIR=.repro-cache pytest -s benchmarks/...
+
+Neither changes a single published number: trial seeds are substream
+functions of the experiment seed, so the parallel path is bit-identical
+to serial, and the cache only replays values it previously computed.
 """
 
 from __future__ import annotations
@@ -15,6 +26,22 @@ import os
 from repro.core.results import ExperimentResult, save_result
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def runner_kwargs() -> dict:
+    """``jobs``/``cache_dir`` overrides from the environment.
+
+    Returns an empty dict when neither variable is set, so experiments
+    that predate the runner keep their exact historical call shape.
+    """
+    kwargs = {}
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    if jobs != 1:
+        kwargs["jobs"] = jobs
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if cache_dir:
+        kwargs["cache_dir"] = cache_dir
+    return kwargs
 
 
 def record_result(result: ExperimentResult) -> ExperimentResult:

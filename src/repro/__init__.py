@@ -66,6 +66,11 @@ from repro.equivalence import (
     theorem1_weak_bound,
     verify_lemma2,
 )
+from repro.runner import (
+    ResultStore,
+    TrialSpec,
+    run_trials,
+)
 
 __version__ = "1.0.0"
 
@@ -103,4 +108,8 @@ __all__ = [
     "theorem1_weak_bound",
     "lemma1_lower_bound",
     "verify_lemma2",
+    # runner
+    "TrialSpec",
+    "ResultStore",
+    "run_trials",
 ]

@@ -4,6 +4,7 @@ Usage::
 
     repro list
     repro run E1 [--seed 7] [--json out.json] [--quick] [--plot]
+    repro run E1 --jobs 8 --cache-dir .repro-cache
     repro run all --json-dir results/ [--quick]
     repro compare old.json new.json [--rtol 0.25]
 
@@ -12,14 +13,21 @@ Usage::
 from the seed it echoes.  ``--quick`` swaps in reduced grids,
 ``--plot`` renders scaling tables as ASCII log-log charts, and
 ``compare`` diffs two result records within Monte-Carlo tolerance.
+
+``--jobs`` fans runner-dispatched experiments out over worker
+processes and ``--cache-dir`` replays completed trials from a
+persistent store; neither changes any printed number (trial seeds are
+substream-derived, so parallel output is bit-identical to serial).
+Experiments that don't go through the runner simply ignore both flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.experiments import ALL_EXPERIMENTS
 from repro.core.results import save_result
@@ -51,6 +59,21 @@ QUICK_OVERRIDES = {
     "E17": {"sizes": (100, 200), "num_graphs": 2},
     "E18": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
 }
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +123,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render scaling tables as ASCII log-log plots",
     )
+    run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes for runner-dispatched experiments "
+            "(default 1; results are identical at any value)"
+        ),
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persistent trial-result store; re-runs replay completed "
+            "trials instead of recomputing them"
+        ),
+    )
 
     compare = subparsers.add_parser(
         "compare",
@@ -140,19 +180,38 @@ def _plot_scaling_tables(result) -> None:
             print(render_loglog(table.title, curves))
 
 
+def _accepted_parameters(function) -> Dict[str, inspect.Parameter]:
+    """Keyword parameters ``function`` accepts, seen through wrappers.
+
+    ``inspect.signature`` follows ``__wrapped__`` chains (functools
+    decorators), unlike the brittle ``__code__.co_varnames`` peek it
+    replaces.
+    """
+    return dict(inspect.signature(function).parameters)
+
+
 def _run_one(
     experiment_id: str,
     seed: Optional[int],
     json_path: Optional[str],
     quick: bool = False,
     plot: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> None:
     function = ALL_EXPERIMENTS[experiment_id]
-    kwargs = {}
+    accepted = _accepted_parameters(function)
+    kwargs: Dict[str, Any] = {}
     if quick:
         kwargs.update(QUICK_OVERRIDES.get(experiment_id, {}))
-    if seed is not None and "seed" in function.__code__.co_varnames:
+    if seed is not None and "seed" in accepted:
         kwargs["seed"] = seed
+    # Runner knobs apply only to experiments dispatched through
+    # repro.runner; others run exactly as before.
+    if jobs != 1 and "jobs" in accepted:
+        kwargs["jobs"] = jobs
+    if cache_dir is not None and "cache_dir" in accepted:
+        kwargs["cache_dir"] = cache_dir
     result = function(**kwargs)
     print(result.format())
     if plot:
@@ -192,6 +251,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 _run_one(
                     experiment_id, args.seed, json_path,
                     args.quick, args.plot,
+                    jobs=args.jobs, cache_dir=args.cache_dir,
                 )
             return 0
         if requested not in ALL_EXPERIMENTS:
@@ -202,7 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
         _run_one(
-            requested, args.seed, args.json, args.quick, args.plot
+            requested, args.seed, args.json, args.quick, args.plot,
+            jobs=args.jobs, cache_dir=args.cache_dir,
         )
         return 0
 

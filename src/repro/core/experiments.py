@@ -8,7 +8,12 @@ with small default grids (laptop-scale, seconds-to-minutes); the CLI
 exposes size overrides for larger runs.
 
 Every function takes an explicit ``seed`` so a published number can be
-regenerated bit-for-bit.
+regenerated bit-for-bit.  The Monte-Carlo-heavy experiments (E1, E2,
+E3, E6, E17) decompose their grids into pure trials dispatched through
+:mod:`repro.runner`: ``jobs`` fans trials out over worker processes
+(bit-identically to serial, because per-trial seeds are substream
+functions of the experiment seed) and ``cache_dir`` replays completed
+trials across invocations.
 """
 
 from __future__ import annotations
@@ -16,9 +21,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Sequence
 
-from repro.analysis.degrees import max_degree
 from repro.analysis.diameter import estimate_diameter
-from repro.analysis.powerlaw_fit import fit_power_law
 from repro.analysis.scaling import (
     fit_logarithmic,
     fit_power_scaling,
@@ -33,17 +36,19 @@ from repro.core.families import (
     BarabasiAlbertFamily,
     ConfigurationFamily,
     CooperFriezeFamily,
-    GraphFamily,
     MoriFamily,
 )
 from repro.core.results import ExperimentResult, Table
 from repro.core.searchability import (
-    AlgorithmFactory,
-    constant_factory,
     measure_scaling,
     measure_search_cost,
-    omniscient_factory,
 )
+from repro.core.trials import (
+    degree_fit_trial,
+    family_spec,
+    simulation_slowdown_trial,
+)
+from repro.runner import ResultStore, TrialSpec, run_trials, trial_ref
 from repro.equivalence.events import (
     equivalence_window,
     estimate_event_probability,
@@ -65,16 +70,6 @@ from repro.graphs.kleinberg import kleinberg_grid
 from repro.graphs.mori import mori_tree
 from repro.rng import make_rng, substream
 from repro.search.algorithms import (
-    AgeGreedySearch,
-    DegreeBiasedWalkSearch,
-    FloodingSearch,
-    HighDegreeStrongSearch,
-    HighDegreeWeakSearch,
-    MixedStrategySearch,
-    RandomWalkSearch,
-    RestartingWalkSearch,
-    SelfAvoidingWalkSearch,
-    WeakSimulationOfStrong,
     greedy_route,
     percolation_query,
     replicate_content,
@@ -103,40 +98,9 @@ __all__ = [
 ]
 
 
-def _weak_factories(
-    include_omniscient: bool = False,
-) -> Dict[str, AlgorithmFactory]:
-    factories: Dict[str, AlgorithmFactory] = {
-        "random-walk": constant_factory(RandomWalkSearch()),
-        "flooding": constant_factory(FloodingSearch()),
-        "high-degree": constant_factory(HighDegreeWeakSearch()),
-        "age-oldest": constant_factory(AgeGreedySearch("oldest")),
-        "age-closest-id": constant_factory(
-            AgeGreedySearch("closest-id")
-        ),
-        "mixed-0.25": constant_factory(MixedStrategySearch(0.25)),
-        "self-avoiding-walk": constant_factory(
-            SelfAvoidingWalkSearch()
-        ),
-        "restart-walk-0.1": constant_factory(
-            RestartingWalkSearch(restart_prob=0.1)
-        ),
-    }
-    if include_omniscient:
-        factories["omniscient-window"] = omniscient_factory()
-    return factories
-
-
-def _strong_factories() -> Dict[str, AlgorithmFactory]:
-    return {
-        "high-degree-strong": constant_factory(HighDegreeStrongSearch()),
-        "uniform-walk-strong": constant_factory(
-            DegreeBiasedWalkSearch(beta=0.0)
-        ),
-        "biased-walk-strong": constant_factory(
-            DegreeBiasedWalkSearch(beta=1.0)
-        ),
-    }
+def _store_for(cache_dir: Optional[str]) -> Optional[ResultStore]:
+    """A :class:`ResultStore` rooted at ``cache_dir``, or ``None``."""
+    return ResultStore(cache_dir) if cache_dir else None
 
 
 def _scaling_table(
@@ -195,6 +159,8 @@ def e1_mori_weak(
     num_graphs: int = 5,
     runs_per_graph: int = 2,
     seed: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E1: every weak-model algorithm respects the Ω(√n) floor on Móri graphs.
 
@@ -206,10 +172,13 @@ def e1_mori_weak(
     measurement = measure_scaling(
         family,
         sizes,
-        _weak_factories(include_omniscient=True),
+        "weak-omniscient",
         num_graphs=num_graphs,
         runs_per_graph=runs_per_graph,
         seed=seed,
+        jobs=jobs,
+        store=_store_for(cache_dir),
+        experiment_id="E1",
     )
 
     def bound(size: int) -> float:
@@ -264,16 +233,21 @@ def e2_mori_strong(
     num_graphs: int = 5,
     runs_per_graph: int = 2,
     seed: int = 2,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E2: strong-model algorithms respect Ω(n^{1/2-p-eps}) for p < 1/2."""
     family = MoriFamily(p=p, m=m)
     measurement = measure_scaling(
         family,
         sizes,
-        _strong_factories(),
+        "strong",
         num_graphs=num_graphs,
         runs_per_graph=runs_per_graph,
         seed=seed,
+        jobs=jobs,
+        store=_store_for(cache_dir),
+        experiment_id="E2",
     )
 
     def bound(size: int) -> float:
@@ -325,6 +299,8 @@ def e3_cooper_frieze(
     num_graphs: int = 4,
     runs_per_graph: int = 2,
     seed: int = 3,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E3: the Ω(√n) floor holds in the Cooper–Frieze model (Theorem 2)."""
     params = CooperFriezeParams(alpha=alpha)
@@ -332,10 +308,13 @@ def e3_cooper_frieze(
     measurement = measure_scaling(
         family,
         sizes,
-        _weak_factories(),
+        "weak",
         num_graphs=num_graphs,
         runs_per_graph=runs_per_graph,
         seed=seed,
+        jobs=jobs,
+        store=_store_for(cache_dir),
+        experiment_id="E3",
     )
 
     def bound(size: int) -> float:
@@ -510,6 +489,8 @@ def _geometric_checkpoints(first: int, last: int) -> list:
 def e6_degree_distribution(
     n: int = 20000,
     seed: int = 6,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E6: evolving models are power-law; Kleinberg's lattice is not."""
     result = ExperimentResult(
@@ -528,48 +509,50 @@ def e6_degree_distribution(
         ),
     )
 
+    side = max(2, math.isqrt(n))
     specimens = [
-        (
-            "mori(p=0.5, m=2)",
-            MoriFamily(p=0.5, m=2).build(n, seed=substream(seed, 0)),
-        ),
+        ("mori(p=0.5, m=2)", family_spec(MoriFamily(p=0.5, m=2))),
         (
             "cooper-frieze(a=0.75)",
-            CooperFriezeFamily(
-                CooperFriezeParams(alpha=0.75)
-            ).build(n, seed=substream(seed, 1)),
-        ),
-        (
-            "ba(m=2)",
-            BarabasiAlbertFamily(m=2).build(n, seed=substream(seed, 2)),
-        ),
-        (
-            "config(k=2.5)",
-            ConfigurationFamily(exponent=2.5).build(
-                n, seed=substream(seed, 3)
+            family_spec(
+                CooperFriezeFamily(CooperFriezeParams(alpha=0.75))
             ),
         ),
-    ]
-    side = max(2, math.isqrt(n))
-    specimens.append(
+        ("ba(m=2)", family_spec(BarabasiAlbertFamily(m=2))),
+        (
+            "config(k=2.5)",
+            family_spec(ConfigurationFamily(exponent=2.5)),
+        ),
         (
             f"kleinberg(r=2, {side}x{side})",
-            kleinberg_grid(side, r=2.0, q=1, seed=substream(seed, 4)).graph,
+            {"model": "kleinberg", "side": side, "r": 2.0, "q": 1},
+        ),
+    ]
+    reference = trial_ref(degree_fit_trial)
+    specs = [
+        TrialSpec(
+            experiment_id="E6",
+            trial=reference,
+            params={"family": spec, "n": n},
+            seed=substream(seed, index),
         )
+        for index, (_, spec) in enumerate(specimens)
+    ]
+    outcomes = run_trials(
+        specs, jobs=jobs, store=_store_for(cache_dir)
     )
 
-    for name, graph in specimens:
-        degrees = graph.degree_sequence()
-        fit = fit_power_law(degrees)
+    for (name, _), outcome in zip(specimens, outcomes):
+        fit = outcome.value
         table.add_row(
             name,
-            max_degree(graph),
-            fit.exponent,
-            fit.d_min,
-            fit.ks_distance,
+            fit["max_degree"],
+            fit["exponent"],
+            fit["d_min"],
+            fit["ks_distance"],
         )
-        result.derived[f"exponent/{name}"] = fit.exponent
-        result.derived[f"ks/{name}"] = fit.ks_distance
+        result.derived[f"exponent/{name}"] = fit["exponent"]
+        result.derived[f"ks/{name}"] = fit["ks_distance"]
     table.notes.append(
         "Scale-free models: heavy tail, small KS. Kleinberg: "
         "concentrated degrees, power law rejected by a large exponent "
@@ -590,6 +573,8 @@ def e7_adamic(
     num_graphs: int = 4,
     runs_per_graph: int = 2,
     seed: int = 7,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E7: high-degree search beats the random walk on power-law graphs.
 
@@ -603,18 +588,17 @@ def e7_adamic(
     which the quoted exponents are derived.
     """
     family = ConfigurationFamily(exponent=exponent, min_degree=1)
-    factories = {
-        "high-degree-strong": constant_factory(HighDegreeStrongSearch()),
-        "random-walk": constant_factory(RandomWalkSearch()),
-    }
     measurement = measure_scaling(
         family,
         sizes,
-        factories,
+        "adamic",
         num_graphs=num_graphs,
         runs_per_graph=runs_per_graph,
         seed=seed,
         neighbor_success=True,
+        jobs=jobs,
+        store=_store_for(cache_dir),
+        experiment_id="E7",
     )
     predicted_greedy = 2.0 * (1.0 - 2.0 / exponent)
     predicted_walk = 3.0 * (1.0 - 2.0 / exponent)
@@ -748,10 +732,11 @@ def e9_diameter_vs_search(
     m: int = 2,
     num_graphs: int = 4,
     seed: int = 9,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E9: O(log n) diameter yet polynomial search cost (the headline)."""
     family = MoriFamily(p=p, m=m)
-    factories = {"high-degree": constant_factory(HighDegreeWeakSearch())}
 
     result = ExperimentResult(
         experiment_id="E9",
@@ -782,10 +767,13 @@ def e9_diameter_vs_search(
         cost_cell = measure_search_cost(
             family,
             size,
-            factories,
+            "high-degree",
             num_graphs=num_graphs,
             runs_per_graph=1,
             seed=cell_seed,
+            jobs=jobs,
+            store=_store_for(cache_dir),
+            experiment_id="E9",
         )
         mean_cost = cost_cell.summaries["high-degree"].mean_requests
         table.add_row(size, mean_diameter, mean_cost)
@@ -877,17 +865,21 @@ def e11_lemma1_floor(
     num_graphs: int = 5,
     runs_per_graph: int = 2,
     seed: int = 11,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E11: measured costs sit above the Lemma-1 floor; omniscient ~ Θ(√n)."""
     family = MoriFamily(p=p, m=1)
-    factories = _weak_factories(include_omniscient=True)
     measurement = measure_scaling(
         family,
         sizes,
-        factories,
+        "weak-omniscient",
         num_graphs=num_graphs,
         runs_per_graph=runs_per_graph,
         seed=seed,
+        jobs=jobs,
+        store=_store_for(cache_dir),
+        experiment_id="E11",
     )
 
     result = ExperimentResult(
@@ -1022,6 +1014,8 @@ def e13_ablation_p(
     p_values: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
     num_graphs: int = 4,
     seed: int = 13,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E13: the √n floor is insensitive to the attachment mixture p."""
     result = ExperimentResult(
@@ -1038,16 +1032,18 @@ def e13_ablation_p(
         title="High-degree weak search cost across p",
         columns=("p", "n", "mean requests", "fitted exponent"),
     )
-    factories = {"high-degree": constant_factory(HighDegreeWeakSearch())}
     for index, p in enumerate(p_values):
         family = MoriFamily(p=p, m=1)
         measurement = measure_scaling(
             family,
             sizes,
-            factories,
+            "high-degree",
             num_graphs=num_graphs,
             runs_per_graph=1,
             seed=substream(seed, index),
+            jobs=jobs,
+            store=_store_for(cache_dir),
+            experiment_id="E13",
         )
         exponent = measurement.fitted_exponent("high-degree")
         for size in measurement.sizes:
@@ -1074,6 +1070,8 @@ def e14_ablation_m(
     p: float = 0.5,
     num_graphs: int = 4,
     seed: int = 14,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E14: the √n floor holds for every merge arity m (Theorem 1)."""
     result = ExperimentResult(
@@ -1091,16 +1089,18 @@ def e14_ablation_m(
         title="High-degree weak search cost across m",
         columns=("m", "n", "mean requests", "fitted exponent"),
     )
-    factories = {"high-degree": constant_factory(HighDegreeWeakSearch())}
     for index, m in enumerate(m_values):
         family = MoriFamily(p=p, m=m)
         measurement = measure_scaling(
             family,
             sizes,
-            factories,
+            "high-degree",
             num_graphs=num_graphs,
             runs_per_graph=1,
             seed=substream(seed, index),
+            jobs=jobs,
+            store=_store_for(cache_dir),
+            experiment_id="E14",
         )
         exponent = measurement.fitted_exponent("high-degree")
         for size in measurement.sizes:
@@ -1289,6 +1289,8 @@ def e17_simulation_slowdown(
     p: float = 0.25,
     num_graphs: int = 5,
     seed: int = 17,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E17: weak simulation of a strong algorithm pays <= max-degree slowdown.
 
@@ -1304,10 +1306,6 @@ def e17_simulation_slowdown(
     instance by instance (the inner algorithm is deterministic, so
     this is an exact check, not a statistical one).
     """
-    from repro.analysis.degrees import max_degree as graph_max_degree
-    from repro.core.families import theorem_target_for_size
-    from repro.search.process import run_search
-
     family = MoriFamily(p=p, m=1)
     result = ExperimentResult(
         experiment_id="E17",
@@ -1329,6 +1327,22 @@ def e17_simulation_slowdown(
             "max ratio weak/(strong*maxdeg)",
         ),
     )
+    reference = trial_ref(simulation_slowdown_trial)
+    spec = family_spec(family)
+    specs = [
+        TrialSpec(
+            experiment_id="E17",
+            trial=reference,
+            params={"family": spec, "size": size},
+            seed=substream(substream(seed, index), rep),
+        )
+        for index, size in enumerate(sizes)
+        for rep in range(num_graphs)
+    ]
+    outcomes = run_trials(
+        specs, jobs=jobs, store=_store_for(cache_dir)
+    )
+
     worst_ratio = 0.0
     for index, size in enumerate(sizes):
         strong_total = 0.0
@@ -1336,27 +1350,14 @@ def e17_simulation_slowdown(
         degree_total = 0.0
         cell_worst = 0.0
         for rep in range(num_graphs):
-            graph = family.build(
-                size, seed=substream(substream(seed, index), rep)
-            )
-            target = theorem_target_for_size(size)
-            strong_result = run_search(
-                HighDegreeStrongSearch(), graph, 1, target, seed=0
-            )
-            simulated_result = run_search(
-                WeakSimulationOfStrong(HighDegreeStrongSearch()),
-                graph,
-                1,
-                target,
-                seed=0,
-            )
-            degree = graph_max_degree(graph)
-            strong_total += strong_result.requests
-            weak_total += simulated_result.requests
+            value = outcomes[index * num_graphs + rep].value
+            degree = value["max_degree"]
+            strong_total += value["strong_requests"]
+            weak_total += value["weak_requests"]
             degree_total += degree
-            bound = max(strong_result.requests, 1) * degree
+            bound = max(value["strong_requests"], 1) * degree
             cell_worst = max(
-                cell_worst, simulated_result.requests / bound
+                cell_worst, value["weak_requests"] / bound
             )
         table.add_row(
             size,
@@ -1386,6 +1387,8 @@ def e18_start_rule(
     num_graphs: int = 4,
     runs_per_graph: int = 2,
     seed: int = 18,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """E18: the Ω(√n) floor is start-vertex independent.
 
@@ -1412,18 +1415,20 @@ def e18_start_rule(
         columns=("start rule", "n", "mean requests", "fitted exponent"),
     )
     family = MoriFamily(p=p, m=1)
-    factories = {"high-degree": constant_factory(HighDegreeWeakSearch())}
     for index, rule in enumerate(
         ("default", "random", "newest-other")
     ):
         measurement = measure_scaling(
             family,
             sizes,
-            factories,
+            "high-degree",
             num_graphs=num_graphs,
             runs_per_graph=runs_per_graph,
             seed=substream(seed, index),
             start_rule=rule,
+            jobs=jobs,
+            store=_store_for(cache_dir),
+            experiment_id="E18",
         )
         exponent = measurement.fitted_exponent("high-degree")
         for size in measurement.sizes:

@@ -10,19 +10,26 @@ Algorithms are supplied as *factories* ``(graph, target) -> algorithm``
 because one portfolio member — the omniscient window baseline — needs
 the realised graph and window at construction time.  Plain algorithms
 are wrapped with :func:`constant_factory`.
+
+Portfolios may also be passed by *name* (see
+:data:`repro.core.trials.PORTFOLIOS`); named portfolios are dispatched
+through :mod:`repro.runner` one graph realisation at a time, which is
+what enables ``jobs > 1`` worker fan-out and result-store replay while
+staying draw-for-draw identical to the serial in-process loop.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.families import GraphFamily
 from repro.errors import ExperimentError
 from repro.equivalence.events import equivalence_window
 from repro.graphs.base import MultiGraph
-from repro.rng import make_rng, substream
+from repro.rng import substream
+from repro.runner import ResultStore, TrialSpec, run_trials, trial_ref
 from repro.search.algorithms.base import SearchAlgorithm
 from repro.search.algorithms.omniscient import OmniscientWindowSearch
 from repro.search.metrics import (
@@ -90,16 +97,74 @@ class CostMeasurement:
     results: Dict[str, List[SearchResult]] = field(default_factory=dict)
 
 
+def _build_cell_specs(
+    experiment_id: str,
+    family: GraphFamily,
+    size: int,
+    portfolio: str,
+    num_graphs: int,
+    runs_per_graph: int,
+    budget: Optional[int],
+    seed: int,
+    neighbor_success: bool,
+    start_rule: str,
+) -> List[TrialSpec]:
+    """One :class:`TrialSpec` per graph realisation of a (size, seed) cell."""
+    from repro.core.trials import family_spec, search_cost_graph_trial
+
+    reference = trial_ref(search_cost_graph_trial)
+    params = {
+        "family": family_spec(family),
+        "size": size,
+        "portfolio": portfolio,
+        "runs_per_graph": runs_per_graph,
+        "budget": budget,
+        "neighbor_success": neighbor_success,
+        "start_rule": start_rule,
+    }
+    return [
+        TrialSpec(
+            experiment_id=experiment_id,
+            trial=reference,
+            params=params,
+            seed=substream(seed, graph_index),
+        )
+        for graph_index in range(num_graphs)
+    ]
+
+
+def _fold_cell(
+    family: GraphFamily, size: int, values: Sequence[Dict]
+) -> CostMeasurement:
+    """Aggregate per-graph trial values back into a cell measurement."""
+    from repro.core.trials import result_from_dict
+
+    measurement = CostMeasurement(family_name=family.name, size=size)
+    collected: Dict[str, List[SearchResult]] = {}
+    for value in values:
+        for name, runs in value.items():
+            collected.setdefault(name, []).extend(
+                result_from_dict(run) for run in runs
+            )
+    for name, results in collected.items():
+        measurement.results[name] = results
+        measurement.summaries[name] = summarize_results(results)
+    return measurement
+
+
 def measure_search_cost(
     family: GraphFamily,
     size: int,
-    factories: Dict[str, AlgorithmFactory],
+    factories: Union[str, Dict[str, AlgorithmFactory]],
     num_graphs: int = 5,
     runs_per_graph: int = 2,
     budget: Optional[int] = None,
     seed: int = 0,
     neighbor_success: bool = False,
     start_rule: str = "default",
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    experiment_id: str = "adhoc",
 ) -> CostMeasurement:
     """Estimate expected request counts on ``family`` at ``size``.
 
@@ -115,6 +180,14 @@ def measure_search_cost(
       drawn per graph (the paper's "starting from any vertex");
     * ``'newest-other'`` — the vertex just below the equivalence
       window (a young, peripheral start).
+
+    ``factories`` may be a portfolio *name* (see
+    :func:`repro.core.trials.portfolio_factories`): named portfolios
+    dispatch one trial per graph realisation through the runner, so
+    ``jobs`` workers and a result ``store`` apply.  Explicit factory
+    dicts (closures) cannot cross process boundaries and always run
+    serially in-process; both paths produce identical numbers for the
+    same portfolio.
     """
     if num_graphs < 1 or runs_per_graph < 1:
         raise ExperimentError(
@@ -125,6 +198,32 @@ def measure_search_cost(
         raise ExperimentError(
             f"unknown start_rule {start_rule!r}"
         )
+
+    if isinstance(factories, str):
+        specs = _build_cell_specs(
+            experiment_id,
+            family,
+            size,
+            factories,
+            num_graphs,
+            runs_per_graph,
+            budget,
+            seed,
+            neighbor_success,
+            start_rule,
+        )
+        outcomes = run_trials(specs, jobs=jobs, store=store)
+        return _fold_cell(
+            family, size, [outcome.value for outcome in outcomes]
+        )
+
+    if jobs != 1 or store is not None:
+        raise ExperimentError(
+            "jobs/store require a named portfolio (factory dicts hold "
+            "closures and cannot be dispatched to workers); pass a "
+            "portfolio name from repro.core.trials.PORTFOLIOS"
+        )
+
     measurement = CostMeasurement(family_name=family.name, size=size)
     collected: Dict[str, List[SearchResult]] = {
         name: [] for name in factories
@@ -174,15 +273,9 @@ def _choose_start(
     graph_seed: int,
 ) -> int:
     """Resolve a start rule to a concrete vertex (never the target)."""
-    if start_rule == "default":
-        return family.default_start(graph)
-    if start_rule == "newest-other":
-        return target - 1 if target > 1 else target + 1
-    rng = make_rng(substream(graph_seed, 0xA11CE))
-    while True:
-        start = rng.randint(1, graph.num_vertices)
-        if start != target:
-            return start
+    from repro.core.trials import choose_start
+
+    return choose_start(family, graph, target, start_rule, graph_seed)
 
 
 @dataclass
@@ -249,22 +342,69 @@ class ScalingMeasurement:
 def measure_scaling(
     family: GraphFamily,
     sizes: Sequence[int],
-    factories: Dict[str, AlgorithmFactory],
+    factories: Union[str, Dict[str, AlgorithmFactory]],
     num_graphs: int = 5,
     runs_per_graph: int = 2,
     seed: int = 0,
     neighbor_success: bool = False,
     start_rule: str = "default",
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    experiment_id: str = "adhoc",
 ) -> ScalingMeasurement:
-    """Run :func:`measure_search_cost` across a size grid."""
+    """Run :func:`measure_search_cost` across a size grid.
+
+    For a named portfolio the *entire* grid — every (size, graph)
+    realisation — is dispatched in one runner batch, so ``jobs``
+    workers stay busy across size cells rather than draining one cell
+    at a time.  Per-cell seeds are ``substream(seed, size_index)``
+    either way, so the batch is numerically identical to the loop.
+    """
     ordered = sorted(set(sizes))
     if len(ordered) < 2:
         raise ExperimentError(
             f"need at least 2 sizes for a scaling sweep, got {ordered}"
         )
+    if num_graphs < 1 or runs_per_graph < 1:
+        raise ExperimentError(
+            "num_graphs and runs_per_graph must be >= 1, got "
+            f"{num_graphs}, {runs_per_graph}"
+        )
+    if start_rule not in ("default", "random", "newest-other"):
+        raise ExperimentError(
+            f"unknown start_rule {start_rule!r}"
+        )
     measurement = ScalingMeasurement(
         family_name=family.name, sizes=ordered
     )
+
+    if isinstance(factories, str):
+        grid_specs: List[TrialSpec] = []
+        offsets = []
+        for index, size in enumerate(ordered):
+            cell_specs = _build_cell_specs(
+                experiment_id,
+                family,
+                size,
+                factories,
+                num_graphs,
+                runs_per_graph,
+                None,
+                substream(seed, index),
+                neighbor_success,
+                start_rule,
+            )
+            offsets.append((size, len(grid_specs), len(cell_specs)))
+            grid_specs.extend(cell_specs)
+        outcomes = run_trials(grid_specs, jobs=jobs, store=store)
+        for size, offset, count in offsets:
+            measurement.cells[size] = _fold_cell(
+                family,
+                size,
+                [o.value for o in outcomes[offset:offset + count]],
+            )
+        return measurement
+
     for index, size in enumerate(ordered):
         measurement.cells[size] = measure_search_cost(
             family,
@@ -275,5 +415,8 @@ def measure_scaling(
             seed=substream(seed, index),
             neighbor_success=neighbor_success,
             start_rule=start_rule,
+            jobs=jobs,
+            store=store,
+            experiment_id=experiment_id,
         )
     return measurement

@@ -1,0 +1,389 @@
+"""Pure top-level trial functions for the runner.
+
+Each function here is one Monte-Carlo cell of an experiment grid,
+re-expressed as a pure function of JSON-serializable parameters plus a
+substream-derived seed — the contract :mod:`repro.runner` needs to
+execute cells in worker processes and replay them from the result
+store.  The decompositions reproduce the original inner loops *exactly*
+(same substream indices, same draw order), so dispatching through the
+runner changes no published number; ``tests/test_experiment_regression``
+pins this.
+
+Graph families and algorithm portfolios cross process boundaries by
+*name*: :func:`family_spec` / :func:`build_family` serialize the former,
+:func:`portfolio_factories` resolves the latter.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.degrees import max_degree
+from repro.analysis.powerlaw_fit import fit_power_law
+from repro.core.families import (
+    BarabasiAlbertFamily,
+    ConfigurationFamily,
+    CooperFriezeFamily,
+    GraphFamily,
+    MoriFamily,
+)
+from repro.errors import ExperimentError
+from repro.graphs.base import MultiGraph
+from repro.graphs.cooper_frieze import CooperFriezeParams
+from repro.graphs.kleinberg import kleinberg_grid
+from repro.rng import make_rng, substream
+from repro.search.algorithms import (
+    AgeGreedySearch,
+    DegreeBiasedWalkSearch,
+    FloodingSearch,
+    HighDegreeStrongSearch,
+    HighDegreeWeakSearch,
+    MixedStrategySearch,
+    RandomWalkSearch,
+    RestartingWalkSearch,
+    SelfAvoidingWalkSearch,
+    WeakSimulationOfStrong,
+)
+from repro.search.metrics import SearchResult
+from repro.search.process import default_budget, run_search
+
+__all__ = [
+    "family_spec",
+    "build_family",
+    "build_specimen",
+    "weak_factories",
+    "strong_factories",
+    "portfolio_factories",
+    "choose_start",
+    "search_cost_graph_trial",
+    "degree_fit_trial",
+    "simulation_slowdown_trial",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# Family (de)serialization
+# ----------------------------------------------------------------------
+
+
+def family_spec(family: GraphFamily) -> Dict[str, Any]:
+    """JSON-serializable description of ``family`` for trial params."""
+    if isinstance(family, MoriFamily):
+        return {"model": "mori", "p": family.p, "m": family.m}
+    if isinstance(family, CooperFriezeFamily):
+        params = family.params
+        return {
+            "model": "cooper-frieze",
+            "alpha": params.alpha,
+            "beta": params.beta,
+            "gamma": params.gamma,
+            "delta": params.delta,
+            "new_edge_distribution": list(params.new_edge_distribution),
+            "old_edge_distribution": list(params.old_edge_distribution),
+            "preferential_by": params.preferential_by,
+        }
+    if isinstance(family, BarabasiAlbertFamily):
+        return {"model": "ba", "m": family.m}
+    if isinstance(family, ConfigurationFamily):
+        return {
+            "model": "config",
+            "exponent": family.exponent,
+            "min_degree": family.min_degree,
+            "max_degree": family.max_degree,
+        }
+    raise ExperimentError(
+        f"cannot serialize family {type(family).__name__} for a trial"
+    )
+
+
+def build_family(spec: Dict[str, Any]) -> GraphFamily:
+    """Inverse of :func:`family_spec`."""
+    model = spec.get("model")
+    if model == "mori":
+        return MoriFamily(p=spec["p"], m=spec["m"])
+    if model == "cooper-frieze":
+        return CooperFriezeFamily(
+            params=CooperFriezeParams(
+                alpha=spec["alpha"],
+                beta=spec["beta"],
+                gamma=spec["gamma"],
+                delta=spec["delta"],
+                new_edge_distribution=tuple(
+                    spec["new_edge_distribution"]
+                ),
+                old_edge_distribution=tuple(
+                    spec["old_edge_distribution"]
+                ),
+                preferential_by=spec["preferential_by"],
+            )
+        )
+    if model == "ba":
+        return BarabasiAlbertFamily(m=spec["m"])
+    if model == "config":
+        return ConfigurationFamily(
+            exponent=spec["exponent"],
+            min_degree=spec["min_degree"],
+            max_degree=spec["max_degree"],
+        )
+    raise ExperimentError(f"unknown family model {model!r}")
+
+
+def build_specimen(
+    spec: Dict[str, Any], n: int, seed: int
+) -> MultiGraph:
+    """Build one graph from a family spec (E6's specimen rule).
+
+    Kleinberg grids are not a :class:`GraphFamily` (their size is a
+    lattice side, not a vertex count) but E6 compares against them, so
+    this builder accepts ``{"model": "kleinberg", ...}`` too.
+    """
+    if spec.get("model") == "kleinberg":
+        return kleinberg_grid(
+            spec["side"], r=spec["r"], q=spec["q"], seed=seed
+        ).graph
+    return build_family(spec).build(n, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Algorithm portfolios (resolved by name inside workers)
+# ----------------------------------------------------------------------
+
+
+def weak_factories(include_omniscient: bool = False):
+    """The weak-model portfolio (optionally plus the Lemma-1 baseline)."""
+    from repro.core.searchability import (
+        constant_factory,
+        omniscient_factory,
+    )
+
+    factories = {
+        "random-walk": constant_factory(RandomWalkSearch()),
+        "flooding": constant_factory(FloodingSearch()),
+        "high-degree": constant_factory(HighDegreeWeakSearch()),
+        "age-oldest": constant_factory(AgeGreedySearch("oldest")),
+        "age-closest-id": constant_factory(
+            AgeGreedySearch("closest-id")
+        ),
+        "mixed-0.25": constant_factory(MixedStrategySearch(0.25)),
+        "self-avoiding-walk": constant_factory(
+            SelfAvoidingWalkSearch()
+        ),
+        "restart-walk-0.1": constant_factory(
+            RestartingWalkSearch(restart_prob=0.1)
+        ),
+    }
+    if include_omniscient:
+        factories["omniscient-window"] = omniscient_factory()
+    return factories
+
+
+def strong_factories():
+    """The strong-model portfolio."""
+    from repro.core.searchability import constant_factory
+
+    return {
+        "high-degree-strong": constant_factory(HighDegreeStrongSearch()),
+        "uniform-walk-strong": constant_factory(
+            DegreeBiasedWalkSearch(beta=0.0)
+        ),
+        "biased-walk-strong": constant_factory(
+            DegreeBiasedWalkSearch(beta=1.0)
+        ),
+    }
+
+
+def _adamic_factories():
+    from repro.core.searchability import constant_factory
+
+    return {
+        "high-degree-strong": constant_factory(HighDegreeStrongSearch()),
+        "random-walk": constant_factory(RandomWalkSearch()),
+    }
+
+
+def _high_degree_factories():
+    from repro.core.searchability import constant_factory
+
+    return {"high-degree": constant_factory(HighDegreeWeakSearch())}
+
+
+#: Portfolio name -> factory-dict builder.  Names are the serializable
+#: handles trial specs carry across process boundaries.
+PORTFOLIOS = {
+    "weak": weak_factories,
+    "weak-omniscient": lambda: weak_factories(include_omniscient=True),
+    "strong": strong_factories,
+    "adamic": _adamic_factories,
+    "high-degree": _high_degree_factories,
+}
+
+
+def portfolio_factories(name: str):
+    """Resolve a portfolio name to its factory dict (stable order)."""
+    try:
+        builder = PORTFOLIOS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown portfolio {name!r}; valid: "
+            f"{', '.join(sorted(PORTFOLIOS))}"
+        ) from None
+    return builder()
+
+
+def choose_start(
+    family: GraphFamily,
+    graph: MultiGraph,
+    target: int,
+    start_rule: str,
+    graph_seed: int,
+) -> int:
+    """Resolve a start rule to a concrete vertex (never the target)."""
+    if start_rule == "default":
+        return family.default_start(graph)
+    if start_rule == "newest-other":
+        return target - 1 if target > 1 else target + 1
+    if start_rule != "random":
+        raise ExperimentError(f"unknown start_rule {start_rule!r}")
+    rng = make_rng(substream(graph_seed, 0xA11CE))
+    while True:
+        start = rng.randint(1, graph.num_vertices)
+        if start != target:
+            return start
+
+
+# ----------------------------------------------------------------------
+# SearchResult (de)serialization for the result store
+# ----------------------------------------------------------------------
+
+
+def result_to_dict(result: SearchResult) -> Dict[str, Any]:
+    """Lossless JSON form of a :class:`SearchResult`."""
+    return {
+        "algorithm": result.algorithm,
+        "model": result.model,
+        "found": result.found,
+        "requests": result.requests,
+        "start": result.start,
+        "target": result.target,
+        "extra": dict(result.extra),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SearchResult:
+    """Inverse of :func:`result_to_dict`."""
+    return SearchResult(
+        algorithm=data["algorithm"],
+        model=data["model"],
+        found=data["found"],
+        requests=data["requests"],
+        start=data["start"],
+        target=data["target"],
+        extra=dict(data["extra"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trial functions
+# ----------------------------------------------------------------------
+
+
+def search_cost_graph_trial(
+    *,
+    family: Dict[str, Any],
+    size: int,
+    portfolio: str,
+    runs_per_graph: int = 2,
+    budget: Optional[int] = None,
+    neighbor_success: bool = False,
+    start_rule: str = "default",
+    seed: int = 0,
+) -> Dict[str, List[Dict[str, Any]]]:
+    """One graph realisation searched by a whole portfolio.
+
+    ``seed`` is the graph substream seed (what ``measure_search_cost``
+    derives as ``substream(seed, graph_index)``); all run seeds fan out
+    from it exactly as in the original serial loop, so the decomposed
+    grid is draw-for-draw identical to the monolithic one.
+    """
+    family_obj = build_family(family)
+    factories = portfolio_factories(portfolio)
+    graph = family_obj.build(size, seed=seed)
+    target = family_obj.theorem_target(graph)
+    start = choose_start(family_obj, graph, target, start_rule, seed)
+    instance_budget = (
+        budget if budget is not None else default_budget(graph)
+    )
+    collected: Dict[str, List[Dict[str, Any]]] = {}
+    for name, factory in factories.items():
+        algorithm = factory(graph, target)
+        # str hashes are salted per process; crc32 keeps run seeds
+        # reproducible across interpreter invocations.
+        name_code = zlib.crc32(name.encode("utf-8"))
+        runs = collected.setdefault(name, [])
+        for run_index in range(runs_per_graph):
+            run_seed = substream(seed, (name_code << 16) ^ run_index)
+            result = run_search(
+                algorithm,
+                graph,
+                start,
+                target,
+                budget=instance_budget,
+                seed=run_seed,
+                neighbor_success=neighbor_success,
+            )
+            runs.append(result_to_dict(result))
+    return collected
+
+
+def degree_fit_trial(
+    *,
+    family: Dict[str, Any],
+    n: int,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One E6 specimen: build a graph and fit its degree power law."""
+    graph = build_specimen(family, n, seed)
+    degrees = graph.degree_sequence()
+    fit = fit_power_law(degrees)
+    return {
+        "max_degree": max_degree(graph),
+        "exponent": fit.exponent,
+        "d_min": fit.d_min,
+        "ks_distance": fit.ks_distance,
+    }
+
+
+def simulation_slowdown_trial(
+    *,
+    family: Dict[str, Any],
+    size: int,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One E17 instance: strong vs simulated-weak cost and max degree.
+
+    The inner algorithm is deterministic, so the per-instance ratio
+    check is exact; the trial just reports the three raw quantities.
+    """
+    from repro.core.families import theorem_target_for_size
+
+    family_obj = build_family(family)
+    graph = family_obj.build(size, seed=seed)
+    target = theorem_target_for_size(size)
+    strong_result = run_search(
+        HighDegreeStrongSearch(), graph, 1, target, seed=0
+    )
+    simulated_result = run_search(
+        WeakSimulationOfStrong(HighDegreeStrongSearch()),
+        graph,
+        1,
+        target,
+        seed=0,
+    )
+    return {
+        "strong_requests": strong_result.requests,
+        "weak_requests": simulated_result.requests,
+        "max_degree": max_degree(graph),
+    }

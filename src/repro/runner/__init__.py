@@ -1,0 +1,31 @@
+"""Parallel trial execution with a persistent result store.
+
+The runner is the scaling seam of the reproduction: experiments express
+their Monte-Carlo grids as lists of pure :class:`TrialSpec` units,
+:func:`run_trials` executes them serially or across worker processes
+(bit-identically, thanks to substream-derived per-trial seeds), and
+:class:`ResultStore` replays completed cells across invocations.
+"""
+
+from repro.runner.executor import run_trials
+from repro.runner.store import MISS, ResultStore
+from repro.runner.trial import (
+    TrialExecutionError,
+    TrialResult,
+    TrialSpec,
+    params_hash,
+    resolve_trial,
+    trial_ref,
+)
+
+__all__ = [
+    "MISS",
+    "ResultStore",
+    "TrialExecutionError",
+    "TrialResult",
+    "TrialSpec",
+    "params_hash",
+    "resolve_trial",
+    "run_trials",
+    "trial_ref",
+]

@@ -1,0 +1,114 @@
+"""The trial executor: serial and multi-process backends.
+
+:func:`run_trials` dispatches a list of :class:`TrialSpec` and returns
+their :class:`TrialResult` in *spec order*, regardless of backend or
+completion order.  Because every trial is a pure function of its spec
+(the seed is derived upstream with :mod:`repro.rng` substreams, never
+drawn from shared state), ``jobs=8`` output is bit-identical to
+``jobs=1`` — the scheduler affects wall-clock time only.
+
+With a :class:`~repro.runner.store.ResultStore`, completed cells are
+replayed from disk and only the misses are dispatched; fresh values are
+written back so the next invocation skips them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.runner.store import MISS, ResultStore
+from repro.runner.trial import (
+    TrialExecutionError,
+    TrialResult,
+    TrialSpec,
+)
+
+__all__ = ["run_trials"]
+
+
+def _execute_spec(spec: TrialSpec) -> Any:
+    """Top-level worker entry point (must be picklable)."""
+    return spec.execute()
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+) -> List[TrialResult]:
+    """Execute ``specs`` and return results in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The trials to run.
+    jobs:
+        Worker processes.  ``1`` runs everything in-process; ``>1``
+        fans misses out over a :class:`ProcessPoolExecutor`.
+    store:
+        Optional persistent cache; hits skip execution entirely.
+
+    Raises
+    ------
+    TrialExecutionError
+        If any trial raises; the failing :class:`TrialSpec` is attached
+        as ``error.spec``.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+
+    results: List[Optional[TrialResult]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        if store is not None:
+            cached = store.get(spec)
+            if cached is not MISS:
+                results[index] = TrialResult(
+                    spec=spec, value=cached, from_cache=True
+                )
+                continue
+        pending.append(index)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            values = _run_serial([specs[i] for i in pending])
+        else:
+            values = _run_pool([specs[i] for i in pending], jobs)
+        for index, value in zip(pending, values):
+            spec = specs[index]
+            if store is not None:
+                store.put(spec, value)
+            results[index] = TrialResult(
+                spec=spec, value=value, from_cache=False
+            )
+
+    return [result for result in results if result is not None]
+
+
+def _run_serial(specs: Sequence[TrialSpec]) -> List[Any]:
+    values = []
+    for spec in specs:
+        try:
+            values.append(_execute_spec(spec))
+        except TrialExecutionError:
+            raise
+        except Exception as error:
+            raise TrialExecutionError(spec, error) from error
+    return values
+
+
+def _run_pool(specs: Sequence[TrialSpec], jobs: int) -> List[Any]:
+    max_workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(_execute_spec, spec) for spec in specs]
+        values = []
+        for spec, future in zip(specs, futures):
+            try:
+                values.append(future.result())
+            except Exception as error:
+                for other in futures:
+                    other.cancel()
+                raise TrialExecutionError(spec, error) from error
+    return values

@@ -1,0 +1,109 @@
+"""On-disk JSON result store for completed trials.
+
+One file per trial, addressed by the spec's
+``(experiment_id, params_hash, seed)`` key::
+
+    <cache_dir>/<experiment_id>/<params_hash>/<seed>.json
+
+Re-running an experiment (or a benchmark) with the same cache directory
+replays every completed cell instead of recomputing it; changing any
+parameter changes the hash, so a different *configuration* can never
+replay the wrong entry.  The key does not capture the code version,
+though: after editing a trial function (or anything it calls), delete
+the cache directory — entries computed by the old code would otherwise
+be replayed verbatim.
+
+The store is deliberately forgiving: a corrupted or half-written file
+is treated as a miss (and removed), never as an error — a crashed run
+must not poison later ones.  Writes are atomic (temp file + rename) so
+a parallel run that is killed mid-flight leaves no torn entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional, Tuple, Union
+
+from repro.runner.trial import TrialSpec
+
+__all__ = ["ResultStore", "MISS"]
+
+
+class _Miss:
+    """Sentinel for a cache miss (``None`` is a valid trial value)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISS"
+
+
+#: Returned by :meth:`ResultStore.get` when no usable entry exists.
+MISS = _Miss()
+
+
+class ResultStore:
+    """A persistent trial-result cache rooted at ``cache_dir``."""
+
+    def __init__(self, cache_dir: Union[str, os.PathLike]):
+        self.cache_dir = os.fspath(cache_dir)
+
+    def path_for(self, spec: TrialSpec) -> str:
+        """Filesystem location of ``spec``'s entry."""
+        experiment_id, digest, seed = spec.key()
+        return os.path.join(
+            self.cache_dir, experiment_id, digest, f"{seed}.json"
+        )
+
+    def get(self, spec: TrialSpec) -> Any:
+        """The stored value for ``spec``, or :data:`MISS`.
+
+        A file that exists but does not parse as the expected record is
+        discarded and reported as a miss (corruption recovery).
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return MISS
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._discard(path)
+            return MISS
+        if not isinstance(record, dict) or "value" not in record:
+            self._discard(path)
+            return MISS
+        return record["value"]
+
+    def put(self, spec: TrialSpec, value: Any) -> None:
+        """Persist ``value`` for ``spec`` atomically."""
+        path = self.path_for(spec)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        record = {
+            "experiment_id": spec.experiment_id,
+            "trial": spec.trial,
+            "params": dict(spec.params),
+            "seed": spec.seed,
+            "value": value,
+        }
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".trial-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(temp_path, path)
+        except BaseException:
+            self._discard(temp_path)
+            raise
+
+    def __contains__(self, spec: TrialSpec) -> bool:
+        return self.get(spec) is not MISS
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass

@@ -1,0 +1,181 @@
+"""Regression pins for the runner-refactored experiments.
+
+The decomposition of E1, E2, E3, E6, and E17 into runner trials must
+change *nothing* numerically: these tests pin every headline `derived`
+scalar of each refactored experiment, at fixed seeds on small grids, to
+the exact values the pre-refactor monolithic loops produced (captured
+from the seed-state code).  Python float arithmetic is deterministic,
+so the comparison is exact equality, not approximate.
+
+A second set of checks asserts the acceptance criterion end-to-end:
+`repro run <id> --jobs 4 --json out.json` is byte-identical to the
+serial run, and a warm `--cache-dir` re-run recomputes nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiments import (
+    e1_mori_weak,
+    e2_mori_strong,
+    e3_cooper_frieze,
+    e6_degree_distribution,
+    e17_simulation_slowdown,
+)
+
+#: Exact `derived` scalars produced by the pre-refactor serial loops.
+GOLDEN = {
+    "E1": {
+        "kwargs": {'num_graphs': 2, 'runs_per_graph': 1, 'seed': 1, 'sizes': [60, 120, 240]},
+        "derived": {
+            "exponent/age-closest-id": 0.29780487246033255,
+            "exponent/age-oldest": 0.790350236933498,
+            "exponent/flooding": 0.8852590769386163,
+            "exponent/high-degree": 0.8411796317578676,
+            "exponent/mixed-0.25": 1.1534303233992103,
+            "exponent/omniscient-window": 1.0521683299073676,
+            "exponent/random-walk": 1.2280323837694491,
+            "exponent/restart-walk-0.1": 1.1869400872610416,
+            "exponent/self-avoiding-walk": 0.9422613912900317,
+            "floor@largest": 5.749573692091843,
+            "mean@240/age-closest-id": 68.0,
+            "mean@240/age-oldest": 169.0,
+            "mean@240/flooding": 174.0,
+            "mean@240/high-degree": 168.5,
+            "mean@240/mixed-0.25": 190.5,
+            "mean@240/omniscient-window": 21.5,
+            "mean@240/random-walk": 214.0,
+            "mean@240/restart-walk-0.1": 155.5,
+            "mean@240/self-avoiding-walk": 120.0,
+        },
+    },
+    "E2": {
+        "kwargs": {'num_graphs': 2, 'runs_per_graph': 1, 'seed': 2, 'sizes': [60, 120, 240]},
+        "derived": {
+            "exponent/biased-walk-strong": 0.4595400023082162,
+            "exponent/high-degree-strong": 1.4325352099569453,
+            "exponent/uniform-walk-strong": 1.889321812708038,
+            "floor_exponent": 0.2,
+        },
+    },
+    "E3": {
+        "kwargs": {'num_graphs': 2, 'runs_per_graph': 1, 'seed': 3, 'sizes': [60, 120]},
+        "derived": {
+            "exponent/age-closest-id": 0.7224660244710904,
+            "exponent/age-oldest": 0.668549130994131,
+            "exponent/flooding": 1.237578825151124,
+            "exponent/high-degree": 0.7842713089445631,
+            "exponent/mixed-0.25": 0.6892991605358915,
+            "exponent/random-walk": 1.2081081953301995,
+            "exponent/restart-walk-0.1": 1.4788341498598132,
+            "exponent/self-avoiding-walk": 0.2863041851566406,
+        },
+    },
+    "E6": {
+        "kwargs": {'n': 2000, 'seed': 6},
+        "derived": {
+            "exponent/ba(m=2)": 2.7389909475871166,
+            "exponent/config(k=2.5)": 2.3447516259341947,
+            "exponent/cooper-frieze(a=0.75)": 2.540858022792351,
+            "exponent/kleinberg(r=2, 44x44)": 12.331782492267386,
+            "exponent/mori(p=0.5, m=2)": 2.7033846392827074,
+            "ks/ba(m=2)": 0.01281700575885758,
+            "ks/config(k=2.5)": 0.0124151475536316,
+            "ks/cooper-frieze(a=0.75)": 0.01511446605900002,
+            "ks/kleinberg(r=2, 44x44)": 3.664484049537009e-09,
+            "ks/mori(p=0.5, m=2)": 0.014790833039047602,
+        },
+    },
+    "E17": {
+        "kwargs": {'num_graphs': 2, 'seed': 17, 'sizes': [100, 200]},
+        "derived": {
+            "worst_ratio": 0.9090909090909091,
+            "worst_ratio/n=100": 0.3155080213903743,
+            "worst_ratio/n=200": 0.9090909090909091,
+        },
+    },
+}
+
+
+EXPERIMENTS = {
+    "E1": e1_mori_weak,
+    "E2": e2_mori_strong,
+    "E3": e3_cooper_frieze,
+    "E6": e6_degree_distribution,
+    "E17": e17_simulation_slowdown,
+}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN))
+def test_derived_scalars_pinned_serial(experiment_id):
+    """jobs=1 reproduces the pre-refactor numbers bit-for-bit."""
+    pin = GOLDEN[experiment_id]
+    result = EXPERIMENTS[experiment_id](**pin["kwargs"])
+    assert result.derived == pin["derived"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN))
+def test_derived_scalars_pinned_parallel(experiment_id):
+    """jobs=4 reproduces the same pins (parallel == serial == golden)."""
+    pin = GOLDEN[experiment_id]
+    result = EXPERIMENTS[experiment_id](**pin["kwargs"], jobs=4)
+    assert result.derived == pin["derived"]
+
+
+@pytest.mark.slow
+class TestCLIAcceptance:
+    """ISSUE acceptance: the CLI parallel/cached paths change nothing."""
+
+    def test_jobs4_json_byte_identical_to_serial(self, tmp_path, capsys):
+        from repro.cli import main
+
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(
+            ["run", "E1", "--quick", "--json", str(serial_path)]
+        ) == 0
+        assert main(
+            [
+                "run", "E1", "--quick", "--jobs", "4",
+                "--json", str(parallel_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        derived = json.loads(serial_path.read_text())["derived"]
+        assert derived  # the record actually carries scalars
+
+    def test_cache_dir_rerun_recomputes_nothing(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+        from repro.runner import TrialSpec
+
+        cache = tmp_path / "cache"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(
+            [
+                "run", "E17", "--quick",
+                "--cache-dir", str(cache),
+                "--json", str(first),
+            ]
+        ) == 0
+
+        def exploding_execute(self):
+            raise AssertionError("trial recomputed despite warm cache")
+
+        monkeypatch.setattr(TrialSpec, "execute", exploding_execute)
+        assert main(
+            [
+                "run", "E17", "--quick",
+                "--cache-dir", str(cache),
+                "--json", str(second),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()

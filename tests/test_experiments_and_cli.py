@@ -197,6 +197,38 @@ class TestCLI:
 
         assert set(QUICK_OVERRIDES) == set(ALL_EXPERIMENTS)
 
+    def test_seed_passthrough_to_runner_dispatched_experiment(
+        self, capsys
+    ):
+        # E17 is dispatched through repro.runner; the seed override
+        # must reach it (detected via inspect.signature, so wrapped
+        # experiment functions keep working).
+        assert main(
+            ["run", "E17", "--quick", "--seed", "123", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed=123" in out
+
+    def test_seed_detection_survives_wrappers(self, monkeypatch):
+        import functools
+
+        from repro import cli
+        from repro.core.experiments import e17_simulation_slowdown
+
+        captured = {}
+
+        @functools.wraps(e17_simulation_slowdown)
+        def wrapped(**kwargs):
+            captured.update(kwargs)
+            return e17_simulation_slowdown(**kwargs)
+
+        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "E17", wrapped)
+        # functools.wraps copies __wrapped__, not __code__: the old
+        # co_varnames peek would have seen only (args, kwargs) here
+        # and silently dropped the seed.
+        assert cli.main(["run", "E17", "--quick", "--seed", "77"]) == 0
+        assert captured["seed"] == 77
+
 
 class TestE15:
     def test_window_probability_positive(self):

@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.equivalence",
     "repro.analysis",
     "repro.core",
+    "repro.runner",
 ]
 
 

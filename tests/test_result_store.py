@@ -1,0 +1,192 @@
+"""Tests for the persistent trial-result store (`repro.runner.store`).
+
+Covers the cache round-trip, params-hash stability under dict
+reordering, recovery from corrupted cache files, and the core promise:
+a warm cache means zero recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runner import (
+    MISS,
+    ResultStore,
+    TrialSpec,
+    params_hash,
+    run_trials,
+    trial_ref,
+)
+
+#: Incremented by every *execution* of counting_trial (cache hits must
+#: leave it untouched).  Reset per-test via the fixture below.
+CALLS = []
+
+
+def counting_trial(*, label: str, seed: int = 0) -> dict:
+    CALLS.append((label, seed))
+    return {"label": label, "seed": seed, "value": seed * 3 + 1}
+
+
+@pytest.fixture(autouse=True)
+def _reset_calls():
+    CALLS.clear()
+    yield
+    CALLS.clear()
+
+
+COUNTING = trial_ref(counting_trial)
+
+
+def _spec(seed: int = 1, label: str = "x") -> TrialSpec:
+    return TrialSpec(
+        experiment_id="T",
+        trial=COUNTING,
+        params={"label": label},
+        seed=seed,
+    )
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        assert store.get(spec) is MISS
+        store.put(spec, {"a": 1, "b": [1, 2.5, "s"]})
+        assert store.get(spec) == {"a": 1, "b": [1, 2.5, "s"]}
+        assert spec in store
+
+    def test_none_is_a_valid_cached_value(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put(spec, None)
+        assert store.get(spec) is None
+        assert spec in store
+
+    def test_keys_partition_by_experiment_params_and_seed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = _spec(seed=1, label="x")
+        store.put(base, "base")
+        assert store.get(_spec(seed=2, label="x")) is MISS
+        assert store.get(_spec(seed=1, label="y")) is MISS
+        other_experiment = TrialSpec(
+            "U", COUNTING, {"label": "x"}, seed=1
+        )
+        assert store.get(other_experiment) is MISS
+
+
+class TestParamsHash:
+    def test_stable_across_dict_ordering(self):
+        forward = {"size": 100, "portfolio": "weak", "budget": None}
+        backward = {"budget": None, "portfolio": "weak", "size": 100}
+        assert params_hash("m:f", forward) == params_hash(
+            "m:f", backward
+        )
+
+    def test_nested_ordering_and_sequences(self):
+        a = {"family": {"model": "mori", "p": 0.5, "m": 1}, "grid": [1, 2]}
+        b = {"grid": [1, 2], "family": {"m": 1, "p": 0.5, "model": "mori"}}
+        assert params_hash("m:f", a) == params_hash("m:f", b)
+        # Tuples and lists serialize identically (both JSON arrays).
+        assert params_hash("m:f", {"grid": (1, 2)}) == params_hash(
+            "m:f", {"grid": [1, 2]}
+        )
+
+    def test_sensitive_to_values_and_trial(self):
+        params = {"size": 100}
+        assert params_hash("m:f", params) != params_hash(
+            "m:f", {"size": 101}
+        )
+        assert params_hash("m:f", params) != params_hash(
+            "m:g", params
+        )
+
+    def test_rejects_unserializable_params(self):
+        with pytest.raises(TypeError):
+            params_hash("m:f", {"fn": object()})
+
+
+class TestCorruptionRecovery:
+    def test_truncated_json_treated_as_miss_and_removed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put(spec, {"ok": True})
+        path = store.path_for(spec)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"value": {"ok": tr')  # torn write
+        assert store.get(spec) is MISS
+        assert not os.path.exists(path)
+
+    def test_wrong_shape_record_treated_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(["not", "a", "record"], handle)
+        assert store.get(spec) is MISS
+
+    def test_corrupted_entry_recomputes_through_runner(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        run_trials([spec], store=store)
+        with open(store.path_for(spec), "w") as handle:
+            handle.write("garbage")
+        outcomes = run_trials([spec], store=store)
+        assert outcomes[0].from_cache is False
+        assert outcomes[0].value["value"] == spec.seed * 3 + 1
+        assert len(CALLS) == 2  # recomputed exactly once
+
+
+class TestCacheSkipsRecompute:
+    def test_second_run_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [_spec(seed=s) for s in range(5)]
+        first = run_trials(specs, store=store)
+        assert len(CALLS) == 5
+        assert all(not r.from_cache for r in first)
+
+        second = run_trials(specs, store=store)
+        assert len(CALLS) == 5  # no new executions
+        assert all(r.from_cache for r in second)
+        assert [r.value for r in first] == [r.value for r in second]
+
+    def test_partial_cache_runs_only_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [_spec(seed=s) for s in range(4)]
+        run_trials(specs[:2], store=store)
+        CALLS.clear()
+        outcomes = run_trials(specs, store=store)
+        assert [c[1] for c in CALLS] == [2, 3]
+        assert [o.from_cache for o in outcomes] == [
+            True, True, False, False,
+        ]
+
+    def test_cached_experiment_rerun_executes_no_trials(
+        self, tmp_path, monkeypatch
+    ):
+        """E6 with a warm cache completes without recomputing a trial."""
+        from repro.core.experiments import e6_degree_distribution
+
+        cache = str(tmp_path / "cache")
+        first = e6_degree_distribution(n=300, seed=6, cache_dir=cache)
+
+        def exploding_execute(self):
+            raise AssertionError(
+                f"trial recomputed despite warm cache: {self}"
+            )
+
+        monkeypatch.setattr(TrialSpec, "execute", exploding_execute)
+        second = e6_degree_distribution(n=300, seed=6, cache_dir=cache)
+        assert first.derived == second.derived
+
+    def test_different_params_do_not_share_cache(self, tmp_path):
+        from repro.core.experiments import e6_degree_distribution
+
+        cache = str(tmp_path / "cache")
+        small = e6_degree_distribution(n=300, seed=6, cache_dir=cache)
+        larger = e6_degree_distribution(n=400, seed=6, cache_dir=cache)
+        assert small.derived != larger.derived

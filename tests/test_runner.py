@@ -1,0 +1,238 @@
+"""Tests for the parallel trial-execution engine (`repro.runner`).
+
+The properties that make the runner safe to put under every
+experiment: parallel output is bit-identical to serial, per-trial seed
+derivation never collides across a grid, results come back in spec
+order regardless of completion order, and worker failures surface with
+the failing spec attached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.rng import make_rng, stream_seeds, substream
+from repro.runner import (
+    TrialExecutionError,
+    TrialSpec,
+    resolve_trial,
+    run_trials,
+    trial_ref,
+)
+
+
+def draw_trial(*, rounds: int, seed: int = 0) -> dict:
+    """A tiny pure trial: a few RNG draws, pure in (rounds, seed)."""
+    rng = make_rng(seed)
+    values = [rng.random() for _ in range(rounds)]
+    return {"seed": seed, "first": values[0], "sum": sum(values)}
+
+
+def slow_when_even_trial(*, index: int, seed: int = 0) -> int:
+    """Finishes out of submission order under parallel execution."""
+    import time
+
+    if index % 2 == 0:
+        time.sleep(0.05)
+    return index * 1000 + seed
+
+
+def failing_trial(*, threshold: int, seed: int = 0) -> int:
+    if seed >= threshold:
+        raise ValueError(f"seed {seed} over threshold {threshold}")
+    return seed
+
+
+DRAW = trial_ref(draw_trial)
+
+
+def _draw_specs(count: int, base_seed: int = 7) -> list:
+    return [
+        TrialSpec(
+            experiment_id="T",
+            trial=DRAW,
+            params={"rounds": 5},
+            seed=seed,
+        )
+        for seed in stream_seeds(base_seed, count)
+    ]
+
+
+class TestTrialRef:
+    def test_roundtrip(self):
+        assert resolve_trial(trial_ref(draw_trial)) is draw_trial
+
+    def test_rejects_nested_functions(self):
+        def nested(*, seed=0):
+            return seed
+
+        with pytest.raises(ExperimentError):
+            trial_ref(nested)
+
+    def test_rejects_malformed_reference(self):
+        with pytest.raises(ExperimentError):
+            resolve_trial("no-colon")
+        with pytest.raises(ExperimentError):
+            resolve_trial("nonexistent_module_xyz:fn")
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        specs = _draw_specs(8)
+        serial = run_trials(specs, jobs=1)
+        parallel = run_trials(specs, jobs=4)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+
+    def test_results_in_spec_order_despite_completion_order(self):
+        specs = [
+            TrialSpec("T", trial_ref(slow_when_even_trial),
+                      {"index": i}, seed=i)
+            for i in range(6)
+        ]
+        outcomes = run_trials(specs, jobs=3)
+        assert [o.value for o in outcomes] == [
+            i * 1000 + i for i in range(6)
+        ]
+
+    def test_repeated_invocations_identical(self):
+        specs = _draw_specs(4)
+        first = run_trials(specs, jobs=2)
+        second = run_trials(specs, jobs=2)
+        assert [r.value for r in first] == [r.value for r in second]
+
+
+class TestSeedDerivation:
+    def test_stream_seeds_never_collide(self):
+        seeds = list(stream_seeds(1, 20_000))
+        assert len(set(seeds)) == len(seeds)
+
+    def test_grid_substreams_never_collide(self):
+        # The experiment pattern: substream(substream(seed, i), j)
+        # across a (sizes x graphs) grid, for several base seeds.
+        derived = [
+            substream(substream(base, i), j)
+            for base in range(1, 19)
+            for i in range(32)
+            for j in range(32)
+        ]
+        assert len(set(derived)) == len(derived)
+
+    def test_sibling_experiments_get_distinct_seeds(self):
+        a = set(stream_seeds(1, 1000))
+        b = set(stream_seeds(2, 1000))
+        assert not (a & b)
+
+
+class TestFailures:
+    def _failing_specs(self):
+        reference = trial_ref(failing_trial)
+        return [
+            TrialSpec("T", reference, {"threshold": 2}, seed=seed)
+            for seed in range(4)
+        ]
+
+    def test_serial_failure_carries_spec(self):
+        with pytest.raises(TrialExecutionError) as info:
+            run_trials(self._failing_specs(), jobs=1)
+        assert info.value.spec.seed == 2
+        assert info.value.spec.params["threshold"] == 2
+        assert "ValueError" in str(info.value)
+
+    def test_parallel_failure_carries_spec(self):
+        with pytest.raises(TrialExecutionError) as info:
+            run_trials(self._failing_specs(), jobs=2)
+        assert info.value.spec.seed >= 2
+        assert info.value.spec.trial == trial_ref(failing_trial)
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ExperimentError):
+            run_trials(_draw_specs(2), jobs=0)
+
+
+class TestSearchCostTrialEquivalence:
+    """The runner path reproduces the legacy in-process loop exactly."""
+
+    def test_named_portfolio_matches_factory_dict(self):
+        from repro.core.families import MoriFamily
+        from repro.core.searchability import measure_search_cost
+        from repro.core.trials import portfolio_factories
+
+        family = MoriFamily(p=0.5, m=1)
+        legacy = measure_search_cost(
+            family, 60, portfolio_factories("high-degree"),
+            num_graphs=2, runs_per_graph=2, seed=5,
+        )
+        runner = measure_search_cost(
+            family, 60, "high-degree",
+            num_graphs=2, runs_per_graph=2, seed=5,
+        )
+        assert legacy.results == runner.results
+        assert legacy.summaries == runner.summaries
+
+    def test_scaling_validates_on_runner_path(self):
+        from repro.core.families import MoriFamily
+        from repro.core.searchability import measure_scaling
+
+        family = MoriFamily(p=0.5, m=1)
+        with pytest.raises(ExperimentError, match="start_rule"):
+            measure_scaling(
+                family, (60, 120), "high-degree",
+                num_graphs=2, runs_per_graph=1, seed=5,
+                start_rule="typo",
+            )
+        with pytest.raises(ExperimentError, match="num_graphs"):
+            measure_scaling(
+                family, (60, 120), "high-degree",
+                num_graphs=0, runs_per_graph=1, seed=5,
+            )
+
+    def test_trial_rejects_unknown_start_rule(self):
+        from repro.core.trials import search_cost_graph_trial
+
+        with pytest.raises(ExperimentError, match="start_rule"):
+            search_cost_graph_trial(
+                family={"model": "mori", "p": 0.5, "m": 1},
+                size=40,
+                portfolio="high-degree",
+                runs_per_graph=1,
+                start_rule="typo",
+                seed=1,
+            )
+
+    def test_factory_dict_rejects_jobs(self):
+        from repro.core.families import MoriFamily
+        from repro.core.searchability import measure_search_cost
+        from repro.core.trials import portfolio_factories
+
+        with pytest.raises(ExperimentError):
+            measure_search_cost(
+                MoriFamily(p=0.5, m=1), 60,
+                portfolio_factories("high-degree"),
+                num_graphs=2, runs_per_graph=1, seed=5, jobs=2,
+            )
+
+    @pytest.mark.slow
+    def test_scaling_sweep_parallel_matches_serial(self):
+        from repro.core.families import MoriFamily
+        from repro.core.searchability import measure_scaling
+
+        family = MoriFamily(p=0.5, m=1)
+        kwargs = dict(
+            num_graphs=2, runs_per_graph=1, seed=5, experiment_id="T",
+        )
+        serial = measure_scaling(
+            family, (60, 120), "weak-omniscient", jobs=1, **kwargs
+        )
+        parallel = measure_scaling(
+            family, (60, 120), "weak-omniscient", jobs=4, **kwargs
+        )
+        for size in serial.sizes:
+            assert (
+                serial.cells[size].summaries
+                == parallel.cells[size].summaries
+            )
+            assert (
+                serial.cells[size].results
+                == parallel.cells[size].results
+            )
