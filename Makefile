@@ -3,7 +3,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: verify verify-full bench
+.PHONY: verify verify-full bench bench-smoke
 
 # Tier-1: the fast suite (pytest.ini excludes `slow`-marked tests).
 verify:
@@ -13,6 +13,12 @@ verify:
 # overrides the pytest.ini filter.
 verify-full:
 	$(PYTEST) -q -m "slow or not slow"
+
+# Minutes-scale bench trajectory point: downsized E1/E3/E17 on both
+# graph backends plus the flooding/BFS cell-batch speedup at n=100k.
+# Writes BENCH_PR2.json (schema-checked by tests/test_bench_schema.py).
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_smoke.py
 
 # Paper-scale benchmark harness.  REPRO_BENCH_JOBS fans trials out
 # over worker processes; REPRO_BENCH_CACHE_DIR replays finished trials.

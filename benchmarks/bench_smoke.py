@@ -1,0 +1,197 @@
+"""Bench-trajectory smoke run: downsized experiments + backend speedup.
+
+``make bench-smoke`` runs this script.  It does two things:
+
+1. times a downsized E1/E3/E17 on both graph backends (the regression
+   pins guarantee the numbers agree; this records how long each path
+   takes), and
+2. measures the headline claim of the FrozenGraph PR on the
+   flooding/BFS-heavy E1 cell shape at ``n = 100_000``: a batch of
+   (flooding search + BFS distance pass) cells on one Móri realisation,
+   under three layouts —
+
+   * ``multigraph-rebuild`` — the topology is regenerated for every
+     cell (the "regenerate or re-traverse per trial" baseline),
+   * ``multigraph-shared``  — one build, cells traverse the mutable
+     graph (the pre-PR within-trial layout),
+   * ``frozen-batched``     — one build, one CSR snapshot, cells run
+     on the snapshot (this PR's layout).
+
+Results land in ``BENCH_PR2.json`` at the repository root — the first
+point of the benchmark trajectory.  Record schema (validated by
+``tests/test_bench_schema.py``)::
+
+    {"schema": "repro-bench/v1",
+     "records": [{"experiment": "E1", "n": 400,
+                  "wall_seconds": 1.23, "backend": "frozen"}, ...],
+     "speedup": {"workload": "e1-flooding-bfs-cells", "n": 100000,
+                 "cells": 12, "multigraph_rebuild_seconds": ...,
+                 "multigraph_shared_seconds": ...,
+                 "frozen_batched_seconds": ...,
+                 "speedup_vs_rebuild": ..., "speedup_vs_shared": ...}}
+
+Wall-clock numbers vary with the machine; the committed file records
+the run that accompanied the PR (speedup >= 3x on both baselines).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.analysis.diameter import bfs_distances
+from repro.core.experiments import (
+    e1_mori_weak,
+    e3_cooper_frieze,
+    e17_simulation_slowdown,
+)
+from repro.core.families import MoriFamily
+from repro.graphs import freeze
+from repro.rng import make_rng, substream
+from repro.search.algorithms import FloodingSearch
+from repro.search.process import run_search
+
+SCHEMA = "repro-bench/v1"
+OUTPUT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_PR2.json"
+)
+
+#: Downsized experiment grids (seconds-scale, both backends).
+SMOKE_EXPERIMENTS = (
+    ("E1", e1_mori_weak,
+     {"sizes": (200, 400), "num_graphs": 2, "runs_per_graph": 1}, 400),
+    ("E3", e3_cooper_frieze,
+     {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1}, 200),
+    ("E17", e17_simulation_slowdown,
+     {"sizes": (100, 200), "num_graphs": 2}, 200),
+)
+
+SPEEDUP_N = 100_000
+SPEEDUP_CELLS = 12
+SPEEDUP_SEED = 97
+
+
+def time_experiments() -> list:
+    """Run each downsized experiment on both backends, timed."""
+    records = []
+    for experiment_id, function, kwargs, n in SMOKE_EXPERIMENTS:
+        for backend in ("multigraph", "frozen"):
+            began = time.perf_counter()
+            function(**kwargs, backend=backend)
+            elapsed = time.perf_counter() - began
+            records.append(
+                {
+                    "experiment": experiment_id,
+                    "n": n,
+                    "wall_seconds": round(elapsed, 4),
+                    "backend": backend,
+                }
+            )
+            print(
+                f"  {experiment_id:>4} backend={backend:<10} "
+                f"{elapsed:7.2f}s"
+            )
+    return records
+
+
+def _cell_starts(family, graph, target):
+    """Distinct pinned start vertices for the speedup cells."""
+    rng = make_rng(substream(SPEEDUP_SEED, 0xCE11))
+    starts = []
+    while len(starts) < SPEEDUP_CELLS:
+        start = rng.randint(1, graph.num_vertices)
+        if start != target and start not in starts:
+            starts.append(start)
+    return starts
+
+
+def _run_cells(graph, starts, target):
+    """One flooding search + one BFS distance pass per cell."""
+    for start in starts:
+        result = run_search(
+            FloodingSearch(), graph, start, target, seed=0
+        )
+        assert result.found
+        distances = bfs_distances(graph, start)
+        assert distances[target] >= 0
+
+
+def measure_speedup() -> dict:
+    """The flooding/BFS cell batch at n=100k under the three layouts."""
+    family = MoriFamily(p=0.5, m=1)
+    print(f"  building Mori n={SPEEDUP_N} ...")
+    graph = family.build(SPEEDUP_N, seed=SPEEDUP_SEED)
+    target = family.theorem_target(graph)
+    starts = _cell_starts(family, graph, target)
+
+    # Layout 1: regenerate the topology for every cell.
+    began = time.perf_counter()
+    for start in starts:
+        rebuilt = family.build(SPEEDUP_N, seed=SPEEDUP_SEED)
+        _run_cells(rebuilt, [start], target)
+    rebuild_seconds = time.perf_counter() - began
+
+    # Layout 2: one build, cells on the mutable graph.
+    began = time.perf_counter()
+    shared = family.build(SPEEDUP_N, seed=SPEEDUP_SEED)
+    _run_cells(shared, starts, target)
+    shared_seconds = time.perf_counter() - began
+
+    # Layout 3: one build, one snapshot, cells on the snapshot.
+    began = time.perf_counter()
+    built = family.build(SPEEDUP_N, seed=SPEEDUP_SEED)
+    frozen = freeze(built)
+    _run_cells(frozen, starts, target)
+    frozen_seconds = time.perf_counter() - began
+
+    summary = {
+        "workload": "e1-flooding-bfs-cells",
+        "n": SPEEDUP_N,
+        "cells": SPEEDUP_CELLS,
+        "multigraph_rebuild_seconds": round(rebuild_seconds, 4),
+        "multigraph_shared_seconds": round(shared_seconds, 4),
+        "frozen_batched_seconds": round(frozen_seconds, 4),
+        "speedup_vs_rebuild": round(
+            rebuild_seconds / frozen_seconds, 2
+        ),
+        "speedup_vs_shared": round(
+            shared_seconds / frozen_seconds, 2
+        ),
+    }
+    print(
+        f"  rebuild {rebuild_seconds:6.2f}s | shared "
+        f"{shared_seconds:6.2f}s | frozen {frozen_seconds:6.2f}s"
+        f" -> {summary['speedup_vs_rebuild']:.1f}x / "
+        f"{summary['speedup_vs_shared']:.1f}x"
+    )
+    return summary
+
+
+def main() -> int:
+    print("bench-smoke: downsized experiments (both backends)")
+    records = time_experiments()
+    print(f"bench-smoke: flooding/BFS cell batch at n={SPEEDUP_N}")
+    speedup = measure_speedup()
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "speedup": speedup,
+    }
+    path = os.path.normpath(OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    ok = speedup["speedup_vs_rebuild"] >= 3.0
+    print(
+        "acceptance: speedup_vs_rebuild "
+        f"{speedup['speedup_vs_rebuild']:.1f}x "
+        f"({'>= 3x ok' if ok else 'BELOW 3x'})"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

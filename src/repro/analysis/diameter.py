@@ -17,7 +17,7 @@ from collections import deque
 from typing import List, Optional, Tuple
 
 from repro.errors import AnalysisError, InvalidParameterError
-from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import GraphBackend, vectorized_bfs_distances
 from repro.rng import RandomLike, make_rng
 
 __all__ = [
@@ -31,13 +31,19 @@ __all__ = [
 _UNREACHED = -1
 
 
-def bfs_distances(graph: MultiGraph, source: int) -> List[int]:
+def bfs_distances(graph: GraphBackend, source: int) -> List[int]:
     """Distances from ``source``; index ``v`` for vertex ``v``, -1 if unreached.
 
-    Index 0 is unused (vertices are 1-based).
+    Index 0 is unused (vertices are 1-based).  Accepts either backend;
+    a numpy-backed :class:`~repro.graphs.frozen.FrozenGraph` expands
+    whole frontiers at a time through the CSR kernel (BFS distances are
+    unique, so the values are identical).
     """
     if not graph.has_vertex(source):
         raise InvalidParameterError(f"source {source} not in graph")
+    fast = vectorized_bfs_distances(graph, source)
+    if fast is not None:
+        return fast
     distances = [_UNREACHED] * (graph.num_vertices + 1)
     distances[source] = 0
     queue = deque([source])
@@ -51,7 +57,7 @@ def bfs_distances(graph: MultiGraph, source: int) -> List[int]:
     return distances
 
 
-def eccentricity(graph: MultiGraph, source: int) -> Tuple[int, int]:
+def eccentricity(graph: GraphBackend, source: int) -> Tuple[int, int]:
     """``(max finite distance from source, a vertex attaining it)``."""
     distances = bfs_distances(graph, source)
     best_distance = 0
@@ -63,7 +69,7 @@ def eccentricity(graph: MultiGraph, source: int) -> Tuple[int, int]:
     return best_distance, best_vertex
 
 
-def diameter(graph: MultiGraph) -> int:
+def diameter(graph: GraphBackend) -> int:
     """Exact diameter of a connected graph (BFS from every vertex)."""
     if graph.num_vertices == 0:
         raise AnalysisError("graph has no vertices")
@@ -80,7 +86,7 @@ def diameter(graph: MultiGraph) -> int:
 
 
 def estimate_diameter(
-    graph: MultiGraph,
+    graph: GraphBackend,
     num_sweeps: int = 4,
     seed: RandomLike = None,
 ) -> int:
@@ -107,7 +113,7 @@ def estimate_diameter(
 
 
 def average_distance(
-    graph: MultiGraph,
+    graph: GraphBackend,
     num_sources: int = 16,
     seed: RandomLike = None,
 ) -> float:

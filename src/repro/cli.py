@@ -140,6 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
             "trials instead of recomputing them"
         ),
     )
+    run.add_argument(
+        "--backend",
+        choices=("frozen", "multigraph"),
+        default="frozen",
+        help=(
+            "graph backend for search trials: 'frozen' snapshots each "
+            "realisation into a read-optimised CSR form (default), "
+            "'multigraph' keeps the mutable object; numbers are "
+            "identical either way"
+        ),
+    )
 
     compare = subparsers.add_parser(
         "compare",
@@ -198,6 +209,7 @@ def _run_one(
     plot: bool = False,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
 ) -> None:
     function = ALL_EXPERIMENTS[experiment_id]
     accepted = _accepted_parameters(function)
@@ -212,6 +224,8 @@ def _run_one(
         kwargs["jobs"] = jobs
     if cache_dir is not None and "cache_dir" in accepted:
         kwargs["cache_dir"] = cache_dir
+    if backend != "frozen" and "backend" in accepted:
+        kwargs["backend"] = backend
     result = function(**kwargs)
     print(result.format())
     if plot:
@@ -252,6 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     experiment_id, args.seed, json_path,
                     args.quick, args.plot,
                     jobs=args.jobs, cache_dir=args.cache_dir,
+                    backend=args.backend,
                 )
             return 0
         if requested not in ALL_EXPERIMENTS:
@@ -264,6 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_one(
             requested, args.seed, args.json, args.quick, args.plot,
             jobs=args.jobs, cache_dir=args.cache_dir,
+            backend=args.backend,
         )
         return 0
 

@@ -161,6 +161,7 @@ def e1_mori_weak(
     seed: int = 1,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
 ) -> ExperimentResult:
     """E1: every weak-model algorithm respects the Ω(√n) floor on Móri graphs.
 
@@ -179,6 +180,7 @@ def e1_mori_weak(
         jobs=jobs,
         store=_store_for(cache_dir),
         experiment_id="E1",
+        backend=backend,
     )
 
     def bound(size: int) -> float:
@@ -235,6 +237,7 @@ def e2_mori_strong(
     seed: int = 2,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
 ) -> ExperimentResult:
     """E2: strong-model algorithms respect Ω(n^{1/2-p-eps}) for p < 1/2."""
     family = MoriFamily(p=p, m=m)
@@ -248,6 +251,7 @@ def e2_mori_strong(
         jobs=jobs,
         store=_store_for(cache_dir),
         experiment_id="E2",
+        backend=backend,
     )
 
     def bound(size: int) -> float:
@@ -301,6 +305,7 @@ def e3_cooper_frieze(
     seed: int = 3,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
 ) -> ExperimentResult:
     """E3: the Ω(√n) floor holds in the Cooper–Frieze model (Theorem 2)."""
     params = CooperFriezeParams(alpha=alpha)
@@ -315,6 +320,7 @@ def e3_cooper_frieze(
         jobs=jobs,
         store=_store_for(cache_dir),
         experiment_id="E3",
+        backend=backend,
     )
 
     def bound(size: int) -> float:
@@ -491,6 +497,7 @@ def e6_degree_distribution(
     seed: int = 6,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
 ) -> ExperimentResult:
     """E6: evolving models are power-law; Kleinberg's lattice is not."""
     result = ExperimentResult(
@@ -529,11 +536,14 @@ def e6_degree_distribution(
         ),
     ]
     reference = trial_ref(degree_fit_trial)
+    # The default backend stays out of params so cache keys (and hence
+    # pre-snapshot caches) are unchanged; values are backend-independent.
+    extra = {} if backend == "frozen" else {"backend": backend}
     specs = [
         TrialSpec(
             experiment_id="E6",
             trial=reference,
-            params={"family": spec, "n": n},
+            params={"family": spec, "n": n, **extra},
             seed=substream(seed, index),
         )
         for index, (_, spec) in enumerate(specimens)
@@ -1291,6 +1301,7 @@ def e17_simulation_slowdown(
     seed: int = 17,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
 ) -> ExperimentResult:
     """E17: weak simulation of a strong algorithm pays <= max-degree slowdown.
 
@@ -1329,11 +1340,13 @@ def e17_simulation_slowdown(
     )
     reference = trial_ref(simulation_slowdown_trial)
     spec = family_spec(family)
+    # As in E6: only a forced non-default backend enters the cache key.
+    extra = {} if backend == "frozen" else {"backend": backend}
     specs = [
         TrialSpec(
             experiment_id="E17",
             trial=reference,
-            params={"family": spec, "size": size},
+            params={"family": spec, "size": size, **extra},
             seed=substream(substream(seed, index), rep),
         )
         for index, size in enumerate(sizes)
@@ -1389,6 +1402,7 @@ def e18_start_rule(
     seed: int = 18,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
 ) -> ExperimentResult:
     """E18: the Ω(√n) floor is start-vertex independent.
 
@@ -1429,6 +1443,7 @@ def e18_start_rule(
             jobs=jobs,
             store=_store_for(cache_dir),
             experiment_id="E18",
+            backend=backend,
         )
         exponent = measurement.fitted_exponent("high-degree")
         for size in measurement.sizes:

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.core.families import GraphFamily
 from repro.errors import ExperimentError
 from repro.equivalence.events import equivalence_window
-from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import GraphBackend
 from repro.rng import substream
 from repro.runner import ResultStore, TrialSpec, run_trials, trial_ref
 from repro.search.algorithms.base import SearchAlgorithm
@@ -49,13 +49,13 @@ __all__ = [
     "measure_scaling",
 ]
 
-AlgorithmFactory = Callable[[MultiGraph, int], SearchAlgorithm]
+AlgorithmFactory = Callable[[GraphBackend, int], SearchAlgorithm]
 
 
 def constant_factory(algorithm: SearchAlgorithm) -> AlgorithmFactory:
     """Wrap an instance-independent algorithm as a factory."""
 
-    def factory(graph: MultiGraph, target: int) -> SearchAlgorithm:
+    def factory(graph: GraphBackend, target: int) -> SearchAlgorithm:
         return algorithm
 
     return factory
@@ -68,7 +68,7 @@ def omniscient_factory() -> AlgorithmFactory:
     ``b = (target - 1) + ⌊√(target - 2)⌋``, clipped to the graph.
     """
 
-    def factory(graph: MultiGraph, target: int) -> SearchAlgorithm:
+    def factory(graph: GraphBackend, target: int) -> SearchAlgorithm:
         _, b = equivalence_window(target)
         window = range(target, min(b, graph.num_vertices) + 1)
         return OmniscientWindowSearch(graph, list(window))
@@ -108,6 +108,7 @@ def _build_cell_specs(
     seed: int,
     neighbor_success: bool,
     start_rule: str,
+    backend: str,
 ) -> List[TrialSpec]:
     """One :class:`TrialSpec` per graph realisation of a (size, seed) cell."""
     from repro.core.trials import family_spec, search_cost_graph_trial
@@ -122,6 +123,12 @@ def _build_cell_specs(
         "neighbor_success": neighbor_success,
         "start_rule": start_rule,
     }
+    # The backend never changes a trial's value (the equivalence
+    # battery pins this), so the default stays out of the params —
+    # keeping cache keys identical to pre-snapshot runs; only a forced
+    # non-default backend gets its own cache entries.
+    if backend != "frozen":
+        params["backend"] = backend
     return [
         TrialSpec(
             experiment_id=experiment_id,
@@ -165,6 +172,7 @@ def measure_search_cost(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     experiment_id: str = "adhoc",
+    backend: str = "frozen",
 ) -> CostMeasurement:
     """Estimate expected request counts on ``family`` at ``size``.
 
@@ -188,6 +196,12 @@ def measure_search_cost(
     dicts (closures) cannot cross process boundaries and always run
     serially in-process; both paths produce identical numbers for the
     same portfolio.
+
+    ``backend`` picks the graph form the searches run on: ``"frozen"``
+    (default) snapshots each realisation into a read-optimised
+    :class:`~repro.graphs.frozen.FrozenGraph` once built,
+    ``"multigraph"`` searches the mutable object directly.  Like
+    ``jobs``/``store`` it never changes a number, only wall-clock time.
     """
     if num_graphs < 1 or runs_per_graph < 1:
         raise ExperimentError(
@@ -211,6 +225,7 @@ def measure_search_cost(
             seed,
             neighbor_success,
             start_rule,
+            backend,
         )
         outcomes = run_trials(specs, jobs=jobs, store=store)
         return _fold_cell(
@@ -224,6 +239,8 @@ def measure_search_cost(
             "portfolio name from repro.core.trials.PORTFOLIOS"
         )
 
+    from repro.core.trials import snapshot_graph
+
     measurement = CostMeasurement(family_name=family.name, size=size)
     collected: Dict[str, List[SearchResult]] = {
         name: [] for name in factories
@@ -231,7 +248,9 @@ def measure_search_cost(
 
     for graph_index in range(num_graphs):
         graph_seed = substream(seed, graph_index)
-        graph = family.build(size, seed=graph_seed)
+        graph = snapshot_graph(
+            family.build(size, seed=graph_seed), backend
+        )
         target = family.theorem_target(graph)
         start = _choose_start(
             family, graph, target, start_rule, graph_seed
@@ -351,6 +370,7 @@ def measure_scaling(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     experiment_id: str = "adhoc",
+    backend: str = "frozen",
 ) -> ScalingMeasurement:
     """Run :func:`measure_search_cost` across a size grid.
 
@@ -393,6 +413,7 @@ def measure_scaling(
                 substream(seed, index),
                 neighbor_success,
                 start_rule,
+                backend,
             )
             offsets.append((size, len(grid_specs), len(cell_specs)))
             grid_specs.extend(cell_specs)
@@ -418,5 +439,6 @@ def measure_scaling(
             jobs=jobs,
             store=store,
             experiment_id=experiment_id,
+            backend=backend,
         )
     return measurement

@@ -12,6 +12,17 @@ pins this.
 Graph families and algorithm portfolios cross process boundaries by
 *name*: :func:`family_spec` / :func:`build_family` serialize the former,
 :func:`portfolio_factories` resolves the latter.
+
+Search trials take a ``backend`` parameter: after the evolving
+construction finishes, ``"frozen"`` (the default) snapshots the graph
+into a :class:`~repro.graphs.frozen.FrozenGraph` so the whole batch of
+search cells runs on the read-optimised CSR form, while
+``"multigraph"`` keeps the mutable object.  The choice affects
+wall-clock time only — every number is backend-independent
+(``tests/test_frozen_graph.py`` and the regression pins enforce it).
+:func:`batched_search_trial` is the general form: one generated graph
+serves an explicit batch of (algorithm, start, target, run) cells, each
+with the same substream-derived run seed the serial loops used.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from repro.core.families import (
 )
 from repro.errors import ExperimentError
 from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import GraphBackend, freeze
 from repro.graphs.cooper_frieze import CooperFriezeParams
 from repro.graphs.kleinberg import kleinberg_grid
 from repro.rng import make_rng, substream
@@ -56,12 +68,34 @@ __all__ = [
     "strong_factories",
     "portfolio_factories",
     "choose_start",
+    "snapshot_graph",
     "search_cost_graph_trial",
+    "batched_search_trial",
     "degree_fit_trial",
     "simulation_slowdown_trial",
     "result_to_dict",
     "result_from_dict",
 ]
+
+#: Valid values of the ``backend`` trial parameter.
+BACKENDS = ("frozen", "multigraph")
+
+
+def snapshot_graph(graph: MultiGraph, backend: str) -> GraphBackend:
+    """Apply a backend choice to a freshly built graph.
+
+    ``"frozen"`` returns an immutable CSR snapshot (the read-optimised
+    default); ``"multigraph"`` returns the graph unchanged.  Numbers
+    never depend on the choice — only wall-clock time does.
+    """
+    if backend == "frozen":
+        return freeze(graph)
+    if backend == "multigraph":
+        return graph
+    raise ExperimentError(
+        f"unknown graph backend {backend!r}; valid: "
+        f"{', '.join(BACKENDS)}"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -235,7 +269,7 @@ def portfolio_factories(name: str):
 
 def choose_start(
     family: GraphFamily,
-    graph: MultiGraph,
+    graph: GraphBackend,
     target: int,
     start_rule: str,
     graph_seed: int,
@@ -290,6 +324,67 @@ def result_from_dict(data: Dict[str, Any]) -> SearchResult:
 # ----------------------------------------------------------------------
 
 
+def _execute_cells(
+    graph: GraphBackend,
+    factories: Dict[str, Any],
+    cells: List[Dict[str, Any]],
+    *,
+    default_start: int,
+    default_target: int,
+    budget: Optional[int],
+    neighbor_success: bool,
+    seed: int,
+) -> List[Dict[str, Any]]:
+    """Run a batch of search cells against one (snapshotted) graph.
+
+    Each cell is ``{"algorithm": <portfolio member>, "run_index": i}``
+    plus optional ``"start"`` / ``"target"`` overrides.  The run seed of
+    a cell is ``substream(seed, (crc32(name) << 16) ^ run_index)`` —
+    the exact formula of the original serial loop, so any regrouping of
+    cells (by portfolio, by explicit batch) is draw-for-draw identical
+    to the monolithic iteration.
+    """
+    instance_budget = (
+        budget if budget is not None else default_budget(graph)
+    )
+    algorithms: Dict[str, Any] = {}
+    results: List[Dict[str, Any]] = []
+    for cell in cells:
+        name = cell["algorithm"]
+        target = cell.get("target", default_target)
+        start = cell.get("start", default_start)
+        # Factories may close over the target (the omniscient window
+        # does), so the instance cache is keyed by both.
+        algorithm = algorithms.get((name, target))
+        if algorithm is None:
+            try:
+                factory = factories[name]
+            except KeyError:
+                raise ExperimentError(
+                    f"algorithm {name!r} is not in the portfolio; "
+                    f"valid: {', '.join(sorted(factories))}"
+                ) from None
+            algorithm = factory(graph, target)
+            algorithms[(name, target)] = algorithm
+        # str hashes are salted per process; crc32 keeps run seeds
+        # reproducible across interpreter invocations.
+        name_code = zlib.crc32(name.encode("utf-8"))
+        run_seed = substream(
+            seed, (name_code << 16) ^ cell.get("run_index", 0)
+        )
+        result = run_search(
+            algorithm,
+            graph,
+            start,
+            target,
+            budget=instance_budget,
+            seed=run_seed,
+            neighbor_success=neighbor_success,
+        )
+        results.append(result_to_dict(result))
+    return results
+
+
 def search_cost_graph_trial(
     *,
     family: Dict[str, Any],
@@ -299,6 +394,7 @@ def search_cost_graph_trial(
     budget: Optional[int] = None,
     neighbor_success: bool = False,
     start_rule: str = "default",
+    backend: str = "frozen",
     seed: int = 0,
 ) -> Dict[str, List[Dict[str, Any]]]:
     """One graph realisation searched by a whole portfolio.
@@ -306,46 +402,98 @@ def search_cost_graph_trial(
     ``seed`` is the graph substream seed (what ``measure_search_cost``
     derives as ``substream(seed, graph_index)``); all run seeds fan out
     from it exactly as in the original serial loop, so the decomposed
-    grid is draw-for-draw identical to the monolithic one.
+    grid is draw-for-draw identical to the monolithic one.  ``backend``
+    selects the graph form the searches run on (see
+    :func:`snapshot_graph`); it changes wall-clock time, never numbers.
     """
     family_obj = build_family(family)
     factories = portfolio_factories(portfolio)
-    graph = family_obj.build(size, seed=seed)
+    graph = snapshot_graph(
+        family_obj.build(size, seed=seed), backend
+    )
     target = family_obj.theorem_target(graph)
     start = choose_start(family_obj, graph, target, start_rule, seed)
-    instance_budget = (
-        budget if budget is not None else default_budget(graph)
+    cells = [
+        {"algorithm": name, "run_index": run_index}
+        for name in factories
+        for run_index in range(runs_per_graph)
+    ]
+    cell_results = _execute_cells(
+        graph,
+        factories,
+        cells,
+        default_start=start,
+        default_target=target,
+        budget=budget,
+        neighbor_success=neighbor_success,
+        seed=seed,
     )
     collected: Dict[str, List[Dict[str, Any]]] = {}
-    for name, factory in factories.items():
-        algorithm = factory(graph, target)
-        # str hashes are salted per process; crc32 keeps run seeds
-        # reproducible across interpreter invocations.
-        name_code = zlib.crc32(name.encode("utf-8"))
-        runs = collected.setdefault(name, [])
-        for run_index in range(runs_per_graph):
-            run_seed = substream(seed, (name_code << 16) ^ run_index)
-            result = run_search(
-                algorithm,
-                graph,
-                start,
-                target,
-                budget=instance_budget,
-                seed=run_seed,
-                neighbor_success=neighbor_success,
-            )
-            runs.append(result_to_dict(result))
+    for cell, result in zip(cells, cell_results):
+        collected.setdefault(cell["algorithm"], []).append(result)
     return collected
+
+
+def batched_search_trial(
+    *,
+    family: Dict[str, Any],
+    size: int,
+    portfolio: str,
+    cells: List[Dict[str, Any]],
+    budget: Optional[int] = None,
+    neighbor_success: bool = False,
+    start_rule: str = "default",
+    backend: str = "frozen",
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """One generated graph snapshot serving an explicit batch of cells.
+
+    The general per-graph trial: instead of re-generating (or
+    re-traversing) the topology for every (algorithm, start, target,
+    seed) search cell, the graph is built once from ``seed``,
+    snapshotted per ``backend``, and every cell runs against the shared
+    snapshot.  Cells are dicts with
+
+    * ``"algorithm"`` — a member of ``portfolio`` (required);
+    * ``"run_index"`` — repetition index feeding the run-seed substream
+      (default 0);
+    * ``"start"`` / ``"target"`` — optional per-cell overrides of the
+      graph-level defaults (the family's ``start_rule`` resolution and
+      theorem target).
+
+    Returns one serialized :class:`~repro.search.metrics.SearchResult`
+    per cell, in cell order.  Per-cell run seeds use the same substream
+    formula as the serial loops, so a batch containing the portfolio
+    grid reproduces :func:`search_cost_graph_trial` bit-for-bit.
+    """
+    family_obj = build_family(family)
+    factories = portfolio_factories(portfolio)
+    graph = snapshot_graph(
+        family_obj.build(size, seed=seed), backend
+    )
+    target = family_obj.theorem_target(graph)
+    start = choose_start(family_obj, graph, target, start_rule, seed)
+    return _execute_cells(
+        graph,
+        factories,
+        cells,
+        default_start=start,
+        default_target=target,
+        budget=budget,
+        neighbor_success=neighbor_success,
+        seed=seed,
+    )
 
 
 def degree_fit_trial(
     *,
     family: Dict[str, Any],
     n: int,
+    backend: str = "frozen",
     seed: int = 0,
 ) -> Dict[str, Any]:
     """One E6 specimen: build a graph and fit its degree power law."""
-    graph = build_specimen(family, n, seed)
+    graph = snapshot_graph(build_specimen(family, n, seed), backend)
     degrees = graph.degree_sequence()
     fit = fit_power_law(degrees)
     return {
@@ -360,6 +508,7 @@ def simulation_slowdown_trial(
     *,
     family: Dict[str, Any],
     size: int,
+    backend: str = "frozen",
     seed: int = 0,
 ) -> Dict[str, Any]:
     """One E17 instance: strong vs simulated-weak cost and max degree.
@@ -370,7 +519,9 @@ def simulation_slowdown_trial(
     from repro.core.families import theorem_target_for_size
 
     family_obj = build_family(family)
-    graph = family_obj.build(size, seed=seed)
+    graph = snapshot_graph(
+        family_obj.build(size, seed=seed), backend
+    )
     target = theorem_target_for_size(size)
     strong_result = run_search(
         HighDegreeStrongSearch(), graph, 1, target, seed=0

@@ -4,6 +4,8 @@ This subpackage implements, from scratch, every graph model the paper
 uses or contrasts against:
 
 * :mod:`repro.graphs.base` — the mutable multigraph all models build on;
+* :mod:`repro.graphs.frozen` — the immutable CSR snapshot backend the
+  search/analysis hot paths run on (freeze once, read many);
 * :mod:`repro.graphs.mori` — the Móri random tree and its merged
   ``m``-out variant (the paper's Theorem 1 object);
 * :mod:`repro.graphs.cooper_frieze` — the Cooper–Frieze general
@@ -22,6 +24,7 @@ uses or contrasts against:
 """
 
 from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import FrozenGraph, GraphBackend, freeze
 from repro.graphs.mori import (
     MoriTree,
     merged_mori_graph,
@@ -34,8 +37,12 @@ from repro.graphs.configuration import configuration_model_graph
 from repro.graphs.power_law import power_law_degree_sequence
 from repro.graphs.kleinberg import KleinbergGrid, kleinberg_grid
 
+# GraphBackend (the Union alias of the two backends) is importable but
+# deliberately not in __all__: it is a typing handle, not a callable.
 __all__ = [
     "MultiGraph",
+    "FrozenGraph",
+    "freeze",
     "MoriTree",
     "mori_tree",
     "merged_mori_graph",

@@ -21,6 +21,12 @@ per-vertex incidence list of edge ids.  Conventions:
   contributes 2 to the undirected degree (standard multigraph
   convention, and what the merged Móri construction requires so that
   degree mass is conserved by merging).
+
+Once construction is finished, hand the graph to the read-optimised
+backend: :meth:`MultiGraph.freeze` takes an immutable CSR snapshot
+(:class:`repro.graphs.frozen.FrozenGraph`) that answers every query
+here bit-identically while serving whole batches of searches and the
+vectorised analysis kernels — see :mod:`repro.graphs.frozen`.
 """
 
 from __future__ import annotations
@@ -239,7 +245,31 @@ class MultiGraph:
         )
 
     def __hash__(self) -> int:
+        """Content hash of the *current* state.
+
+        .. warning:: **Freeze-then-hash contract.**  This object is
+           mutable, so the hash is only stable for as long as no vertex
+           or edge is added: a graph placed in a dict or set and then
+           grown will no longer be found under its old hash.  Hash a
+           :class:`MultiGraph` only once construction is finished —
+           or, better, take a :meth:`freeze` snapshot and hash that:
+           :class:`~repro.graphs.frozen.FrozenGraph` is immutable,
+           caches its hash, and compares (and hashes) equal to the
+           graph it was frozen from.
+        """
         return hash((self.num_vertices, tuple(self._endpoints)))
+
+    def freeze(self) -> "FrozenGraph":
+        """An immutable CSR snapshot of the current state.
+
+        The snapshot answers every read query identically (same edge
+        ids, same incidence order, same degree conventions) but is
+        array-backed, safely hashable, and serves the vectorised
+        analysis kernels; see :mod:`repro.graphs.frozen`.
+        """
+        from repro.graphs.frozen import FrozenGraph
+
+        return FrozenGraph.from_multigraph(self)
 
     def _check_vertex(self, v: int) -> None:
         if not 1 <= v <= self.num_vertices:

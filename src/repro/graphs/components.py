@@ -14,6 +14,10 @@ from typing import Dict, List, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import (
+    GraphBackend,
+    vectorized_connected_components,
+)
 
 __all__ = [
     "connected_components",
@@ -23,8 +27,16 @@ __all__ = [
 ]
 
 
-def connected_components(graph: MultiGraph) -> List[List[int]]:
-    """All connected components, largest first, each sorted ascending."""
+def connected_components(graph: GraphBackend) -> List[List[int]]:
+    """All connected components, largest first, each sorted ascending.
+
+    Accepts either backend; on a numpy-backed
+    :class:`~repro.graphs.frozen.FrozenGraph` the components come from
+    the vectorised label-propagation kernel (identical output).
+    """
+    fast = vectorized_connected_components(graph)
+    if fast is not None:
+        return fast
     n = graph.num_vertices
     seen = [False] * (n + 1)
     components: List[List[int]] = []
@@ -48,7 +60,7 @@ def connected_components(graph: MultiGraph) -> List[List[int]]:
     return components
 
 
-def largest_component(graph: MultiGraph) -> List[int]:
+def largest_component(graph: GraphBackend) -> List[int]:
     """Vertices of the largest connected component, sorted ascending."""
     components = connected_components(graph)
     if not components:
@@ -76,7 +88,7 @@ class InducedSubgraph:
 
 
 def induced_subgraph(
-    graph: MultiGraph, vertices: List[int]
+    graph: GraphBackend, vertices: List[int]
 ) -> InducedSubgraph:
     """The subgraph induced by ``vertices``, relabelled densely.
 

@@ -5,8 +5,12 @@ their Monte-Carlo grids as lists of pure :class:`TrialSpec` units,
 :func:`run_trials` executes them serially or across worker processes
 (bit-identically, thanks to substream-derived per-trial seeds), and
 :class:`ResultStore` replays completed cells across invocations.
+:func:`batched_specs` / :func:`unbatch_values` pack many per-search
+cells into one spec so a single generated graph snapshot serves the
+whole batch (see :mod:`repro.runner.batching`).
 """
 
+from repro.runner.batching import batched_specs, unbatch_values
 from repro.runner.executor import run_trials
 from repro.runner.store import MISS, ResultStore
 from repro.runner.trial import (
@@ -24,8 +28,10 @@ __all__ = [
     "TrialExecutionError",
     "TrialResult",
     "TrialSpec",
+    "batched_specs",
     "params_hash",
     "resolve_trial",
     "run_trials",
     "trial_ref",
+    "unbatch_values",
 ]

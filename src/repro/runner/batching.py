@@ -1,0 +1,91 @@
+"""Batched per-graph scheduling: many cells, one trial, one snapshot.
+
+The runner's unit of dispatch is the :class:`~repro.runner.trial.TrialSpec`
+— but the natural unit of *work* in the search experiments is finer: a
+single (algorithm, start, target, seed) **cell**.  Scheduling one spec
+per cell would regenerate the graph realisation for every cell; these
+helpers instead pack a whole cell list into each spec (one per graph
+seed) so the trial function builds the topology once, snapshots it, and
+serves every cell from the snapshot — the batched layout
+:func:`repro.core.trials.batched_search_trial` executes.
+
+The helpers are trial-agnostic: any pure trial whose parameters carry a
+list of cells and whose value is the same-length list of per-cell
+results fits.  :func:`batched_specs` packs, :func:`unbatch_values`
+unpacks and validates; between them runs the ordinary
+:func:`~repro.runner.executor.run_trials` (so ``jobs`` fan-out and the
+result store apply to batches unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.errors import ExperimentError
+from repro.runner.trial import TrialResult, TrialSpec
+
+__all__ = ["batched_specs", "unbatch_values"]
+
+
+def batched_specs(
+    experiment_id: str,
+    trial: str,
+    base_params: Mapping[str, Any],
+    cells: Sequence[Mapping[str, Any]],
+    graph_seeds: Sequence[int],
+    cells_key: str = "cells",
+) -> List[TrialSpec]:
+    """One :class:`TrialSpec` per graph seed, each carrying every cell.
+
+    Parameters
+    ----------
+    experiment_id, trial:
+        As on :class:`TrialSpec` (``trial`` is a ``module:qualname``
+        reference, e.g. from :func:`~repro.runner.trial.trial_ref`).
+    base_params:
+        Per-graph parameters shared by all cells (family spec, size,
+        portfolio, backend, ...).
+    cells:
+        The per-search cells; stored under ``cells_key`` in every
+        spec's params, so they hash into the cache key.
+    graph_seeds:
+        One spec is emitted per seed, in order — callers derive these
+        with :func:`repro.rng.substream` exactly as for unbatched specs.
+    """
+    if not cells:
+        raise ExperimentError("batched specs need at least one cell")
+    params: Dict[str, Any] = dict(base_params)
+    params[cells_key] = [dict(cell) for cell in cells]
+    return [
+        TrialSpec(
+            experiment_id=experiment_id,
+            trial=trial,
+            params=params,
+            seed=graph_seed,
+        )
+        for graph_seed in graph_seeds
+    ]
+
+
+def unbatch_values(
+    outcomes: Sequence[TrialResult],
+    num_cells: int,
+) -> List[List[Any]]:
+    """Per-graph cell-value lists from batched trial outcomes.
+
+    Validates the batched-trial contract — each outcome's value is a
+    list with exactly one entry per cell — and returns the values in
+    (graph, cell) order.  Flatten for a cell-major stream.
+    """
+    values: List[List[Any]] = []
+    for outcome in outcomes:
+        value = outcome.value
+        if not isinstance(value, list) or len(value) != num_cells:
+            raise ExperimentError(
+                f"batched trial {outcome.spec.trial} returned "
+                f"{type(value).__name__} of length "
+                f"{len(value) if isinstance(value, list) else 'n/a'}; "
+                f"expected a list of {num_cells} cell values"
+            )
+        values.append(value)
+    return values

@@ -8,6 +8,19 @@ far endpoint is known from both), and its expected cost on a uniformly
 hidden target is about half the edges it would ever scan.  It serves as
 the upper-envelope baseline in E1/E3 and as a termination guarantee in
 tests.
+
+Flooding is also *deterministic*: its request sequence is a pure
+function of the graph, the start vertex, and the budget.  On a
+:class:`~repro.graphs.frozen.FrozenGraph`-backed plain
+:class:`~repro.search.oracle.WeakOracle` the run therefore dispatches
+to a flat-array kernel that replays exactly the same requests against
+bytearray state instead of the generic dict-of-tuples
+:class:`~repro.search.oracle.Knowledge` — several times faster, same
+``SearchResult`` (pinned by ``tests/test_frozen_graph.py``).  The
+kernel counts its requests on the oracle but does not materialise the
+``Knowledge`` view (nothing reads it after a kernel run); oracle
+subclasses — e.g. recording oracles in tests — always get the generic
+request-by-request path.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from __future__ import annotations
 import random
 from collections import deque
 
+from repro.graphs.frozen import FrozenGraph
 from repro.search.algorithms.base import SearchAlgorithm
 from repro.search.metrics import SearchResult
 from repro.search.oracle import WeakOracle
@@ -31,6 +45,12 @@ class FloodingSearch(SearchAlgorithm):
     def run(
         self, oracle: WeakOracle, rng: random.Random, budget: int
     ) -> SearchResult:
+        if type(oracle) is WeakOracle and isinstance(
+            oracle._graph, FrozenGraph
+        ):
+            _csr_flood(oracle, budget)
+            return self._result(oracle)
+
         knowledge = oracle.knowledge
         queue = deque([oracle.start])
         enqueued = {oracle.start}
@@ -50,3 +70,52 @@ class FloodingSearch(SearchAlgorithm):
                 break
 
         return self._result(oracle)
+
+
+def _csr_flood(oracle: WeakOracle, budget: int) -> None:
+    """Replay flooding's exact request sequence on flat arrays.
+
+    Equivalence to the generic loop rests on one invariant of
+    :class:`~repro.search.oracle.Knowledge`: while only flooding is
+    driving the oracle, ``far_endpoint(u, eid)`` is inferable exactly
+    when the edge's other endpoint has been discovered (a self-loop is
+    inferable as soon as its one vertex is — both incidence slots are
+    revealed together).  ``discovered`` and ``enqueued`` become
+    bytearray bitmaps, the incidence tuples come from the snapshot's
+    per-vertex cache, and requests reduce to an endpoint lookup.  The
+    oracle's ``request_count``/``found`` are updated at the end so the
+    result (and any later budget accounting) reads identically.
+    """
+    graph = oracle._graph
+    zone = oracle._zone
+    start = oracle.start
+    found = oracle.found
+    requests = oracle.request_count
+
+    discovered = bytearray(graph.num_vertices + 1)
+    discovered[start] = 1
+    enqueued = bytearray(graph.num_vertices + 1)
+    enqueued[start] = 1
+    queue = deque([start])
+
+    while queue and not found:
+        u = queue.popleft()
+        # One slot per incidence entry, far endpoint precomputed (the
+        # slot order is the incident-edges order the generic loop uses).
+        for far in graph._slot_target_list(u):
+            if found or requests >= budget:
+                break
+            if not discovered[far]:
+                # The generic path would issue oracle.request(u, eid).
+                requests += 1
+                discovered[far] = 1
+                if far in zone:
+                    found = True
+            if not enqueued[far]:
+                enqueued[far] = 1
+                queue.append(far)
+        if requests >= budget:
+            break
+
+    oracle.request_count = requests
+    oracle.found = found

@@ -34,7 +34,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
-from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import GraphBackend
 from repro.search.algorithms.base import SearchAlgorithm
 from repro.search.metrics import SearchResult
 from repro.search.oracle import WeakOracle
@@ -48,7 +48,7 @@ class OmniscientWindowSearch(SearchAlgorithm):
     name = "omniscient-window"
     model = "weak"
 
-    def __init__(self, graph: MultiGraph, window: Sequence[int]):
+    def __init__(self, graph: GraphBackend, window: Sequence[int]):
         if not window:
             raise InvalidParameterError("window must be non-empty")
         for k in window:

@@ -29,6 +29,13 @@ of an edge without a request when both endpoints' incidence lists have
 been revealed (the information is already in hand); :class:`Knowledge`
 performs that inference, including the self-loop case (an edge occurring
 twice in one vertex's list).
+
+Both oracles accept either graph backend — the mutable
+:class:`~repro.graphs.base.MultiGraph` or an immutable
+:class:`~repro.graphs.frozen.FrozenGraph` snapshot.  The protocol and
+every answer are identical (the snapshot preserves edge ids and
+incidence order bit-for-bit); the snapshot is simply faster to query,
+especially when one graph serves a whole batch of searches.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import OracleProtocolError
-from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import GraphBackend
 
 __all__ = ["Knowledge", "WeakOracle", "StrongOracle"]
 
@@ -124,7 +131,7 @@ class Knowledge:
 
 
 def _success_zone(
-    graph: MultiGraph, target: int, neighbor_success: bool
+    graph: GraphBackend, target: int, neighbor_success: bool
 ) -> frozenset:
     """Vertices whose discovery ends the search.
 
@@ -167,7 +174,7 @@ class WeakOracle:
 
     def __init__(
         self,
-        graph: MultiGraph,
+        graph: GraphBackend,
         start: int,
         target: int,
         neighbor_success: bool = False,
@@ -223,7 +230,7 @@ class StrongOracle:
 
     def __init__(
         self,
-        graph: MultiGraph,
+        graph: GraphBackend,
         start: int,
         target: int,
         neighbor_success: bool = False,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import InvalidParameterError
-from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import GraphBackend
 from repro.rng import RandomLike, make_rng
 from repro.search.algorithms.base import SearchAlgorithm
 from repro.search.metrics import SearchResult
@@ -20,7 +20,7 @@ from repro.search.oracle import StrongOracle, WeakOracle
 __all__ = ["default_budget", "make_oracle", "run_search"]
 
 
-def default_budget(graph: MultiGraph) -> int:
+def default_budget(graph: GraphBackend) -> int:
     """Default request budget: enough for exhaustive exploration.
 
     Flooding resolves every edge with at most one request each, so
@@ -34,7 +34,7 @@ def default_budget(graph: MultiGraph) -> int:
 
 def make_oracle(
     model: str,
-    graph: MultiGraph,
+    graph: GraphBackend,
     start: int,
     target: int,
     neighbor_success: bool = False,
@@ -60,7 +60,7 @@ def make_oracle(
 
 def run_search(
     algorithm: SearchAlgorithm,
-    graph: MultiGraph,
+    graph: GraphBackend,
     start: int,
     target: int,
     budget: Optional[int] = None,
@@ -75,7 +75,8 @@ def run_search(
         A :class:`~repro.search.algorithms.base.SearchAlgorithm`; its
         declared ``model`` selects the oracle.
     graph:
-        The graph to search (its undirected view).
+        The graph to search (its undirected view); either the
+        mutable backend or a frozen snapshot.
     start:
         Initially discovered vertex.
     target:

@@ -6,19 +6,33 @@ parallel-edge bundles, self-loop nests, lollipops (dense core + long
 tail), and two-vertex multigraphs.  Every portfolio algorithm must
 terminate, respect its budget, never raise, and find reachable targets
 given enough budget — on all of them.
+
+The golden-trace battery (:class:`TestGoldenTraces`) extends the
+gauntlet across graph backends: for pinned seeds, every algorithm must
+issue the *identical oracle request sequence* — and end in the
+identical :class:`~repro.search.metrics.SearchResult` — whether the
+oracle is backed by the mutable :class:`MultiGraph` or by its
+:class:`~repro.graphs.frozen.FrozenGraph` snapshot.  The tracing
+oracles are subclasses, so they also pin the guarantee that algorithm
+fast paths (flooding's CSR kernel) never engage for oracle subclasses:
+what is traced is the genuine request-by-request protocol.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.graphs import freeze
 from repro.graphs.base import MultiGraph
+from repro.graphs.mori import merged_mori_graph
+from repro.rng import make_rng
 from repro.search.algorithms import (
     HighDegreeStrongSearch,
     WeakSimulationOfStrong,
     strong_model_portfolio,
     weak_model_portfolio,
 )
+from repro.search.oracle import StrongOracle, WeakOracle
 from repro.search.process import run_search
 
 
@@ -144,3 +158,111 @@ class TestGauntlet:
             seed=5,
         )
         assert result.requests <= 2
+
+    def test_found_on_frozen_backend_too(self, graph_name, algorithm):
+        """The gauntlet's success guarantee holds on the snapshot."""
+        if algorithm.name.startswith("restart-walk") and graph_name in (
+            "path",
+            "lollipop",
+        ):
+            pytest.skip("restart walks cannot traverse long paths")
+        graph = GRAPHS[graph_name]
+        frozen = freeze(graph)
+        result = run_search(
+            algorithm,
+            frozen,
+            start=1,
+            target=graph.num_vertices,
+            budget=20 * graph.num_edges + 50,
+            seed=5,
+        )
+        assert result.found, (
+            f"{algorithm.name} lost on frozen {graph_name}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Golden traces: identical request sequences on both backends
+# ----------------------------------------------------------------------
+
+
+class TracingWeakOracle(WeakOracle):
+    """Weak oracle that journals every (request, answer) pair."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trace = []
+
+    def request(self, u, eid):
+        answer = super().request(u, eid)
+        self.trace.append(("weak", u, eid, answer))
+        return answer
+
+
+class TracingStrongOracle(StrongOracle):
+    """Strong oracle that journals every (request, answer) pair."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trace = []
+
+    def request(self, u):
+        answer = super().request(u)
+        self.trace.append(("strong", u, answer))
+        return answer
+
+
+def traced_run(algorithm, graph, start, target, seed):
+    """Run one search through a tracing oracle; return (trace, result)."""
+    oracle_cls = (
+        TracingWeakOracle
+        if algorithm.model == "weak"
+        else TracingStrongOracle
+    )
+    oracle = oracle_cls(graph, start, target)
+    budget = 20 * graph.num_edges + 50
+    result = algorithm.run(oracle, make_rng(seed), budget)
+    return oracle.trace, result
+
+
+@pytest.mark.parametrize(
+    "graph_name", sorted(GRAPHS), ids=sorted(GRAPHS)
+)
+@pytest.mark.parametrize(
+    "algorithm", ALGORITHMS, ids=lambda a: f"{a.name}-{a.model}"
+)
+def test_golden_trace_identical_across_backends(graph_name, algorithm):
+    """Pinned seeds: same requests, same answers, same result."""
+    graph = GRAPHS[graph_name]
+    frozen = freeze(graph)
+    target = graph.num_vertices
+    for seed in (5, 23):
+        trace_mutable, result_mutable = traced_run(
+            algorithm, graph, 1, target, seed
+        )
+        trace_frozen, result_frozen = traced_run(
+            algorithm, frozen, 1, target, seed
+        )
+        assert trace_frozen == trace_mutable, (
+            f"{algorithm.name} diverged on {graph_name} (seed {seed})"
+        )
+        assert result_frozen == result_mutable
+
+
+@pytest.mark.parametrize(
+    "algorithm", ALGORITHMS, ids=lambda a: f"{a.name}-{a.model}"
+)
+def test_golden_trace_on_model_graph(algorithm):
+    """Same invariant on a realistic Móri instance (loops, parallels)."""
+    graph = merged_mori_graph(120, 2, 0.5, seed=31).graph
+    frozen = freeze(graph)
+    target = graph.num_vertices
+    trace_mutable, result_mutable = traced_run(
+        algorithm, graph, 1, target, 5
+    )
+    trace_frozen, result_frozen = traced_run(
+        algorithm, frozen, 1, target, 5
+    )
+    assert trace_frozen == trace_mutable
+    assert result_frozen == result_mutable
+    assert trace_mutable, "search made no requests at all"

@@ -1,0 +1,82 @@
+"""Fast validation of the committed benchmark-trajectory record.
+
+``make bench-smoke`` writes ``BENCH_PR2.json``; this test never runs
+the benchmark (that takes minutes) but pins the committed artifact:
+the schema the trajectory tooling will consume — experiment id, n,
+wall seconds, backend per record — and the PR's recorded acceptance
+claim (>= 3x on the flooding/BFS cell batch).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_PR2.json"
+)
+
+VALID_BACKENDS = {"frozen", "multigraph"}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    assert os.path.exists(BENCH_PATH), (
+        "BENCH_PR2.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchSchema:
+    def test_schema_version(self, payload):
+        assert payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, payload):
+        records = payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+
+    def test_both_backends_per_experiment(self, payload):
+        seen: dict = {}
+        for record in payload["records"]:
+            seen.setdefault(record["experiment"], set()).add(
+                record["backend"]
+            )
+        for experiment_id in ("E1", "E3", "E17"):
+            assert seen.get(experiment_id) == VALID_BACKENDS, (
+                f"{experiment_id} must be timed on both backends"
+            )
+
+    def test_speedup_block(self, payload):
+        speedup = payload["speedup"]
+        assert speedup["workload"] == "e1-flooding-bfs-cells"
+        assert speedup["n"] == 100_000
+        assert speedup["cells"] >= 1
+        for key in (
+            "multigraph_rebuild_seconds",
+            "multigraph_shared_seconds",
+            "frozen_batched_seconds",
+        ):
+            assert speedup[key] > 0
+
+    def test_recorded_acceptance_speedup(self, payload):
+        """The committed run met the PR's >= 3x acceptance bar."""
+        speedup = payload["speedup"]
+        assert speedup["speedup_vs_rebuild"] >= 3.0
+        # Self-consistency of the recorded ratios (2 d.p. rounding).
+        expected = (
+            speedup["multigraph_rebuild_seconds"]
+            / speedup["frozen_batched_seconds"]
+        )
+        assert speedup["speedup_vs_rebuild"] == pytest.approx(
+            expected, abs=0.01
+        )

@@ -10,6 +10,15 @@ so the comparison is exact equality, not approximate.
 A second set of checks asserts the acceptance criterion end-to-end:
 `repro run <id> --jobs 4 --json out.json` is byte-identical to the
 serial run, and a warm `--cache-dir` re-run recomputes nothing.
+
+The graph-backend refactor extends the bargain: searches now default
+to running on :class:`~repro.graphs.frozen.FrozenGraph` snapshots with
+batched per-graph cells, and the *same* golden scalars must come out
+on either backend (the default serial pin exercises ``frozen``;
+``test_derived_scalars_pinned_multigraph`` forces the pre-refactor
+mutable path; ``TestBatchedCellLayout`` re-derives a pinned
+experiment's raw per-graph values through the explicit
+``batched_search_trial`` cell layout).
 """
 
 from __future__ import annotations
@@ -111,10 +120,73 @@ EXPERIMENTS = {
 
 @pytest.mark.parametrize("experiment_id", sorted(GOLDEN))
 def test_derived_scalars_pinned_serial(experiment_id):
-    """jobs=1 reproduces the pre-refactor numbers bit-for-bit."""
+    """jobs=1 reproduces the pre-refactor numbers bit-for-bit.
+
+    The default backend is now ``frozen``, so this also pins that the
+    CSR-snapshot batched path changes nothing numerically.
+    """
     pin = GOLDEN[experiment_id]
     result = EXPERIMENTS[experiment_id](**pin["kwargs"])
     assert result.derived == pin["derived"]
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN))
+def test_derived_scalars_pinned_multigraph(experiment_id):
+    """backend='multigraph' (the pre-refactor path) matches the pins too."""
+    pin = GOLDEN[experiment_id]
+    result = EXPERIMENTS[experiment_id](
+        **pin["kwargs"], backend="multigraph"
+    )
+    assert result.derived == pin["derived"]
+
+
+class TestBatchedCellLayout:
+    """Explicit per-graph cell batches reproduce the pinned grids."""
+
+    def test_e1_cells_reproduce_portfolio_values(self):
+        """E1's per-graph trial values, re-derived cell by cell."""
+        from repro.core.trials import (
+            batched_search_trial,
+            family_spec,
+            portfolio_factories,
+            search_cost_graph_trial,
+        )
+        from repro.core.families import MoriFamily
+        from repro.rng import substream
+
+        kwargs = GOLDEN["E1"]["kwargs"]
+        spec = family_spec(MoriFamily(p=0.5, m=1))
+        names = list(portfolio_factories("weak-omniscient"))
+        cells = [
+            {"algorithm": name, "run_index": run_index}
+            for name in names
+            for run_index in range(kwargs["runs_per_graph"])
+        ]
+        for size_index, size in enumerate(kwargs["sizes"]):
+            for graph_index in range(kwargs["num_graphs"]):
+                graph_seed = substream(
+                    substream(kwargs["seed"], size_index), graph_index
+                )
+                grouped = search_cost_graph_trial(
+                    family=spec,
+                    size=size,
+                    portfolio="weak-omniscient",
+                    runs_per_graph=kwargs["runs_per_graph"],
+                    seed=graph_seed,
+                )
+                flat = batched_search_trial(
+                    family=spec,
+                    size=size,
+                    portfolio="weak-omniscient",
+                    cells=cells,
+                    seed=graph_seed,
+                )
+                regrouped: dict = {}
+                for cell, value in zip(cells, flat):
+                    regrouped.setdefault(
+                        cell["algorithm"], []
+                    ).append(value)
+                assert regrouped == grouped
 
 
 @pytest.mark.slow

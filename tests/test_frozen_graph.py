@@ -1,0 +1,472 @@
+"""Backend-equivalence battery: FrozenGraph must mirror MultiGraph.
+
+The CSR snapshot is only allowed to change wall-clock time.  These
+tests pin the contract from every side:
+
+* **property grid** — across seeded instances of all graph models
+  (Móri, Cooper–Frieze, BA, Kleinberg, configuration), every read
+  query (degrees, incident edge ids, neighbors, self-loop counts,
+  components, BFS distances, ...) answers identically on both backends;
+* **search equivalence** — full searches, including the flooding CSR
+  kernel's fast path, return bit-identical ``SearchResult`` values;
+* **batched trials** — :func:`repro.core.trials.batched_search_trial`
+  reproduces the portfolio trial draw-for-draw, on either backend;
+* **freeze-then-hash** — the documented mutability caveat on
+  ``MultiGraph.__hash__`` and the snapshot's stability under it;
+* **fallback** — with numpy unavailable, the stdlib-``array`` CSR
+  answers the same queries and the vectorised kernels bow out cleanly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import (
+    BarabasiAlbertFamily,
+    ConfigurationFamily,
+    CooperFriezeFamily,
+    MoriFamily,
+)
+from repro.errors import ExperimentError, GraphConstructionError
+from repro.graphs import FrozenGraph, MultiGraph, freeze, kleinberg_grid
+from repro.graphs.components import connected_components
+from repro.graphs.frozen import (
+    vectorized_bfs_distances,
+    vectorized_connected_components,
+    vectorized_degree_histogram,
+)
+from repro.analysis.degrees import degree_histogram
+from repro.analysis.diameter import bfs_distances
+from repro.search.algorithms import FloodingSearch, RandomWalkSearch
+from repro.search.oracle import WeakOracle
+from repro.search.process import run_search
+
+
+def model_graph(model: str, seed: int) -> MultiGraph:
+    """One modest instance of each model the paper touches."""
+    if model == "mori":
+        return MoriFamily(p=0.5, m=2).build(150, seed=seed)
+    if model == "cooper-frieze":
+        return CooperFriezeFamily().build(120, seed=seed)
+    if model == "ba":
+        return BarabasiAlbertFamily(m=2).build(150, seed=seed)
+    if model == "config":
+        # Unrestricted configuration graph: disconnected, with loops
+        # and parallel edges — the adversarial case for a snapshot.
+        from repro.graphs.configuration import (
+            power_law_configuration_graph,
+        )
+
+        return power_law_configuration_graph(150, 2.5, seed=seed)
+    if model == "kleinberg":
+        return kleinberg_grid(10, r=2.0, q=1, seed=seed).graph
+    raise AssertionError(model)
+
+
+MODELS = ("mori", "cooper-frieze", "ba", "config", "kleinberg")
+SEEDS = (0, 7)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("model", MODELS)
+class TestBackendEquivalence:
+    """Frozen answers == mutable answers, across the model grid."""
+
+    def test_scalar_queries_agree(self, model, seed):
+        graph = model_graph(model, seed)
+        frozen = freeze(graph)
+        assert frozen.num_vertices == graph.num_vertices
+        assert frozen.num_edges == graph.num_edges
+        assert frozen.vertices() == graph.vertices()
+        assert frozen.num_self_loops() == graph.num_self_loops()
+        assert frozen.is_connected() == graph.is_connected()
+        assert frozen.degree_sequence() == graph.degree_sequence()
+
+    def test_per_vertex_queries_agree(self, model, seed):
+        graph = model_graph(model, seed)
+        frozen = freeze(graph)
+        for v in graph.vertices():
+            assert frozen.degree(v) == graph.degree(v)
+            assert frozen.in_degree(v) == graph.in_degree(v)
+            assert frozen.out_degree(v) == graph.out_degree(v)
+            assert frozen.incident_edges(v) == graph.incident_edges(v)
+            assert frozen.neighbors(v) == graph.neighbors(v)
+            assert frozen.unique_neighbors(v) == (
+                graph.unique_neighbors(v)
+            )
+
+    def test_per_edge_queries_agree(self, model, seed):
+        graph = model_graph(model, seed)
+        frozen = freeze(graph)
+        assert list(frozen.edges()) == list(graph.edges())
+        for eid in range(graph.num_edges):
+            tail, head = graph.edge_endpoints(eid)
+            assert frozen.edge_endpoints(eid) == (tail, head)
+            assert frozen.other_endpoint(eid, tail) == (
+                graph.other_endpoint(eid, tail)
+            )
+            assert frozen.other_endpoint(eid, head) == (
+                graph.other_endpoint(eid, head)
+            )
+
+    def test_components_agree(self, model, seed):
+        graph = model_graph(model, seed)
+        frozen = freeze(graph)
+        assert connected_components(frozen) == (
+            connected_components(graph)
+        )
+
+    def test_bfs_distances_agree(self, model, seed):
+        graph = model_graph(model, seed)
+        frozen = freeze(graph)
+        for source in (1, graph.num_vertices, graph.num_vertices // 2):
+            if source >= 1:
+                assert bfs_distances(frozen, source) == (
+                    bfs_distances(graph, source)
+                )
+
+    def test_degree_histogram_agrees(self, model, seed):
+        graph = model_graph(model, seed)
+        frozen = freeze(graph)
+        assert degree_histogram(frozen) == degree_histogram(graph)
+
+    def test_python_int_types_everywhere(self, model, seed):
+        """No numpy scalars may leak into the scalar API (JSON safety)."""
+        frozen = freeze(model_graph(model, seed))
+        v = frozen.num_vertices
+        samples = (
+            frozen.degree(1),
+            *frozen.incident_edges(1)[:3],
+            *frozen.neighbors(v)[:3],
+            *frozen.degree_sequence()[:3],
+            *bfs_distances(frozen, 1)[:3],
+        )
+        for value in samples:
+            assert type(value) is int
+
+
+class TestVectorizedKernels:
+    """The numpy kernels answer exactly; non-frozen inputs bow out."""
+
+    def test_kernels_decline_multigraph(self, triangle):
+        assert vectorized_bfs_distances(triangle, 1) is None
+        assert vectorized_connected_components(triangle) is None
+        assert vectorized_degree_histogram(triangle) is None
+
+    def test_component_ordering_matches_generic(self):
+        # Equal-size components: largest first, ties by smallest member
+        # (the generic discovery-order + stable-sort behaviour).
+        graph = MultiGraph(7)
+        graph.add_edge(2, 1)
+        graph.add_edge(4, 3)
+        graph.add_edge(6, 5)
+        graph.add_edge(7, 5)
+        frozen = freeze(graph)
+        expected = connected_components(graph)
+        assert expected == [[5, 6, 7], [1, 2], [3, 4]]
+        assert connected_components(frozen) == expected
+
+    def test_isolated_vertices_and_empty_graphs(self):
+        for n in (0, 1, 5):
+            frozen = freeze(MultiGraph(n))
+            graph = MultiGraph(n)
+            assert connected_components(frozen) == (
+                connected_components(graph)
+            )
+            assert frozen.is_connected() == graph.is_connected()
+
+    def test_self_loops_and_parallel_edges(self, loop_graph):
+        frozen = freeze(loop_graph)
+        assert frozen.neighbors(2) == loop_graph.neighbors(2)
+        assert frozen.degree(2) == 3  # loop counts twice
+        assert bfs_distances(frozen, 1) == bfs_distances(loop_graph, 1)
+
+
+class TestImmutability:
+    def test_mutators_raise(self, triangle):
+        frozen = freeze(triangle)
+        with pytest.raises(GraphConstructionError):
+            frozen.add_vertex()
+        with pytest.raises(GraphConstructionError):
+            frozen.add_edge(1, 2)
+
+    def test_invalid_queries_raise_like_multigraph(self, triangle):
+        frozen = freeze(triangle)
+        with pytest.raises(GraphConstructionError):
+            frozen.degree(0)
+        with pytest.raises(GraphConstructionError):
+            frozen.incident_edges(4)
+        with pytest.raises(GraphConstructionError):
+            frozen.edge_endpoints(99)
+        with pytest.raises(GraphConstructionError):
+            frozen.other_endpoint(0, 3)  # vertex 3 not on edge 0
+
+    def test_freeze_is_idempotent(self, triangle):
+        frozen = freeze(triangle)
+        assert freeze(frozen) is frozen
+        assert FrozenGraph.from_multigraph(frozen) is frozen
+
+    def test_thaw_round_trips(self, loop_graph):
+        frozen = freeze(loop_graph)
+        thawed = frozen.thaw()
+        assert thawed == loop_graph
+        assert thawed is not loop_graph
+        eid = thawed.add_edge(1, 1)  # thawed copy is mutable again
+        assert eid == loop_graph.num_edges
+
+
+class TestFreezeThenHashContract:
+    """The documented hashing rules for both backends."""
+
+    def test_snapshot_hash_and_equality_cross_backend(self, triangle):
+        frozen = freeze(triangle)
+        assert frozen == triangle
+        assert triangle == frozen.thaw()
+        assert hash(frozen) == hash(triangle)
+        assert freeze(triangle.copy()) == frozen
+
+    def test_multigraph_hash_breaks_on_mutation(self, triangle):
+        """The caveat the docstring warns about, made concrete."""
+        lookup = {triangle: "registered"}
+        assert lookup[triangle] == "registered"
+        triangle.add_edge(3, 1)
+        # The mutated graph no longer hashes to its old bucket: the
+        # dict can neither find it nor (in general) evict it by key.
+        with pytest.raises(KeyError):
+            lookup[triangle]
+
+    def test_frozen_hash_survives_source_mutation(self, triangle):
+        frozen = freeze(triangle)
+        before = hash(frozen)
+        lookup = {frozen: "registered"}
+        triangle.add_edge(3, 1)  # mutate the source after snapshotting
+        assert hash(frozen) == before
+        assert lookup[frozen] == "registered"
+        # ... and the snapshot no longer equals the mutated source.
+        assert frozen != triangle
+
+
+class TestSearchEquivalence:
+    """Full searches are bit-identical across backends."""
+
+    @pytest.mark.parametrize("model", ("mori", "config"))
+    def test_random_walk_identical(self, model):
+        graph = model_graph(model, seed=3)
+        frozen = freeze(graph)
+        target = max(
+            connected_components(graph)[0]
+        )  # reachable in every model
+        start = min(connected_components(graph)[0])
+        for seed in (0, 11):
+            a = run_search(
+                RandomWalkSearch(), graph, start, target, seed=seed
+            )
+            b = run_search(
+                RandomWalkSearch(), frozen, start, target, seed=seed
+            )
+            assert a == b
+
+    @pytest.mark.parametrize("budget", (0, 1, 2, 17, None))
+    def test_flooding_kernel_matches_generic(self, budget):
+        """CSR fast path == generic dict path == MultiGraph path."""
+        graph = MoriFamily(p=0.5, m=2).build(200, seed=5)
+        frozen = freeze(graph)
+        target = MoriFamily(p=0.5, m=2).theorem_target(graph)
+        on_mutable = run_search(
+            FloodingSearch(), graph, 1, target, budget=budget, seed=1
+        )
+        on_frozen = run_search(
+            FloodingSearch(), frozen, 1, target, budget=budget, seed=1
+        )
+        assert on_frozen == on_mutable
+
+        # An oracle *subclass* must take the generic request-by-request
+        # path even on a frozen graph (recording oracles rely on this),
+        # and must still produce the same result.
+        class RecordingOracle(WeakOracle):
+            pass
+
+        oracle = RecordingOracle(frozen, 1, target)
+        effective = (
+            budget if budget is not None else 4 * frozen.num_edges + 16
+        )
+        generic = FloodingSearch().run(oracle, None, effective)
+        assert generic == on_mutable
+
+    def test_flooding_kernel_neighbor_success(self):
+        graph = MoriFamily(p=0.5, m=1).build(150, seed=9)
+        frozen = freeze(graph)
+        target = MoriFamily(p=0.5, m=1).theorem_target(graph)
+        a = run_search(
+            FloodingSearch(), graph, 1, target, neighbor_success=True,
+            seed=2,
+        )
+        b = run_search(
+            FloodingSearch(), frozen, 1, target, neighbor_success=True,
+            seed=2,
+        )
+        assert a == b
+
+    def test_flooding_kernel_start_in_zone(self):
+        graph = MultiGraph.from_edges(3, [(2, 1), (3, 2)])
+        frozen = freeze(graph)
+        result = run_search(FloodingSearch(), frozen, 2, 2, seed=0)
+        assert result.found and result.requests == 0
+
+
+class TestBatchedTrials:
+    """One snapshot, many cells — draw-for-draw identical regrouping."""
+
+    def test_batched_reproduces_portfolio_trial(self):
+        from repro.core.families import MoriFamily as Fam
+        from repro.core.trials import (
+            batched_search_trial,
+            family_spec,
+            portfolio_factories,
+            search_cost_graph_trial,
+        )
+
+        spec = family_spec(Fam(p=0.5, m=1))
+        kwargs = dict(
+            family=spec, size=120, portfolio="weak", seed=424242
+        )
+        grouped = search_cost_graph_trial(**kwargs, runs_per_graph=2)
+        cells = [
+            {"algorithm": name, "run_index": run_index}
+            for name in portfolio_factories("weak")
+            for run_index in range(2)
+        ]
+        for backend in ("frozen", "multigraph"):
+            flat = batched_search_trial(
+                **kwargs, cells=cells, backend=backend
+            )
+            regrouped: dict = {}
+            for cell, value in zip(cells, flat):
+                regrouped.setdefault(cell["algorithm"], []).append(
+                    value
+                )
+            assert regrouped == grouped
+
+    def test_cell_overrides_and_unknown_algorithm(self):
+        from repro.core.families import MoriFamily as Fam
+        from repro.core.trials import batched_search_trial, family_spec
+
+        spec = family_spec(Fam(p=0.5, m=1))
+        flat = batched_search_trial(
+            family=spec,
+            size=80,
+            portfolio="weak",
+            cells=[
+                {"algorithm": "flooding", "start": 5, "target": 40},
+                {"algorithm": "flooding", "start": 5, "target": 40},
+            ],
+            seed=3,
+        )
+        assert flat[0] == flat[1]  # flooding is deterministic
+        assert flat[0]["start"] == 5 and flat[0]["target"] == 40
+        with pytest.raises(ExperimentError):
+            batched_search_trial(
+                family=spec,
+                size=80,
+                portfolio="weak",
+                cells=[{"algorithm": "not-a-member"}],
+                seed=3,
+            )
+
+    def test_runner_batching_helpers(self):
+        from repro.core.families import MoriFamily as Fam
+        from repro.core.trials import (
+            batched_search_trial,
+            family_spec,
+        )
+        from repro.runner import (
+            batched_specs,
+            run_trials,
+            trial_ref,
+            unbatch_values,
+        )
+
+        spec = family_spec(Fam(p=0.5, m=1))
+        cells = [
+            {"algorithm": "flooding", "run_index": 0},
+            {"algorithm": "random-walk", "run_index": 0},
+        ]
+        specs = batched_specs(
+            "ADHOC",
+            trial_ref(batched_search_trial),
+            {"family": spec, "size": 80, "portfolio": "weak"},
+            cells,
+            graph_seeds=[1, 2],
+        )
+        assert [s.seed for s in specs] == [1, 2]
+        outcomes = run_trials(specs)
+        per_graph = unbatch_values(outcomes, len(cells))
+        assert len(per_graph) == 2
+        assert per_graph[0] == batched_search_trial(
+            family=spec, size=80, portfolio="weak", cells=cells, seed=1
+        )
+        with pytest.raises(ExperimentError):
+            unbatch_values(outcomes, len(cells) + 1)
+        with pytest.raises(ExperimentError):
+            batched_specs(
+                "ADHOC",
+                trial_ref(batched_search_trial),
+                {},
+                [],
+                graph_seeds=[1],
+            )
+
+    def test_unknown_backend_rejected(self):
+        from repro.core.trials import snapshot_graph
+
+        with pytest.raises(ExperimentError):
+            snapshot_graph(MultiGraph(2), "networkx")
+
+    def test_default_backend_keeps_cache_keys_stable(self):
+        """Trial values are backend-independent, so the default backend
+        must stay out of the cache key: pre-snapshot stores keep
+        replaying, and only a forced non-default backend forks keys."""
+        from repro.core.families import MoriFamily as Fam
+        from repro.core.searchability import _build_cell_specs
+
+        def keys(backend):
+            specs = _build_cell_specs(
+                "E1", Fam(p=0.5, m=1), 60, "weak", 1, 1, None, 1,
+                False, "default", backend,
+            )
+            return [spec.key() for spec in specs]
+
+        frozen_keys = keys("frozen")
+        assert "backend" not in dict(
+            _build_cell_specs(
+                "E1", Fam(p=0.5, m=1), 60, "weak", 1, 1, None, 1,
+                False, "default", "frozen",
+            )[0].params
+        )
+        assert keys("multigraph") != frozen_keys
+
+
+class TestArrayFallback:
+    """Without numpy the CSR lives in stdlib arrays; answers unchanged."""
+
+    def test_fallback_equivalence(self, monkeypatch):
+        import repro.graphs.frozen as frozen_module
+
+        graph = MoriFamily(p=0.5, m=2).build(80, seed=4)
+        monkeypatch.setattr(frozen_module, "HAVE_NUMPY", False)
+        frozen = freeze(graph)  # built on the array('q') path
+        assert vectorized_bfs_distances(frozen, 1) is None
+        assert vectorized_connected_components(frozen) is None
+        assert vectorized_degree_histogram(frozen) is None
+        assert frozen.degree_sequence() == graph.degree_sequence()
+        assert connected_components(frozen) == (
+            connected_components(graph)
+        )
+        assert bfs_distances(frozen, 1) == bfs_distances(graph, 1)
+        for v in list(graph.vertices())[:20]:
+            assert frozen.incident_edges(v) == graph.incident_edges(v)
+            assert frozen.neighbors(v) == graph.neighbors(v)
+        target = MoriFamily(p=0.5, m=2).theorem_target(graph)
+        assert run_search(
+            FloodingSearch(), frozen, 1, target, seed=1
+        ) == run_search(FloodingSearch(), graph, 1, target, seed=1)
