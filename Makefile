@@ -14,9 +14,12 @@ verify:
 verify-full:
 	$(PYTEST) -q -m "slow or not slow"
 
-# Minutes-scale bench trajectory point: downsized E1/E3/E17 on both
-# graph backends plus the flooding/BFS cell-batch speedup at n=100k.
-# Writes BENCH_PR2.json (schema-checked by tests/test_bench_schema.py).
+# Minutes-scale bench trajectory point: downsized E17 (both
+# construction modes) and E19 per graph backend, plus the scaling-grid
+# realisation speedup (trajectory vs independent).  Writes
+# BENCH_PR3.json (schema-checked by tests/test_bench_schema.py);
+# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr2`
+# regenerates BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 

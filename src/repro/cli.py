@@ -18,7 +18,10 @@ from the seed it echoes.  ``--quick`` swaps in reduced grids,
 processes and ``--cache-dir`` replays completed trials from a
 persistent store; neither changes any printed number (trial seeds are
 substream-derived, so parallel output is bit-identical to serial).
-Experiments that don't go through the runner simply ignore both flags.
+``--mode trajectory`` serves scaling sweeps from checkpoint snapshots
+of shared growth trajectories (one construction pass per sweep).
+Experiments that a requested knob cannot apply to emit a warning on
+stderr instead of silently ignoring it.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.experiments import ALL_EXPERIMENTS
 from repro.core.results import save_result
+from repro.errors import ReproError
 
 __all__ = ["build_parser", "main", "QUICK_OVERRIDES"]
 
@@ -58,6 +62,7 @@ QUICK_OVERRIDES = {
     "E16": {"n": 1500},
     "E17": {"sizes": (100, 200), "num_graphs": 2},
     "E18": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
+    "E19": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
 }
 
 
@@ -95,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="run one experiment or 'all'")
     run.add_argument(
         "experiment",
-        help="experiment id (E1..E18) or 'all'",
+        help="experiment id (E1..E19) or 'all'",
     )
     run.add_argument(
         "--seed",
@@ -126,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
+        default=None,
         help=(
             "worker processes for runner-dispatched experiments "
             "(default 1; results are identical at any value)"
@@ -143,12 +148,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend",
         choices=("frozen", "multigraph"),
-        default="frozen",
+        default=None,
         help=(
             "graph backend for search trials: 'frozen' snapshots each "
             "realisation into a read-optimised CSR form (default), "
             "'multigraph' keeps the mutable object; numbers are "
             "identical either way"
+        ),
+    )
+    run.add_argument(
+        "--mode",
+        choices=("independent", "trajectory"),
+        default=None,
+        help=(
+            "scaling-sweep construction mode: 'independent' (default) "
+            "evolves a fresh realisation per size cell; 'trajectory' "
+            "evolves each realisation once to the largest size and "
+            "serves every size from bit-identical checkpoint "
+            "snapshots (one construction pass per sweep)"
         ),
     )
 
@@ -201,15 +218,33 @@ def _accepted_parameters(function) -> Dict[str, inspect.Parameter]:
     return dict(inspect.signature(function).parameters)
 
 
+def _warn_ignored(
+    experiment_id: str, flag: str, parameter: str
+) -> None:
+    """Tell the user a CLI knob has no effect on this experiment.
+
+    Silently dropping ``--cache-dir`` (or ``--jobs``/``--backend``/
+    ``--mode``) would let users believe results were cached or
+    parallelised when the experiment never consulted the flag.
+    """
+    print(
+        f"warning: {flag} has no effect on {experiment_id} (this "
+        f"experiment takes no {parameter!r} parameter); the flag was "
+        "ignored",
+        file=sys.stderr,
+    )
+
+
 def _run_one(
     experiment_id: str,
     seed: Optional[int],
     json_path: Optional[str],
     quick: bool = False,
     plot: bool = False,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
-    backend: str = "frozen",
+    backend: Optional[str] = None,
+    mode: Optional[str] = None,
 ) -> None:
     function = ALL_EXPERIMENTS[experiment_id]
     accepted = _accepted_parameters(function)
@@ -219,13 +254,36 @@ def _run_one(
     if seed is not None and "seed" in accepted:
         kwargs["seed"] = seed
     # Runner knobs apply only to experiments dispatched through
-    # repro.runner; others run exactly as before.
-    if jobs != 1 and "jobs" in accepted:
-        kwargs["jobs"] = jobs
-    if cache_dir is not None and "cache_dir" in accepted:
-        kwargs["cache_dir"] = cache_dir
-    if backend != "frozen" and "backend" in accepted:
-        kwargs["backend"] = backend
+    # repro.runner; others run exactly as before.  `None` means the
+    # flag was not given at all; an explicitly typed value — even a
+    # default like `--jobs 1` or `--mode independent` — is forwarded
+    # when the experiment takes it (E19, for one, rejects independent
+    # mode rather than silently running its trajectory default), and
+    # warned about loudly when it cannot apply.
+    if jobs is not None:
+        if "jobs" in accepted:
+            kwargs["jobs"] = jobs
+        else:
+            _warn_ignored(experiment_id, f"--jobs {jobs}", "jobs")
+    if cache_dir is not None:
+        if "cache_dir" in accepted:
+            kwargs["cache_dir"] = cache_dir
+        else:
+            _warn_ignored(
+                experiment_id, f"--cache-dir {cache_dir}", "cache_dir"
+            )
+    if backend is not None:
+        if "backend" in accepted:
+            kwargs["backend"] = backend
+        else:
+            _warn_ignored(
+                experiment_id, f"--backend {backend}", "backend"
+            )
+    if mode is not None:
+        if "mode" in accepted:
+            kwargs["mode"] = mode
+        else:
+            _warn_ignored(experiment_id, f"--mode {mode}", "mode")
     result = function(**kwargs)
     print(result.format())
     if plot:
@@ -253,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         requested = args.experiment.upper()
         if requested == "ALL":
+            failures = 0
             for experiment_id in sorted(
                 ALL_EXPERIMENTS, key=lambda e: int(e[1:])
             ):
@@ -262,13 +321,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                     json_path = os.path.join(
                         args.json_dir, f"{experiment_id.lower()}.json"
                     )
-                _run_one(
-                    experiment_id, args.seed, json_path,
-                    args.quick, args.plot,
-                    jobs=args.jobs, cache_dir=args.cache_dir,
-                    backend=args.backend,
-                )
-            return 0
+                try:
+                    _run_one(
+                        experiment_id, args.seed, json_path,
+                        args.quick, args.plot,
+                        jobs=args.jobs, cache_dir=args.cache_dir,
+                        backend=args.backend, mode=args.mode,
+                    )
+                except ReproError as error:
+                    # One experiment rejecting a knob (e.g. E19 and
+                    # --mode independent) must not abort the sweep or
+                    # discard the hours of output already produced.
+                    failures += 1
+                    print(
+                        f"error: {experiment_id} failed: {error}",
+                        file=sys.stderr,
+                    )
+            return 1 if failures else 0
         if requested not in ALL_EXPERIMENTS:
             print(
                 f"unknown experiment {args.experiment!r}; valid: "
@@ -276,11 +345,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        _run_one(
-            requested, args.seed, args.json, args.quick, args.plot,
-            jobs=args.jobs, cache_dir=args.cache_dir,
-            backend=args.backend,
-        )
+        try:
+            _run_one(
+                requested, args.seed, args.json, args.quick, args.plot,
+                jobs=args.jobs, cache_dir=args.cache_dir,
+                backend=args.backend, mode=args.mode,
+            )
+        except ReproError as error:
+            print(f"error: {requested} failed: {error}", file=sys.stderr)
+            return 1
         return 0
 
     if args.command == "compare":

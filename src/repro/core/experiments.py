@@ -1,4 +1,4 @@
-"""Named experiments E1–E17 (see DESIGN.md's index).
+"""Named experiments E1–E19 (see DESIGN.md's index).
 
 Each function regenerates one "table/figure" of the reproduction: it
 runs the workload, folds measurements into printable
@@ -39,16 +39,27 @@ from repro.core.families import (
     MoriFamily,
 )
 from repro.core.results import ExperimentResult, Table
+from repro.errors import ExperimentError
 from repro.core.searchability import (
+    MODES,
     measure_scaling,
     measure_search_cost,
+    trajectory_seeds,
 )
 from repro.core.trials import (
     degree_fit_trial,
     family_spec,
     simulation_slowdown_trial,
+    trajectory_slowdown_trial,
 )
-from repro.runner import ResultStore, TrialSpec, run_trials, trial_ref
+from repro.runner import (
+    ResultStore,
+    TrialSpec,
+    run_trials,
+    split_trajectory_values,
+    trajectory_specs,
+    trial_ref,
+)
 from repro.equivalence.events import (
     equivalence_window,
     estimate_event_probability,
@@ -94,6 +105,7 @@ __all__ = [
     "e16_neighbor_dependence",
     "e17_simulation_slowdown",
     "e18_start_rule",
+    "e19_trajectory_scaling",
     "ALL_EXPERIMENTS",
 ]
 
@@ -1302,6 +1314,7 @@ def e17_simulation_slowdown(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
+    mode: str = "independent",
 ) -> ExperimentResult:
     """E17: weak simulation of a strong algorithm pays <= max-degree slowdown.
 
@@ -1316,7 +1329,21 @@ def e17_simulation_slowdown(
 
     instance by instance (the inner algorithm is deterministic, so
     this is an exact check, not a statistical one).
+
+    ``mode='trajectory'`` evolves each of the ``num_graphs``
+    realisations once to ``max(sizes)`` and serves every size cell
+    from the checkpoint snapshots (one construction pass per
+    realisation instead of ``Σ nᵢ``); the default keeps the fully
+    independent per-size realisations the existing pins replay.
+    Because the checkpoints of one realisation form a set, trajectory
+    mode canonicalises ``sizes`` (sorted, de-duplicated) — one row per
+    distinct size — whereas independent mode keeps one row per grid
+    position, repeats and caller order included, exactly as before.
     """
+    if mode not in MODES:
+        raise ExperimentError(
+            f"unknown mode {mode!r}; valid: {', '.join(MODES)}"
+        )
     family = MoriFamily(p=p, m=1)
     result = ExperimentResult(
         experiment_id="E17",
@@ -1326,6 +1353,7 @@ def e17_simulation_slowdown(
             "p": p,
             "num_graphs": num_graphs,
             "seed": seed,
+            "mode": mode,
         },
     )
     table = Table(
@@ -1338,32 +1366,58 @@ def e17_simulation_slowdown(
             "max ratio weak/(strong*maxdeg)",
         ),
     )
-    reference = trial_ref(simulation_slowdown_trial)
     spec = family_spec(family)
     # As in E6: only a forced non-default backend enters the cache key.
     extra = {} if backend == "frozen" else {"backend": backend}
-    specs = [
-        TrialSpec(
-            experiment_id="E17",
-            trial=reference,
-            params={"family": spec, "size": size, **extra},
-            seed=substream(substream(seed, index), rep),
+    if mode == "trajectory":
+        specs = trajectory_specs(
+            "E17",
+            trial_ref(trajectory_slowdown_trial),
+            {"family": spec, **extra},
+            sizes,
+            trajectory_seeds(seed, num_graphs),
         )
-        for index, size in enumerate(sizes)
-        for rep in range(num_graphs)
-    ]
-    outcomes = run_trials(
-        specs, jobs=jobs, store=_store_for(cache_dir)
-    )
+        outcomes = run_trials(
+            specs, jobs=jobs, store=_store_for(cache_dir)
+        )
+        per_size = split_trajectory_values(outcomes, sizes)
+        cells = [(size, per_size[size]) for size in sorted(per_size)]
+    else:
+        reference = trial_ref(simulation_slowdown_trial)
+        specs = [
+            TrialSpec(
+                experiment_id="E17",
+                trial=reference,
+                params={"family": spec, "size": size, **extra},
+                seed=substream(substream(seed, index), rep),
+            )
+            for index, size in enumerate(sizes)
+            for rep in range(num_graphs)
+        ]
+        outcomes = run_trials(
+            specs, jobs=jobs, store=_store_for(cache_dir)
+        )
+        # One cell per *position* in the given grid, preserving the
+        # caller's order (and any repeats) exactly as the pre-mode
+        # serial loop did.
+        cells = [
+            (
+                size,
+                [
+                    outcomes[index * num_graphs + rep].value
+                    for rep in range(num_graphs)
+                ],
+            )
+            for index, size in enumerate(sizes)
+        ]
 
     worst_ratio = 0.0
-    for index, size in enumerate(sizes):
+    for size, values in cells:
         strong_total = 0.0
         weak_total = 0.0
         degree_total = 0.0
         cell_worst = 0.0
-        for rep in range(num_graphs):
-            value = outcomes[index * num_graphs + rep].value
+        for value in values:
             degree = value["max_degree"]
             strong_total += value["strong_requests"]
             weak_total += value["weak_requests"]
@@ -1403,6 +1457,7 @@ def e18_start_rule(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
+    mode: str = "independent",
 ) -> ExperimentResult:
     """E18: the Ω(√n) floor is start-vertex independent.
 
@@ -1412,6 +1467,10 @@ def e18_start_rule(
     young peripheral vertex just below the equivalence window — and
     checks that the fitted search exponent stays >= ~1/2 under all of
     them.
+
+    ``mode='trajectory'`` serves each size sweep from checkpoint
+    snapshots of shared growth trajectories (see
+    :func:`repro.core.searchability.measure_scaling`).
     """
     result = ExperimentResult(
         experiment_id="E18",
@@ -1422,6 +1481,7 @@ def e18_start_rule(
             "num_graphs": num_graphs,
             "runs_per_graph": runs_per_graph,
             "seed": seed,
+            "mode": mode,
         },
     )
     table = Table(
@@ -1444,6 +1504,7 @@ def e18_start_rule(
             store=_store_for(cache_dir),
             experiment_id="E18",
             backend=backend,
+            mode=mode,
         )
         exponent = measurement.fitted_exponent("high-degree")
         for size in measurement.sizes:
@@ -1461,6 +1522,139 @@ def e18_start_rule(
         "(exponent -> 0) from some privileged start would contradict it."
     )
     result.tables.append(table)
+    return result
+
+
+# ----------------------------------------------------------------------
+# E19: searchability along coupled growth trajectories
+# ----------------------------------------------------------------------
+
+
+def e19_trajectory_scaling(
+    sizes: Sequence[int] = (200, 400, 800, 1600),
+    p: float = 0.5,
+    m: int = 1,
+    alpha: float = 0.75,
+    num_graphs: int = 5,
+    runs_per_graph: int = 2,
+    seed: int = 19,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    backend: str = "frozen",
+    mode: str = "trajectory",
+) -> ExperimentResult:
+    """E19: request cost vs n measured *along* single evolving networks.
+
+    The scaling curves of E1/E3 sample an independent realisation per
+    size; this experiment instead follows the regime of dynamic P2P
+    overlays and resource-discovery systems — the network keeps
+    growing and searchability is re-measured on the *same* realisation
+    at checkpoint sizes.  Each of the ``num_graphs`` trajectories per
+    family (Móri and Cooper–Frieze) is evolved once to ``max(sizes)``,
+    the high-degree weak searcher is costed at every checkpoint, and
+    the per-size spread across trajectories gives the confidence band.
+    Marginally each checkpoint is an exact sample of the independent
+    per-size law (checkpoint snapshots are bit-identical to
+    independent same-seed builds), so the Ω(√n) floor applies
+    unchanged along the growth process.
+
+    ``mode`` exists so ``repro run E19 --mode trajectory`` composes
+    like every other sweep, but coupled trajectories are this
+    experiment's *subject*: only ``'trajectory'`` is accepted (E1/E3
+    already measure the independent per-size curves).
+    """
+    from repro.core.families import theorem_target_for_size
+
+    if mode != "trajectory":
+        raise ExperimentError(
+            f"E19 measures coupled trajectories by definition; mode "
+            f"{mode!r} is not available (use E1/E3 for independent "
+            "per-size curves)"
+        )
+
+    family_bounds = [
+        (
+            MoriFamily(p=p, m=m),
+            lambda size: theorem1_weak_bound(
+                theorem_target_for_size(size), p
+            ),
+        ),
+        (
+            CooperFriezeFamily(CooperFriezeParams(alpha=alpha)),
+            lambda size: theorem2_weak_bound(
+                theorem_target_for_size(size), alpha
+            ),
+        ),
+    ]
+    result = ExperimentResult(
+        experiment_id="E19",
+        title="Search cost along coupled growth trajectories",
+        params={
+            "sizes": list(sizes),
+            "p": p,
+            "m": m,
+            "alpha": alpha,
+            "num_graphs": num_graphs,
+            "runs_per_graph": runs_per_graph,
+            "seed": seed,
+            "mode": "trajectory",
+        },
+    )
+    table = Table(
+        title=(
+            "High-degree weak search cost at checkpoints of one "
+            "growth process"
+        ),
+        columns=(
+            "family",
+            "n",
+            "mean requests",
+            "ci95 halfwidth",
+            "found rate",
+            "theorem floor",
+        ),
+    )
+    min_exponent = float("inf")
+    for index, (family, bound) in enumerate(family_bounds):
+        measurement = measure_scaling(
+            family,
+            sizes,
+            "high-degree",
+            num_graphs=num_graphs,
+            runs_per_graph=runs_per_graph,
+            seed=substream(seed, index),
+            jobs=jobs,
+            store=_store_for(cache_dir),
+            experiment_id="E19",
+            backend=backend,
+            mode="trajectory",
+        )
+        for size in measurement.sizes:
+            summary = measurement.cells[size].summaries["high-degree"]
+            table.add_row(
+                family.name,
+                size,
+                summary.mean_requests,
+                summary.ci_halfwidth,
+                summary.success_rate,
+                bound(size),
+            )
+        exponent = measurement.fitted_exponent("high-degree")
+        result.derived[f"exponent/{family.name}"] = exponent
+        largest = measurement.sizes[-1]
+        result.derived[f"mean@largest/{family.name}"] = (
+            measurement.cells[largest]
+            .summaries["high-degree"]
+            .mean_requests
+        )
+        min_exponent = min(min_exponent, exponent)
+    table.notes.append(
+        "Sizes within one trajectory are coupled (prefixes of one "
+        "growth process); marginally each row samples the same law as "
+        "an independent build, so the paper's floor still applies."
+    )
+    result.tables.append(table)
+    result.derived["min_exponent"] = min_exponent
     return result
 
 
@@ -1484,4 +1678,5 @@ ALL_EXPERIMENTS = {
     "E16": e16_neighbor_dependence,
     "E17": e17_simulation_slowdown,
     "E18": e18_start_rule,
+    "E19": e19_trajectory_scaling,
 }

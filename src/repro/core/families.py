@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.graphs.base import MultiGraph
@@ -59,15 +59,64 @@ def theorem_target_for_size(size: int) -> int:
     )
 
 
+def _validated_checkpoints(
+    sizes: Sequence[int], minimum: int
+) -> Tuple[int, ...]:
+    """Sorted, de-duplicated checkpoint sizes for a trajectory build."""
+    ordered = tuple(sorted(set(sizes)))
+    if not ordered:
+        raise InvalidParameterError(
+            "a trajectory needs at least one checkpoint size"
+        )
+    if ordered[0] < minimum:
+        raise InvalidParameterError(
+            f"trajectory checkpoints must be >= {minimum}, got "
+            f"{ordered[0]}"
+        )
+    return ordered
+
+
 class GraphFamily:
     """Interface: build instances and locate the theorem target."""
 
     #: Stable identifier used in tables.
     name: str = "abstract"
 
+    #: Whether one realisation's prefix at ``n`` is bit-identical to an
+    #: independent same-seed build of size ``n``.  True for the evolving
+    #: models (they consume their RNG stream in vertex-arrival order);
+    #: false for the configuration model, whose degree sequence is drawn
+    #: for the full size up front and whose giant-component relabelling
+    #: is a global operation.
+    prefix_stable: bool = False
+
     def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
         """Build one instance with ``size`` vertices."""
         raise NotImplementedError
+
+    def build_trajectory(
+        self, sizes: Sequence[int], seed: RandomLike = None
+    ) -> Tuple[MultiGraph, Dict[int, int]]:
+        """One realisation at ``max(sizes)`` plus per-checkpoint marks.
+
+        Returns ``(graph, marks)`` where ``marks[n]`` is the number of
+        edges the realisation had at the moment an independent
+        same-seed run targeting ``n`` would have stopped, so
+        ``graph.prefix(n, marks[n])`` (or the frozen equivalent) is
+        bit-identical to ``build(n, seed)``.  Gated on
+        :attr:`prefix_stable`: families that declare it must also
+        override this method with their checkpoint-mark rule.
+        """
+        if not self.prefix_stable:
+            raise InvalidParameterError(
+                f"family {self.name!r} does not evolve by vertex "
+                "arrival; growth-trajectory checkpoints are undefined "
+                "for it (use mode='independent')"
+            )
+        raise NotImplementedError(
+            f"{type(self).__name__} declares prefix_stable=True but "
+            "does not implement build_trajectory"
+        )
 
     def theorem_target(self, graph: MultiGraph) -> int:
         """The search target Theorems 1/2 are about, for this instance."""
@@ -90,6 +139,8 @@ class MoriFamily(GraphFamily):
     p: float = 0.5
     m: int = 1
 
+    prefix_stable = True
+
     def __post_init__(self) -> None:
         self.name = f"mori(m={self.m},p={self.p:g})"
 
@@ -97,6 +148,16 @@ class MoriFamily(GraphFamily):
         return merged_mori_graph(
             size, self.m, self.p, seed=seed, keep_tree=False
         ).graph
+
+    def build_trajectory(
+        self, sizes: Sequence[int], seed: RandomLike = None
+    ) -> Tuple[MultiGraph, Dict[int, int]]:
+        ordered = _validated_checkpoints(sizes, minimum=2)
+        graph = self.build(ordered[-1], seed=seed)
+        # The merged graph on n vertices carries one edge per tree
+        # vertex 2 .. n*m, and its edges arrive in tree-vertex order,
+        # so the mark at checkpoint n is exactly n*m - 1.
+        return graph, {n: n * self.m - 1 for n in ordered}
 
 
 @dataclass
@@ -107,11 +168,25 @@ class CooperFriezeFamily(GraphFamily):
         default_factory=CooperFriezeParams
     )
 
+    prefix_stable = True
+
     def __post_init__(self) -> None:
         self.name = f"cooper-frieze(a={self.params.alpha:g})"
 
     def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
         return cooper_frieze_graph(size, self.params, seed=seed).graph
+
+    def build_trajectory(
+        self, sizes: Sequence[int], seed: RandomLike = None
+    ) -> Tuple[MultiGraph, Dict[int, int]]:
+        ordered = _validated_checkpoints(sizes, minimum=2)
+        # The number of evolution steps is random (OLD steps add edges
+        # without adding vertices), so the marks are observed during
+        # the one shared run rather than computed from the arity.
+        realised = cooper_frieze_graph(
+            ordered[-1], self.params, seed=seed, checkpoints=ordered
+        )
+        return realised.graph, dict(realised.checkpoint_edge_counts)
 
 
 @dataclass
@@ -120,11 +195,21 @@ class BarabasiAlbertFamily(GraphFamily):
 
     m: int = 1
 
+    prefix_stable = True
+
     def __post_init__(self) -> None:
         self.name = f"ba(m={self.m})"
 
     def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
         return barabasi_albert_graph(size, self.m, seed=seed)
+
+    def build_trajectory(
+        self, sizes: Sequence[int], seed: RandomLike = None
+    ) -> Tuple[MultiGraph, Dict[int, int]]:
+        ordered = _validated_checkpoints(sizes, minimum=2)
+        graph = self.build(ordered[-1], seed=seed)
+        # One seed self-loop plus m edges per vertex 2 .. n.
+        return graph, {n: 1 + (n - 1) * self.m for n in ordered}
 
 
 @dataclass

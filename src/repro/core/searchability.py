@@ -41,6 +41,8 @@ from repro.search.process import default_budget, run_search
 
 __all__ = [
     "AlgorithmFactory",
+    "MODES",
+    "trajectory_seeds",
     "constant_factory",
     "omniscient_factory",
     "CostMeasurement",
@@ -50,6 +52,26 @@ __all__ = [
 ]
 
 AlgorithmFactory = Callable[[GraphBackend, int], SearchAlgorithm]
+
+#: Valid values of the ``mode`` scaling-sweep parameter.
+MODES = ("independent", "trajectory")
+
+#: Substream salt decorrelating per-realisation trajectory seeds from
+#: the per-size cell seeds the independent mode derives.
+_TRAJECTORY_STREAM = 0x7452414A
+
+
+def trajectory_seeds(seed: int, num_graphs: int) -> List[int]:
+    """One decorrelated seed per coupled realisation of a sweep.
+
+    Trajectory-mode sweeps (and any experiment dispatching trajectory
+    trials directly) derive their per-realisation seeds here, so the
+    checkpoint at size ``n`` of realisation ``g`` is bit-identical to
+    an independent build of size ``n`` with seed
+    ``trajectory_seeds(seed, ...)[g]``.
+    """
+    root = substream(seed, _TRAJECTORY_STREAM)
+    return [substream(root, index) for index in range(num_graphs)]
 
 
 def constant_factory(algorithm: SearchAlgorithm) -> AlgorithmFactory:
@@ -65,7 +87,15 @@ def omniscient_factory() -> AlgorithmFactory:
     """Factory for the Lemma-1 omniscient window baseline.
 
     The window is the theorem's ``[[target, b]]`` with
-    ``b = (target - 1) + ⌊√(target - 2)⌋``, clipped to the graph.
+    ``b = (target - 1) + ⌊√(target - 2)⌋``, clipped to the graph:
+    ``range(target, min(b, n) + 1)`` enumerates exactly the members of
+    ``[[target, b]]`` that exist among vertices ``1 .. n`` (both ends
+    inclusive).  For the theorem target the clip never engages
+    (``theorem_target_for_size`` guarantees ``b <= n``); for
+    user-supplied targets near ``n`` it truncates at vertex ``n``
+    itself, degenerating to the single-member window ``[[n, n]]`` at
+    ``target = n`` — pinned exactly by
+    ``tests/test_core.py::TestOmniscientWindowClip``.
     """
 
     def factory(graph: GraphBackend, target: int) -> SearchAlgorithm:
@@ -371,6 +401,7 @@ def measure_scaling(
     store: Optional[ResultStore] = None,
     experiment_id: str = "adhoc",
     backend: str = "frozen",
+    mode: str = "independent",
 ) -> ScalingMeasurement:
     """Run :func:`measure_search_cost` across a size grid.
 
@@ -379,6 +410,23 @@ def measure_scaling(
     workers stay busy across size cells rather than draining one cell
     at a time.  Per-cell seeds are ``substream(seed, size_index)``
     either way, so the batch is numerically identical to the loop.
+
+    ``mode`` selects how the per-size realisations relate:
+
+    * ``'independent'`` (default) — every (size, graph) cell evolves a
+      fresh realisation from scratch, exactly as before (all existing
+      pins and result-store entries keep replaying);
+    * ``'trajectory'`` — each of the ``num_graphs`` realisations is
+      evolved **once** to ``max(sizes)`` and checkpoint-snapshotted at
+      every grid size, so the whole sweep pays one construction pass
+      per realisation instead of ``Σ nᵢ`` work.  Checkpoint snapshots
+      are bit-identical to independent same-seed builds, so each size
+      cell is a faithful sample of the same per-size distribution; the
+      sizes of one realisation are *coupled* (prefixes of one growth
+      process — the regime of searches along an evolving network),
+      which is also what makes the mode a pure wall-clock win.
+      Requires a prefix-stable family (the evolving models; the
+      configuration model is rejected).
     """
     ordered = sorted(set(sizes))
     if len(ordered) < 2:
@@ -394,9 +442,30 @@ def measure_scaling(
         raise ExperimentError(
             f"unknown start_rule {start_rule!r}"
         )
+    if mode not in MODES:
+        raise ExperimentError(
+            f"unknown mode {mode!r}; valid: {', '.join(MODES)}"
+        )
     measurement = ScalingMeasurement(
         family_name=family.name, sizes=ordered
     )
+
+    if mode == "trajectory":
+        return _measure_scaling_trajectory(
+            measurement,
+            family,
+            ordered,
+            factories,
+            num_graphs,
+            runs_per_graph,
+            seed,
+            neighbor_success,
+            start_rule,
+            jobs,
+            store,
+            experiment_id,
+            backend,
+        )
 
     if isinstance(factories, str):
         grid_specs: List[TrialSpec] = []
@@ -441,4 +510,117 @@ def measure_scaling(
             experiment_id=experiment_id,
             backend=backend,
         )
+    return measurement
+
+
+def _measure_scaling_trajectory(
+    measurement: ScalingMeasurement,
+    family: GraphFamily,
+    ordered: List[int],
+    factories: Union[str, Dict[str, AlgorithmFactory]],
+    num_graphs: int,
+    runs_per_graph: int,
+    seed: int,
+    neighbor_success: bool,
+    start_rule: str,
+    jobs: int,
+    store: Optional[ResultStore],
+    experiment_id: str,
+    backend: str,
+) -> ScalingMeasurement:
+    """The ``mode='trajectory'`` body of :func:`measure_scaling`.
+
+    One realisation per ``num_graphs``, evolved to ``max(ordered)``
+    and checkpoint-snapshotted at every size.  Each checkpoint's cells
+    reproduce :func:`repro.core.trials.search_cost_graph_trial` with
+    ``size=n`` and the realisation's seed bit-for-bit.
+    """
+    graph_seeds = trajectory_seeds(seed, num_graphs)
+
+    if isinstance(factories, str):
+        from repro.core.trials import (
+            family_spec,
+            trajectory_scaling_trial,
+        )
+        from repro.runner import (
+            split_trajectory_values,
+            trajectory_specs,
+        )
+
+        params = {
+            "family": family_spec(family),
+            "portfolio": factories,
+            "runs_per_graph": runs_per_graph,
+            "budget": None,
+            "neighbor_success": neighbor_success,
+            "start_rule": start_rule,
+        }
+        # Same cache-key policy as the independent cells: only a forced
+        # non-default backend enters the params (values are
+        # backend-independent).
+        if backend != "frozen":
+            params["backend"] = backend
+        specs = trajectory_specs(
+            experiment_id,
+            trial_ref(trajectory_scaling_trial),
+            params,
+            ordered,
+            graph_seeds,
+        )
+        outcomes = run_trials(specs, jobs=jobs, store=store)
+        per_size = split_trajectory_values(outcomes, ordered)
+        for size in ordered:
+            measurement.cells[size] = _fold_cell(
+                family, size, per_size[size]
+            )
+        return measurement
+
+    if jobs != 1 or store is not None:
+        raise ExperimentError(
+            "jobs/store require a named portfolio (factory dicts hold "
+            "closures and cannot be dispatched to workers); pass a "
+            "portfolio name from repro.core.trials.PORTFOLIOS"
+        )
+
+    from repro.core.trials import trajectory_snapshots
+
+    collected: Dict[int, Dict[str, List[SearchResult]]] = {
+        size: {name: [] for name in factories} for size in ordered
+    }
+    for graph_seed in graph_seeds:
+        full_graph, marks = family.build_trajectory(
+            ordered, seed=graph_seed
+        )
+        for size, graph in trajectory_snapshots(
+            full_graph, marks, ordered, backend
+        ):
+            target = family.theorem_target(graph)
+            start = _choose_start(
+                family, graph, target, start_rule, graph_seed
+            )
+            instance_budget = default_budget(graph)
+            for name, factory in factories.items():
+                algorithm = factory(graph, target)
+                name_code = zlib.crc32(name.encode("utf-8"))
+                for run_index in range(runs_per_graph):
+                    run_seed = substream(
+                        graph_seed, (name_code << 16) ^ run_index
+                    )
+                    collected[size][name].append(
+                        run_search(
+                            algorithm,
+                            graph,
+                            start,
+                            target,
+                            budget=instance_budget,
+                            seed=run_seed,
+                            neighbor_success=neighbor_success,
+                        )
+                    )
+    for size in ordered:
+        cell = CostMeasurement(family_name=family.name, size=size)
+        for name, results in collected[size].items():
+            cell.results[name] = results
+            cell.summaries[name] = summarize_results(results)
+        measurement.cells[size] = cell
     return measurement

@@ -23,6 +23,12 @@ wall-clock time only — every number is backend-independent
 :func:`batched_search_trial` is the general form: one generated graph
 serves an explicit batch of (algorithm, start, target, run) cells, each
 with the same substream-derived run seed the serial loops used.
+
+:func:`trajectory_scaling_trial` / :func:`trajectory_slowdown_trial`
+extend the bargain along the *size* axis: one evolved realisation is
+checkpoint-snapshotted at every grid size (see
+:func:`trajectory_snapshots`), and each checkpoint's cells are
+bit-identical to the corresponding independent same-seed trial.
 """
 
 from __future__ import annotations
@@ -69,8 +75,11 @@ __all__ = [
     "portfolio_factories",
     "choose_start",
     "snapshot_graph",
+    "trajectory_snapshots",
     "search_cost_graph_trial",
     "batched_search_trial",
+    "trajectory_scaling_trial",
+    "trajectory_slowdown_trial",
     "degree_fit_trial",
     "simulation_slowdown_trial",
     "result_to_dict",
@@ -92,6 +101,34 @@ def snapshot_graph(graph: MultiGraph, backend: str) -> GraphBackend:
         return freeze(graph)
     if backend == "multigraph":
         return graph
+    raise ExperimentError(
+        f"unknown graph backend {backend!r}; valid: "
+        f"{', '.join(BACKENDS)}"
+    )
+
+
+def trajectory_snapshots(
+    graph: MultiGraph,
+    marks: Dict[int, int],
+    sizes,
+    backend: str,
+):
+    """Per-checkpoint snapshots of one evolved realisation.
+
+    ``graph``/``marks`` come from
+    :meth:`~repro.core.families.GraphFamily.build_trajectory`.  Returns
+    a list of ``(size, snapshot)`` in ascending size order; each snapshot
+    is bit-identical to what :func:`snapshot_graph` would return for an
+    independent same-seed build of that size.  On the ``"frozen"``
+    backend the whole grid shares one full CSR freeze, each checkpoint
+    being a buffer-reusing prefix slice of it.
+    """
+    ordered = sorted(set(sizes))
+    if backend == "frozen":
+        full = freeze(graph)
+        return [(n, full.prefix(n, marks[n])) for n in ordered]
+    if backend == "multigraph":
+        return [(n, graph.prefix(n, marks[n])) for n in ordered]
     raise ExperimentError(
         f"unknown graph backend {backend!r}; valid: "
         f"{', '.join(BACKENDS)}"
@@ -483,6 +520,104 @@ def batched_search_trial(
         neighbor_success=neighbor_success,
         seed=seed,
     )
+
+
+def trajectory_scaling_trial(
+    *,
+    family: Dict[str, Any],
+    sizes: List[int],
+    portfolio: str,
+    runs_per_graph: int = 2,
+    budget: Optional[int] = None,
+    neighbor_success: bool = False,
+    start_rule: str = "default",
+    backend: str = "frozen",
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[Dict[str, Any]]]]:
+    """One growth trajectory serving a whole scaling grid of cells.
+
+    Evolves a single realisation of ``family`` to ``max(sizes)`` and
+    serves every per-``n`` portfolio cell from the checkpoint snapshot
+    at ``n``, so the grid pays one construction pass instead of
+    ``Σ nᵢ`` work.  Because checkpoint snapshots are bit-identical to
+    independent same-seed builds, the value at key ``str(n)`` equals
+    :func:`search_cost_graph_trial` called with ``size=n`` and the same
+    ``seed`` — draw for draw (``tests/test_frozen_graph.py`` and the
+    regression pins enforce it).  Keys are strings so the value
+    round-trips unchanged through the JSON result store.
+    """
+    family_obj = build_family(family)
+    factories = portfolio_factories(portfolio)
+    full_graph, marks = family_obj.build_trajectory(sizes, seed=seed)
+    values: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+    for size, graph in trajectory_snapshots(
+        full_graph, marks, sizes, backend
+    ):
+        target = family_obj.theorem_target(graph)
+        start = choose_start(
+            family_obj, graph, target, start_rule, seed
+        )
+        cells = [
+            {"algorithm": name, "run_index": run_index}
+            for name in factories
+            for run_index in range(runs_per_graph)
+        ]
+        cell_results = _execute_cells(
+            graph,
+            factories,
+            cells,
+            default_start=start,
+            default_target=target,
+            budget=budget,
+            neighbor_success=neighbor_success,
+            seed=seed,
+        )
+        collected: Dict[str, List[Dict[str, Any]]] = {}
+        for cell, result in zip(cells, cell_results):
+            collected.setdefault(cell["algorithm"], []).append(result)
+        values[str(size)] = collected
+    return values
+
+
+def trajectory_slowdown_trial(
+    *,
+    family: Dict[str, Any],
+    sizes: List[int],
+    backend: str = "frozen",
+    seed: int = 0,
+) -> Dict[str, Dict[str, int]]:
+    """E17's simulation-slowdown cells along one growth trajectory.
+
+    The checkpoint value at key ``str(n)`` is bit-identical to
+    :func:`simulation_slowdown_trial` called with ``size=n`` and the
+    same ``seed`` (the inner searches are deterministic and the
+    snapshot equals the independent build).
+    """
+    from repro.core.families import theorem_target_for_size
+
+    family_obj = build_family(family)
+    full_graph, marks = family_obj.build_trajectory(sizes, seed=seed)
+    values: Dict[str, Dict[str, int]] = {}
+    for size, graph in trajectory_snapshots(
+        full_graph, marks, sizes, backend
+    ):
+        target = theorem_target_for_size(size)
+        strong_result = run_search(
+            HighDegreeStrongSearch(), graph, 1, target, seed=0
+        )
+        simulated_result = run_search(
+            WeakSimulationOfStrong(HighDegreeStrongSearch()),
+            graph,
+            1,
+            target,
+            seed=0,
+        )
+        values[str(size)] = {
+            "strong_requests": strong_result.requests,
+            "weak_requests": simulated_result.requests,
+            "max_degree": max_degree(graph),
+        }
+    return values
 
 
 def degree_fit_trial(

@@ -31,6 +31,7 @@ vectorised analysis kernels — see :mod:`repro.graphs.frozen`.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, Iterator, List, Tuple
 
 from repro.errors import GraphConstructionError
@@ -223,6 +224,56 @@ class MultiGraph:
         clone = MultiGraph(self.num_vertices)
         for tail, head in self._endpoints:
             clone.add_edge(tail, head)
+        return clone
+
+    def prefix(self, num_vertices: int, num_edges: int) -> "MultiGraph":
+        """The graph as it was when it had the given vertex/edge counts.
+
+        Because the graph is append-only — vertices, edges, *and* each
+        vertex's incidence list only ever grow at the end — every
+        earlier state is recoverable from the current one: it is the
+        first ``num_vertices`` vertices together with the first
+        ``num_edges`` edges (same edge ids, same incidence order).
+        This is what makes one evolving realisation serve a whole
+        checkpoint grid: the prefix is bit-identical to the graph an
+        independent construction with the same seed would have produced
+        when stopped at that point.
+
+        Every edge in the prefix must have both endpoints among the
+        first ``num_vertices`` vertices (true for any state the graph
+        actually passed through); otherwise
+        :class:`~repro.errors.GraphConstructionError` is raised.
+        """
+        if not 0 <= num_vertices <= self.num_vertices:
+            raise GraphConstructionError(
+                f"prefix num_vertices {num_vertices} out of range "
+                f"[0, {self.num_vertices}]"
+            )
+        if not 0 <= num_edges <= self.num_edges:
+            raise GraphConstructionError(
+                f"prefix num_edges {num_edges} out of range "
+                f"[0, {self.num_edges}]"
+            )
+        clone = MultiGraph(num_vertices)
+        endpoints = self._endpoints[:num_edges]
+        indegree = clone._indegree
+        outdegree = clone._outdegree
+        for tail, head in endpoints:
+            if tail > num_vertices or head > num_vertices:
+                raise GraphConstructionError(
+                    f"prefix of {num_edges} edges touches vertices "
+                    f"beyond {num_vertices}; not a past state"
+                )
+            indegree[head] += 1
+            outdegree[tail] += 1
+        clone._endpoints = endpoints
+        incident = clone._incident
+        for v in range(1, num_vertices + 1):
+            slots = self._incident[v]
+            # Incidence lists grow in edge-id order, so the slots that
+            # existed at the prefix state are exactly the leading run
+            # of ids below num_edges.
+            incident[v] = slots[: bisect_left(slots, num_edges)]
         return clone
 
     # ------------------------------------------------------------------

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import GraphConstructionError, InvalidParameterError
 from repro.graphs.base import MultiGraph
@@ -167,6 +167,14 @@ class CooperFriezeGraph:
         ``record_trace=True``).  Needed by the Theorem-2 equivalence
         analysis, which must distinguish birth edges from later OLD
         edges on the same vertex.
+    checkpoint_edge_counts:
+        ``checkpoint n -> num_edges`` at the end of the step that
+        created vertex ``n`` (``None`` unless built with
+        ``checkpoints=...``).  Because an independent run targeting
+        ``n`` exits its evolution loop at exactly that step boundary,
+        ``graph.prefix(n, checkpoint_edge_counts[n])`` is bit-identical
+        to ``cooper_frieze_graph(n, params, seed).graph`` — the
+        growth-trajectory checkpoint contract.
     """
 
     graph: MultiGraph
@@ -174,6 +182,7 @@ class CooperFriezeGraph:
     num_steps: int
     num_new_steps: int
     trace: Optional[Tuple[StepRecord, ...]] = None
+    checkpoint_edge_counts: Optional[Dict[int, int]] = None
 
     @property
     def n(self) -> int:
@@ -214,6 +223,7 @@ def cooper_frieze_graph(
     seed: RandomLike = None,
     max_steps: Optional[int] = None,
     record_trace: bool = False,
+    checkpoints: Optional[Sequence[int]] = None,
 ) -> CooperFriezeGraph:
     """Evolve a Cooper–Frieze graph until it has ``n`` vertices.
 
@@ -232,6 +242,14 @@ def cooper_frieze_graph(
         parameter vector rather than bad luck).
     record_trace:
         Keep a per-step :class:`StepRecord` history on the result.
+    checkpoints:
+        Vertex counts (each in ``2 .. n``) at which to record the edge
+        count, sampled at the end of the step that created the
+        checkpoint vertex — see
+        :attr:`CooperFriezeGraph.checkpoint_edge_counts`.  The number
+        of evolution steps is random, so unlike the fixed-arity models
+        these marks cannot be computed after the fact; they must be
+        observed while the single shared realisation evolves.
 
     Returns
     -------
@@ -243,6 +261,11 @@ def cooper_frieze_graph(
         )
     if params is None:
         params = CooperFriezeParams()
+    pending = sorted(set(checkpoints)) if checkpoints else []
+    if pending and (pending[0] < 2 or pending[-1] > n):
+        raise InvalidParameterError(
+            f"checkpoints must lie in [2, {n}], got {pending}"
+        )
     rng = make_rng(seed)
 
     if max_steps is None:
@@ -265,6 +288,7 @@ def cooper_frieze_graph(
     num_steps = 0
     num_new_steps = 0
     trace = [] if record_trace else None
+    marks: Dict[int, int] = {}
     while graph.num_vertices < n:
         num_steps += 1
         if num_steps > max_steps:
@@ -283,6 +307,11 @@ def cooper_frieze_graph(
             )
         if trace is not None:
             trace.append(record)
+        # NEW steps add exactly one vertex, so each checkpoint is hit
+        # exactly; recording at the step boundary matches where an
+        # independent run targeting the checkpoint would have stopped.
+        while pending and graph.num_vertices >= pending[0]:
+            marks[pending.pop(0)] = graph.num_edges
 
     return CooperFriezeGraph(
         graph=graph,
@@ -290,6 +319,7 @@ def cooper_frieze_graph(
         num_steps=num_steps,
         num_new_steps=num_new_steps,
         trace=tuple(trace) if trace is not None else None,
+        checkpoint_edge_counts=marks if checkpoints else None,
     )
 
 

@@ -90,6 +90,7 @@ class FrozenGraph:
         "_neighbor_cache",
         "_unique_cache",
         "_hash",
+        "_pairs_cache",
     )
 
     def __init__(
@@ -127,6 +128,9 @@ class FrozenGraph:
         self._neighbor_cache: Dict[int, List[int]] = {}
         self._unique_cache: Dict[int, List[int]] = {}
         self._hash: Optional[int] = None
+        # Lazily built (tails, heads) column arrays shared by every
+        # prefix snapshot taken from this graph (see :meth:`prefix`).
+        self._pairs_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -177,7 +181,9 @@ class FrozenGraph:
                 )
             else:
                 slot_targets = _np.zeros(0, dtype=_np.int64)
+            pairs_cache = (tails, heads)
         else:
+            pairs_cache = None
             offsets = array("q", [0] * (n + 2))
             for v in range(n + 1):
                 offsets[v + 1] = offsets[v] + degrees[v]
@@ -193,7 +199,7 @@ class FrozenGraph:
                     slot_edges.append(eid)
                     slot_targets.append(tail + head - v)
 
-        return cls(
+        snapshot = cls(
             num_vertices=n,
             endpoints=endpoints,
             indegree=list(graph._indegree),
@@ -203,6 +209,11 @@ class FrozenGraph:
             slot_targets=slot_targets,
             num_loops=num_loops,
         )
+        # The freeze already materialised the endpoint columns; keep
+        # them so a checkpoint grid's prefix() calls (see _pairs) skip
+        # the repeat list-to-array conversion.
+        snapshot._pairs_cache = pairs_cache
+        return snapshot
 
     def add_vertex(self) -> int:
         """Snapshots are immutable; always raises."""
@@ -372,6 +383,130 @@ class FrozenGraph:
     def thaw(self) -> MultiGraph:
         """An independent mutable copy with identical content and edge ids."""
         return MultiGraph.from_edges(self._n, list(self._endpoints))
+
+    # ------------------------------------------------------------------
+    # Prefix snapshots (growth-trajectory checkpoints)
+    # ------------------------------------------------------------------
+
+    def _pairs(self):
+        """Cached full-length (tails, heads) columns (numpy path only).
+
+        Built once per snapshot and reused by every :meth:`prefix`
+        call, so a whole checkpoint grid pays the list-to-array
+        conversion a single time.
+        """
+        if self._pairs_cache is None:
+            if self._endpoints:
+                pairs = _np.array(self._endpoints, dtype=_np.int64)
+                self._pairs_cache = (pairs[:, 0], pairs[:, 1])
+            else:
+                empty = _np.zeros(0, dtype=_np.int64)
+                self._pairs_cache = (empty, empty)
+        return self._pairs_cache
+
+    def prefix(self, num_vertices: int, num_edges: int) -> "FrozenGraph":
+        """Snapshot of the source graph's *past state* at the given counts.
+
+        The source multigraph is append-only, so the state in which it
+        had ``num_vertices`` vertices and ``num_edges`` edges is the
+        prefix of everything: the first ``num_edges`` endpoint pairs,
+        and for each vertex the leading run of incidence slots whose
+        edge id is below ``num_edges`` (incidence lists grow in edge-id
+        order).  The result is therefore bit-identical — same edge ids,
+        same incidence order, equal and hash-equal — to freezing an
+        independent construction stopped at that point, which is the
+        contract the growth-trajectory checkpoint engine is built on.
+
+        Slicing reuses this snapshot's CSR buffers (and the cached
+        endpoint columns) instead of re-walking a mutable graph, so a
+        whole checkpoint grid costs one full freeze plus one masked
+        copy per checkpoint.
+
+        Raises :class:`~repro.errors.GraphConstructionError` if the
+        requested prefix is not a state the graph passed through (an
+        edge in the prefix touches a vertex beyond ``num_vertices``).
+        """
+        if not 0 <= num_vertices <= self._n:
+            raise GraphConstructionError(
+                f"prefix num_vertices {num_vertices} out of range "
+                f"[0, {self._n}]"
+            )
+        if not 0 <= num_edges <= len(self._endpoints):
+            raise GraphConstructionError(
+                f"prefix num_edges {num_edges} out of range "
+                f"[0, {len(self._endpoints)}]"
+            )
+        if num_vertices == self._n and num_edges == len(self._endpoints):
+            return self
+        endpoints = self._endpoints[:num_edges]
+
+        if HAVE_NUMPY:
+            tails, heads = self._pairs()
+            tails = tails[:num_edges]
+            heads = heads[:num_edges]
+            if num_edges and int(
+                max(tails.max(), heads.max())
+            ) > num_vertices:
+                raise GraphConstructionError(
+                    f"prefix of {num_edges} edges touches vertices "
+                    f"beyond {num_vertices}; not a past state"
+                )
+            indegree = _np.bincount(
+                heads, minlength=num_vertices + 1
+            ).tolist()
+            outdegree = _np.bincount(
+                tails, minlength=num_vertices + 1
+            ).tolist()
+            num_loops = int((tails == heads).sum())
+            sub_offsets = self._offsets[: num_vertices + 2]
+            end = int(sub_offsets[-1])
+            mask = self._slot_edges[:end] < num_edges
+            cum = _np.zeros(end + 1, dtype=_np.int64)
+            _np.cumsum(mask, out=cum[1:])
+            offsets = _np.zeros(num_vertices + 2, dtype=_np.int64)
+            offsets[1:] = cum[sub_offsets[1:]]
+            slot_edges = self._slot_edges[:end][mask]
+            slot_targets = self._slot_targets[:end][mask]
+        else:
+            from bisect import bisect_left
+
+            indegree = [0] * (num_vertices + 1)
+            outdegree = [0] * (num_vertices + 1)
+            num_loops = 0
+            for tail, head in endpoints:
+                if tail > num_vertices or head > num_vertices:
+                    raise GraphConstructionError(
+                        f"prefix of {num_edges} edges touches vertices "
+                        f"beyond {num_vertices}; not a past state"
+                    )
+                indegree[head] += 1
+                outdegree[tail] += 1
+                if tail == head:
+                    num_loops += 1
+            offsets = array("q", [0] * (num_vertices + 2))
+            slot_edges = array("q")
+            slot_targets = array("q")
+            for v in range(num_vertices + 1):
+                lo = self._offsets[v]
+                hi = self._offsets[v + 1]
+                segment = self._slot_edges[lo:hi]
+                kept = bisect_left(segment, num_edges)
+                offsets[v + 1] = offsets[v] + kept
+                slot_edges.extend(segment[:kept])
+                slot_targets.extend(
+                    self._slot_targets[lo:lo + kept]
+                )
+
+        return type(self)(
+            num_vertices=num_vertices,
+            endpoints=endpoints,
+            indegree=indegree,
+            outdegree=outdegree,
+            offsets=offsets,
+            slot_edges=slot_edges,
+            slot_targets=slot_targets,
+            num_loops=num_loops,
+        )
 
     # ------------------------------------------------------------------
     # Dunder / internals

@@ -10,7 +10,12 @@ cells into one spec so a single generated graph snapshot serves the
 whole batch (see :mod:`repro.runner.batching`).
 """
 
-from repro.runner.batching import batched_specs, unbatch_values
+from repro.runner.batching import (
+    batched_specs,
+    split_trajectory_values,
+    trajectory_specs,
+    unbatch_values,
+)
 from repro.runner.executor import run_trials
 from repro.runner.store import MISS, ResultStore
 from repro.runner.trial import (
@@ -32,6 +37,8 @@ __all__ = [
     "params_hash",
     "resolve_trial",
     "run_trials",
+    "split_trajectory_values",
+    "trajectory_specs",
     "trial_ref",
     "unbatch_values",
 ]

@@ -16,7 +16,13 @@ be replayed verbatim.
 The store is deliberately forgiving: a corrupted or half-written file
 is treated as a miss (and removed), never as an error — a crashed run
 must not poison later ones.  Writes are atomic (temp file + rename) so
-a parallel run that is killed mid-flight leaves no torn entries.
+a parallel run that is killed mid-flight leaves no torn entries.  The
+directory may be shared by parallel *processes*: a reader that sees
+garbage re-reads once before declaring a miss (a concurrent atomic
+rewrite may have landed in between) and tolerates the entry vanishing
+or being locked while it cleans up.  A vanishingly small window
+remains in which recovery can unlink a peer's just-landed value — the
+cost is only a later cache miss, never a wrong result.
 """
 
 from __future__ import annotations
@@ -60,20 +66,31 @@ class ResultStore:
 
         A file that exists but does not parse as the expected record is
         discarded and reported as a miss (corruption recovery).
+
+        With a cache directory shared by parallel processes, a read
+        that sees garbage may be racing another process's atomic
+        rewrite of the same entry: by the time we react, the path may
+        already hold that writer's fresh, valid record.  So a corrupt
+        read is retried once before the entry is declared dead — if
+        the re-read parses, the concurrent writer won the race and its
+        value is returned instead of unlinking it; only a *repeatedly*
+        unreadable file is removed (and removal itself tolerates the
+        file disappearing or being locked under another process's
+        rewrite).
         """
         path = self.path_for(spec)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
-        except FileNotFoundError:
-            return MISS
-        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
-            self._discard(path)
-            return MISS
-        if not isinstance(record, dict) or "value" not in record:
-            self._discard(path)
-            return MISS
-        return record["value"]
+        for attempt in range(2):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except FileNotFoundError:
+                return MISS
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict) and "value" in record:
+                return record["value"]
+        self._discard(path)
+        return MISS
 
     def put(self, spec: TrialSpec, value: Any) -> None:
         """Persist ``value`` for ``spec`` atomically."""
@@ -103,6 +120,11 @@ class ResultStore:
 
     @staticmethod
     def _discard(path: str) -> None:
+        # ENOENT: another process already removed (or is atomically
+        # replacing) the entry.  EPERM/EACCES: a Windows peer holds
+        # the file open mid-rewrite.  Both are benign in a shared
+        # cache directory, as is any other OSError here — the store
+        # must never fail a run over cleanup.
         try:
             os.remove(path)
         except OSError:

@@ -59,6 +59,16 @@ class OmniscientWindowSearch(SearchAlgorithm):
         self._graph = graph
         self._window = list(window)
 
+    @property
+    def window(self) -> Tuple[int, ...]:
+        """The equivalence window handed to the adversary (read-only).
+
+        Exposed so tests can pin the Lemma-1 window ``[[target, b]]``
+        — including its clip at the realised graph's last vertex for
+        targets near ``n`` — against the factory that builds it.
+        """
+        return tuple(self._window)
+
     def run(
         self, oracle: WeakOracle, rng: random.Random, budget: int
     ) -> SearchResult:

@@ -1,10 +1,14 @@
-"""Fast validation of the committed benchmark-trajectory record.
+"""Fast validation of the committed benchmark-trajectory records.
 
-``make bench-smoke`` writes ``BENCH_PR2.json``; this test never runs
-the benchmark (that takes minutes) but pins the committed artifact:
-the schema the trajectory tooling will consume — experiment id, n,
-wall seconds, backend per record — and the PR's recorded acceptance
-claim (>= 3x on the flooding/BFS cell batch).
+Each PR appends one point to the bench trajectory: ``BENCH_PR2.json``
+(FrozenGraph cell batching, regenerable with
+``PYTHONPATH=src python benchmarks/bench_smoke.py --pr2``) and ``BENCH_PR3.json``
+(growth-trajectory checkpoint engine, written by ``make bench-smoke``).
+These tests never run the benchmarks (that takes minutes) but pin the
+committed artifacts: the schema the trajectory tooling consumes and
+each PR's recorded acceptance claim (>= 3x on the PR2 flooding/BFS
+cell batch; >= 2x on the PR3 grid-realisation workload, trajectory
+mode vs independent per-size construction).
 """
 
 from __future__ import annotations
@@ -14,17 +18,19 @@ import os
 
 import pytest
 
-BENCH_PATH = os.path.join(
-    os.path.dirname(__file__), os.pardir, "BENCH_PR2.json"
-)
+_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+BENCH_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
+BENCH_PR3_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 
 VALID_BACKENDS = {"frozen", "multigraph"}
+VALID_MODES = {"independent", "trajectory"}
 
 
 @pytest.fixture(scope="module")
 def payload():
     assert os.path.exists(BENCH_PATH), (
-        "BENCH_PR2.json missing; run `make bench-smoke`"
+        "BENCH_PR2.json missing; run "
+        "`PYTHONPATH=src python benchmarks/bench_smoke.py --pr2`"
     )
     with open(BENCH_PATH, encoding="utf-8") as handle:
         return json.load(handle)
@@ -80,3 +86,79 @@ class TestBenchSchema:
         assert speedup["speedup_vs_rebuild"] == pytest.approx(
             expected, abs=0.01
         )
+
+
+@pytest.fixture(scope="module")
+def pr3_payload():
+    assert os.path.exists(BENCH_PR3_PATH), (
+        "BENCH_PR3.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PR3_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchPR3Schema:
+    """The growth-trajectory checkpoint-engine point."""
+
+    def test_schema_version(self, pr3_payload):
+        assert pr3_payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, pr3_payload):
+        records = pr3_payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+            assert record["mode"] in VALID_MODES
+
+    def test_e17_timed_per_backend_and_mode(self, pr3_payload):
+        seen: dict = {}
+        for record in pr3_payload["records"]:
+            if record["experiment"] == "E17":
+                seen.setdefault(record["backend"], set()).add(
+                    record["mode"]
+                )
+        assert set(seen) == VALID_BACKENDS
+        for backend, modes in seen.items():
+            assert modes == VALID_MODES, (
+                f"E17 must be timed in both modes on {backend}"
+            )
+
+    def test_e19_recorded(self, pr3_payload):
+        backends = {
+            record["backend"]
+            for record in pr3_payload["records"]
+            if record["experiment"] == "E19"
+        }
+        assert backends == VALID_BACKENDS
+
+    def test_trajectory_speedup_block(self, pr3_payload):
+        speedup = pr3_payload["trajectory_speedup"]
+        assert speedup["workload"] == "e17-grid-realisations"
+        assert speedup["family"].startswith("mori")
+        assert len(speedup["sizes"]) >= 4
+        assert speedup["sizes"] == sorted(speedup["sizes"])
+        assert set(speedup["per_backend"]) == VALID_BACKENDS
+        for numbers in speedup["per_backend"].values():
+            assert numbers["independent_seconds"] > 0
+            assert numbers["trajectory_seconds"] > 0
+            expected = (
+                numbers["independent_seconds"]
+                / numbers["trajectory_seconds"]
+            )
+            assert numbers["speedup"] == pytest.approx(
+                expected, abs=0.01
+            )
+
+    def test_recorded_acceptance_speedup(self, pr3_payload):
+        """The committed run met the PR's >= 2x acceptance bar on the
+        gate backend, and the trajectory layout wins on every backend."""
+        speedup = pr3_payload["trajectory_speedup"]
+        gate = speedup["per_backend"][speedup["acceptance_backend"]]
+        assert gate["speedup"] >= 2.0
+        for numbers in speedup["per_backend"].values():
+            assert numbers["speedup"] >= 1.0

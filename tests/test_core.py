@@ -121,6 +121,77 @@ class TestMeasureSearchCost:
             measure_search_cost(family, 50, {}, num_graphs=0)
 
 
+class TestOmniscientWindowClip:
+    """Exact audit of the factory's window clip against Lemma 1.
+
+    Lemma 1's window is ``V = [[target, b]]`` with
+    ``b = (target - 1) + ⌊√(target - 2)⌋`` (``equivalence_window``),
+    both ends inclusive; the factory realises it as
+    ``range(target, min(b, n) + 1)``.  These tests pin that the clip
+    keeps exactly the members of ``[[target, b]]`` that exist in the
+    graph — no off-by-one at either end, including targets at and near
+    the newest vertex ``n`` where ``b`` overshoots the graph.
+    """
+
+    def _window_for(self, graph, target):
+        factory = omniscient_factory()
+        return factory(graph, target).window
+
+    def test_theorem_target_window_is_unclipped_lemma1_set(self):
+        import math
+
+        family = MoriFamily(p=0.5, m=1)
+        graph = family.build(200, seed=2)
+        target = family.theorem_target(graph)
+        window = self._window_for(graph, target)
+        b = (target - 1) + math.isqrt(target - 2)
+        # theorem_target_for_size guarantees b <= n: no clipping.
+        assert b <= graph.num_vertices
+        assert window == tuple(range(target, b + 1))
+        assert len(window) == math.isqrt(target - 2)
+        assert window[0] == target
+
+    def test_target_at_newest_vertex_degenerates_to_singleton(self):
+        import math
+
+        family = MoriFamily(p=0.5, m=1)
+        graph = family.build(100, seed=3)
+        n = graph.num_vertices
+        b = (n - 1) + math.isqrt(n - 2)
+        assert b > n  # the unclipped window would leave the graph
+        window = self._window_for(graph, n)
+        assert window == (n,)  # [[n, b]] ∩ [1, n] — the target alone
+
+    def test_targets_near_n_clip_to_existing_vertices_exactly(self):
+        import math
+
+        family = MoriFamily(p=0.5, m=1)
+        graph = family.build(100, seed=4)
+        n = graph.num_vertices
+        for target in range(n - 6, n + 1):
+            window = self._window_for(graph, target)
+            b = (target - 1) + math.isqrt(target - 2)
+            expected = tuple(
+                k for k in range(target, b + 1) if k <= n
+            )
+            assert window == expected, target
+            # Inclusive at both surviving ends, never beyond n.
+            assert window[0] == target
+            assert window[-1] == min(b, n)
+            assert all(graph.has_vertex(k) for k in window)
+
+    def test_clipped_window_searches_still_succeed(self):
+        from repro.search.process import run_search
+
+        family = MoriFamily(p=0.5, m=1)
+        graph = family.build(100, seed=5)
+        n = graph.num_vertices
+        factory = omniscient_factory()
+        for target in (n, n - 1):
+            algorithm = factory(graph, target)
+            result = run_search(algorithm, graph, 1, target, seed=0)
+            assert result.found
+
 class TestMeasureScaling:
     def test_scaling_and_exponent(self):
         family = MoriFamily(p=0.5, m=1)

@@ -23,6 +23,7 @@ experiment's raw per-graph values through the explicit
 
 from __future__ import annotations
 
+import inspect
 import json
 
 import pytest
@@ -118,6 +119,17 @@ EXPERIMENTS = {
 }
 
 
+#: Pinned experiments whose functions accept the trajectory/independent
+#: construction mode (the default must stay `independent` so every pin
+#: above keeps holding without a mode argument).
+MODE_EXPERIMENTS = [
+    experiment_id
+    for experiment_id in sorted(GOLDEN)
+    if "mode"
+    in inspect.signature(EXPERIMENTS[experiment_id]).parameters
+]
+
+
 @pytest.mark.parametrize("experiment_id", sorted(GOLDEN))
 def test_derived_scalars_pinned_serial(experiment_id):
     """jobs=1 reproduces the pre-refactor numbers bit-for-bit.
@@ -128,6 +140,166 @@ def test_derived_scalars_pinned_serial(experiment_id):
     pin = GOLDEN[experiment_id]
     result = EXPERIMENTS[experiment_id](**pin["kwargs"])
     assert result.derived == pin["derived"]
+
+
+@pytest.mark.parametrize("experiment_id", MODE_EXPERIMENTS)
+def test_explicit_independent_mode_matches_pins(experiment_id):
+    """mode='independent' spelled out changes nothing against the pins."""
+    pin = GOLDEN[experiment_id]
+    result = EXPERIMENTS[experiment_id](
+        **pin["kwargs"], mode="independent"
+    )
+    assert result.derived == pin["derived"]
+
+
+def test_mode_gained_by_the_expected_experiments():
+    """E17 is the only pinned experiment with a mode axis (E18/E19 are
+    covered by their own shape tests)."""
+    assert MODE_EXPERIMENTS == ["E17"]
+
+
+#: Exact scalars of the trajectory-coupled runs at fixed seeds (captured
+#: from this PR's implementation): trajectory mode has its own golden
+#: trajectory so a drift in checkpoint snapshots, trajectory seeds, or
+#: the coupled fold shows up here even though the independent pins above
+#: cannot see it.
+TRAJECTORY_GOLDEN = {
+    "E17": {
+        "kwargs": {"sizes": (100, 200), "num_graphs": 2, "seed": 17},
+        "derived": {
+            "worst_ratio/n=100": 0.5844155844155844,
+            "worst_ratio/n=200": 0.2189655172413793,
+            "worst_ratio": 0.5844155844155844,
+        },
+    },
+    "E19": {
+        "kwargs": {
+            "sizes": (100, 200),
+            "num_graphs": 2,
+            "runs_per_graph": 1,
+            "seed": 19,
+        },
+        "derived": {
+            "exponent/mori(m=1,p=0.5)": -1.2983412745697478,
+            "mean@largest/mori(m=1,p=0.5)": 37.0,
+            "exponent/cooper-frieze(a=0.75)": 0.39854937649027455,
+            "mean@largest/cooper-frieze(a=0.75)": 101.5,
+            "min_exponent": -1.2983412745697478,
+        },
+    },
+}
+
+
+class TestTrajectoryMode:
+    """Trajectory runs: pinned scalars and coupled-seed re-derivation."""
+
+    def test_e17_trajectory_pinned(self):
+        pin = TRAJECTORY_GOLDEN["E17"]
+        result = e17_simulation_slowdown(
+            **pin["kwargs"], mode="trajectory"
+        )
+        assert result.derived == pin["derived"]
+
+    def test_e19_pinned(self):
+        from repro.core.experiments import e19_trajectory_scaling
+
+        pin = TRAJECTORY_GOLDEN["E19"]
+        result = e19_trajectory_scaling(**pin["kwargs"])
+        assert result.derived == pin["derived"]
+
+    def test_e17_trajectory_rederives_from_coupled_seeds(self):
+        """Each checkpoint cell equals the *independent* trial at the
+        realisation's trajectory seed — the bit-identity that makes
+        trajectory mode a pure wall-clock optimisation."""
+        from repro.core.families import MoriFamily
+        from repro.core.searchability import trajectory_seeds
+        from repro.core.trials import (
+            family_spec,
+            simulation_slowdown_trial,
+        )
+
+        kwargs = TRAJECTORY_GOLDEN["E17"]["kwargs"]
+        result = e17_simulation_slowdown(
+            **kwargs, mode="trajectory"
+        )
+        spec = family_spec(MoriFamily(p=0.25, m=1))
+        seeds = trajectory_seeds(
+            kwargs["seed"], kwargs["num_graphs"]
+        )
+        for size in kwargs["sizes"]:
+            cell_worst = 0.0
+            for graph_seed in seeds:
+                value = simulation_slowdown_trial(
+                    family=spec, size=size, seed=graph_seed
+                )
+                bound = (
+                    max(value["strong_requests"], 1)
+                    * value["max_degree"]
+                )
+                cell_worst = max(
+                    cell_worst, value["weak_requests"] / bound
+                )
+            assert (
+                result.derived[f"worst_ratio/n={size}"] == cell_worst
+            )
+
+    def test_e17_trajectory_backend_and_jobs_invariant(self):
+        pin = TRAJECTORY_GOLDEN["E17"]
+        baseline = e17_simulation_slowdown(
+            **pin["kwargs"], mode="trajectory"
+        )
+        multigraph = e17_simulation_slowdown(
+            **pin["kwargs"], mode="trajectory", backend="multigraph"
+        )
+        assert multigraph.derived == baseline.derived
+
+    def test_e17_trajectory_cache_replay(self, tmp_path, monkeypatch):
+        from repro.runner import TrialSpec
+
+        pin = TRAJECTORY_GOLDEN["E17"]
+        cache = str(tmp_path / "cache")
+        first = e17_simulation_slowdown(
+            **pin["kwargs"], mode="trajectory", cache_dir=cache
+        )
+
+        def exploding_execute(self):
+            raise AssertionError(
+                "trajectory trial recomputed despite warm cache"
+            )
+
+        monkeypatch.setattr(TrialSpec, "execute", exploding_execute)
+        second = e17_simulation_slowdown(
+            **pin["kwargs"], mode="trajectory", cache_dir=cache
+        )
+        assert first.derived == second.derived
+
+    def test_modes_share_no_cache_entries(self, tmp_path):
+        """Independent and trajectory runs key their trials differently,
+        so one cache directory serves both without cross-talk."""
+        pin = TRAJECTORY_GOLDEN["E17"]
+        cache = str(tmp_path / "cache")
+        independent = e17_simulation_slowdown(
+            **pin["kwargs"], cache_dir=cache
+        )
+        trajectory = e17_simulation_slowdown(
+            **pin["kwargs"], mode="trajectory", cache_dir=cache
+        )
+        assert independent.derived == GOLDEN["E17"]["derived"]
+        assert trajectory.derived == TRAJECTORY_GOLDEN["E17"]["derived"]
+        # Re-running each mode replays its own entries and still
+        # produces its own pinned values.
+        assert (
+            e17_simulation_slowdown(
+                **pin["kwargs"], cache_dir=cache
+            ).derived
+            == independent.derived
+        )
+        assert (
+            e17_simulation_slowdown(
+                **pin["kwargs"], mode="trajectory", cache_dir=cache
+            ).derived
+            == trajectory.derived
+        )
 
 
 @pytest.mark.parametrize("experiment_id", sorted(GOLDEN))

@@ -30,10 +30,10 @@ from repro.core.experiments import (
 
 
 class TestExperimentRegistry:
-    def test_all_eighteen_registered(self):
-        assert len(ALL_EXPERIMENTS) == 18
+    def test_all_nineteen_registered(self):
+        assert len(ALL_EXPERIMENTS) == 19
         assert set(ALL_EXPERIMENTS) == {
-            f"E{i}" for i in range(1, 19)
+            f"E{i}" for i in range(1, 20)
         }
 
     def test_all_have_docstrings(self):
@@ -209,6 +209,90 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "seed=123" in out
 
+    def test_ignored_runner_flags_warn_on_non_runner_experiment(
+        self, capsys, tmp_path
+    ):
+        """E4 never consults --jobs/--cache-dir/--backend/--mode; the
+        CLI must say so instead of letting the user believe results
+        were cached or parallelised."""
+        cache = str(tmp_path / "cache")
+        assert main(
+            [
+                "run", "E4", "--quick",
+                "--jobs", "4",
+                "--cache-dir", cache,
+                "--backend", "multigraph",
+                "--mode", "trajectory",
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "--jobs 4 has no effect on E4" in err
+        assert f"--cache-dir {cache} has no effect on E4" in err
+        assert "--backend multigraph has no effect on E4" in err
+        assert "--mode trajectory has no effect on E4" in err
+        assert err.count("warning:") == 4
+
+    @pytest.mark.parametrize(
+        "experiment_id", ("E5", "E8", "E10", "E12", "E15", "E16")
+    )
+    def test_every_non_runner_experiment_warns(
+        self, experiment_id, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(
+            [
+                "run", experiment_id, "--quick",
+                "--jobs", "2", "--cache-dir", cache,
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"has no effect on {experiment_id}" in err
+        assert err.count("warning:") == 2
+
+    def test_runner_experiment_flags_do_not_warn(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(
+            [
+                "run", "E17", "--quick",
+                "--jobs", "2",
+                "--cache-dir", cache,
+                "--mode", "trajectory",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "warning:" not in captured.err
+        assert "mode=trajectory" in captured.out
+
+    def test_default_flags_never_warn(self, capsys):
+        assert main(["run", "E4", "--quick"]) == 0
+        assert "warning:" not in capsys.readouterr().err
+
+    def test_runner_experiment_missing_only_one_knob_warns_precisely(
+        self, capsys
+    ):
+        """E1 takes jobs but not mode: --jobs applies silently while
+        --mode warns, and the message names the missing parameter
+        rather than (wrongly) claiming E1 bypasses the runner."""
+        assert main(
+            ["run", "E1", "--quick", "--jobs", "2",
+             "--mode", "trajectory"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert err.count("warning:") == 1
+        assert "--mode trajectory has no effect on E1" in err
+        assert "takes no 'mode' parameter" in err
+        assert "--jobs" not in err
+
+    def test_mode_passthrough_to_measure_scaling_experiment(
+        self, capsys
+    ):
+        assert main(
+            ["run", "E18", "--quick", "--mode", "trajectory"]
+        ) == 0
+        assert "mode=trajectory" in capsys.readouterr().out
+
     def test_seed_detection_survives_wrappers(self, monkeypatch):
         import functools
 
@@ -264,6 +348,19 @@ class TestE17:
         )
         assert result.derived["worst_ratio"] <= 1.0
 
+    def test_independent_mode_preserves_grid_order_and_repeats(self):
+        """The mode refactor must keep the serial loop's one-row-per-
+        grid-position behaviour: repeated sizes are separate cells
+        (distinct seed substreams) and the caller's order is kept."""
+        from repro.core.experiments import e17_simulation_slowdown
+
+        result = e17_simulation_slowdown(
+            sizes=(200, 200, 100), num_graphs=1, seed=17
+        )
+        assert [row[0] for row in result.tables[0].rows] == [
+            200, 200, 100,
+        ]
+
 
 class TestCLIPlot:
     def test_plot_flag_renders_ascii(self, capsys):
@@ -313,6 +410,96 @@ class TestE18:
         for rule in ("default", "random", "newest-other"):
             assert f"exponent/start={rule}" in result.derived
 
+    def test_trajectory_mode_runs_all_rules(self):
+        from repro.core.experiments import e18_start_rule
+
+        result = e18_start_rule(
+            sizes=(60, 120), num_graphs=2, runs_per_graph=1, seed=18,
+            mode="trajectory",
+        )
+        assert result.params["mode"] == "trajectory"
+        for rule in ("default", "random", "newest-other"):
+            assert f"exponent/start={rule}" in result.derived
+
+
+class TestE19:
+    def test_shape_and_confidence_bands(self):
+        from repro.core.experiments import e19_trajectory_scaling
+
+        result = e19_trajectory_scaling(
+            sizes=(100, 200), num_graphs=3, runs_per_graph=1, seed=19
+        )
+        assert result.experiment_id == "E19"
+        assert result.params["mode"] == "trajectory"
+        table = result.tables[0]
+        assert "ci95 halfwidth" in table.columns
+        # One row per (family, size); both families measured.
+        families = {row[0] for row in table.rows}
+        assert len(families) == 2
+        assert len(table.rows) == 4
+        for row in table.rows:
+            mean_requests = row[2]
+            ci_halfwidth = row[3]
+            assert mean_requests > 0
+            assert ci_halfwidth >= 0
+        assert "min_exponent" in result.derived
+
+    def test_unknown_mode_rejected(self):
+        from repro.core.experiments import e17_simulation_slowdown
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            e17_simulation_slowdown(
+                sizes=(100, 200), num_graphs=1, mode="coupled"
+            )
+
+    def test_e19_accepts_only_trajectory_mode(self, capsys):
+        """Coupled trajectories are E19's subject: `--mode trajectory`
+        composes without a bogus 'flag was ignored' warning, and
+        independent mode is rejected with a pointer to E1/E3."""
+        from repro.core.experiments import e19_trajectory_scaling
+        from repro.errors import ExperimentError
+
+        assert main(
+            ["run", "E19", "--quick", "--mode", "trajectory"]
+        ) == 0
+        assert "warning:" not in capsys.readouterr().err
+        with pytest.raises(ExperimentError):
+            e19_trajectory_scaling(
+                sizes=(100, 200), num_graphs=1, mode="independent"
+            )
+        # An *explicitly typed* --mode independent must reach E19 and
+        # be rejected there — not silently dropped as "the default" —
+        # and the CLI turns the rejection into a clean error, not a
+        # traceback.
+        assert main(
+            ["run", "E19", "--quick", "--mode", "independent"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "error: E19 failed:" in err
+        assert "coupled trajectories by definition" in err
+
+    def test_run_all_survives_a_failing_experiment(
+        self, capsys, monkeypatch
+    ):
+        """One experiment rejecting a knob must not abort the sweep."""
+        from repro import cli
+        from repro.errors import ExperimentError
+
+        def exploding(**kwargs):
+            raise ExperimentError("boom")
+
+        subset = {
+            "E10": exploding,
+            "E17": cli.ALL_EXPERIMENTS["E17"],
+        }
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", subset)
+        assert main(["run", "all", "--quick"]) == 1
+        captured = capsys.readouterr()
+        assert "error: E10 failed: boom" in captured.err
+        # Experiments after the failure still ran.
+        assert "E17:" in captured.out
+
 
 class TestCLIRunAll:
     @pytest.mark.slow
@@ -334,8 +521,8 @@ class TestCLIRunAll:
         )
         written = sorted(os.listdir(json_dir))
         assert written == sorted(
-            f"e{i}.json" for i in range(1, 19)
+            f"e{i}.json" for i in range(1, 20)
         )
         out = capsys.readouterr().out
-        for i in range(1, 19):
+        for i in range(1, 20):
             assert f"E{i}:" in out

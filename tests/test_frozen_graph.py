@@ -446,6 +446,264 @@ class TestBatchedTrials:
         assert keys("multigraph") != frozen_keys
 
 
+def _snapshot_digest(graph) -> str:
+    """Content digest of a (frozen or mutable) graph's labeled edge list.
+
+    sha256 of canonical JSON rather than ``hash()`` so the goldens are
+    stable across interpreter invocations, versions, and platforms.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        [graph.num_vertices, [[t, h] for _, t, h in graph.edges()]],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: sha256 of (n, edge list) for `family.build(n, seed=0)` — and therefore,
+#: by the trajectory contract, for the checkpoint snapshot at n of one
+#: seed-0 realisation evolved to the largest size.  Regenerate with
+#: `_snapshot_digest` if a model's draw order legitimately changes.
+TRAJECTORY_GOLDEN_SIZES = (50, 80, 120)
+TRAJECTORY_GOLDEN = {
+    "mori": {
+        50: "80b067d38ce046e052a984ed6df8611a990a1782f5adaf658ec877b23be75436",
+        80: "63bb61d0fc4e2296e684d279dc62294f70a6aa2f7fccdb77b180ff6d132c6dcb",
+        120: "94c44774344ba23457c8e383e2391cb7ed85bdf933166474163901cb8963a96c",
+    },
+    "cooper-frieze": {
+        50: "5cf4fbb4a442716fafae51b8e12fcaece6316bfde043b99b1dbd843d9621be25",
+        80: "e9e749a6b17a0e6d50b363f2969c890771e4cfe1eafa40a7e0008330886414a7",
+        120: "e71cea24eeb64d1c54fa4d7bbccbaf1decb62a9801ac31afa7555ae86610d919",
+    },
+    "ba": {
+        50: "b7d41097a9943fe3b312f0a635b79c76a5b253d65d4590c20afb890c4101af4f",
+        80: "539dd19deec47a8818821e0966f52c12490e291ed87e746780e29e724311950a",
+        120: "65122620c3fc680472c159bbd968a029eadb269bf5f736429e3e341032180e10",
+    },
+}
+
+TRAJECTORY_FAMILIES = {
+    "mori": lambda: MoriFamily(p=0.5, m=2),
+    "cooper-frieze": lambda: CooperFriezeFamily(),
+    "ba": lambda: BarabasiAlbertFamily(m=2),
+}
+
+
+class TestTrajectoryCheckpoints:
+    """Checkpoint snapshots == independent same-seed builds, bit for bit."""
+
+    @pytest.mark.parametrize("model", sorted(TRAJECTORY_FAMILIES))
+    def test_golden_checkpoint_digests(self, model):
+        """The pinned digests hold for independent builds AND for the
+        prefix snapshots of one shared trajectory, on both backends."""
+        family = TRAJECTORY_FAMILIES[model]()
+        golden = TRAJECTORY_GOLDEN[model]
+        graph, marks = family.build_trajectory(
+            TRAJECTORY_GOLDEN_SIZES, seed=0
+        )
+        full = freeze(graph)
+        for n in TRAJECTORY_GOLDEN_SIZES:
+            assert _snapshot_digest(family.build(n, seed=0)) == golden[n]
+            assert _snapshot_digest(full.prefix(n, marks[n])) == golden[n]
+            assert _snapshot_digest(graph.prefix(n, marks[n])) == golden[n]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("model", sorted(TRAJECTORY_FAMILIES))
+    def test_prefix_equals_independent_build(self, model, seed):
+        family = TRAJECTORY_FAMILIES[model]()
+        sizes = (40, 70, 110)
+        graph, marks = family.build_trajectory(sizes, seed=seed)
+        full = freeze(graph)
+        for n in sizes:
+            independent = family.build(n, seed=seed)
+            snapshot = full.prefix(n, marks[n])
+            # Equality and hashing follow the labeled-edge-list contract.
+            assert snapshot == independent
+            assert hash(snapshot) == hash(freeze(independent))
+            assert graph.prefix(n, marks[n]) == independent
+            # Read API answers match the independently built graph.
+            assert snapshot.degree_sequence() == (
+                independent.degree_sequence()
+            )
+            assert snapshot.num_self_loops() == (
+                independent.num_self_loops()
+            )
+            for v in (1, n // 2, n):
+                assert snapshot.incident_edges(v) == (
+                    independent.incident_edges(v)
+                )
+                assert snapshot.neighbors(v) == independent.neighbors(v)
+                assert snapshot.in_degree(v) == independent.in_degree(v)
+                assert snapshot.out_degree(v) == (
+                    independent.out_degree(v)
+                )
+
+    def test_prefix_of_full_graph_is_identity(self):
+        family = MoriFamily(p=0.5, m=1)
+        graph, marks = family.build_trajectory((30, 60), seed=1)
+        full = freeze(graph)
+        assert full.prefix(60, marks[60]) is full
+
+    def test_prefix_rejects_non_past_states(self):
+        graph = MultiGraph.from_edges(3, [(2, 1), (3, 1)])
+        frozen = freeze(graph)
+        # Cutting only the vertex count strands edge (3, 1): the pair
+        # (2 vertices, 2 edges) was never a state this graph passed
+        # through.
+        with pytest.raises(GraphConstructionError):
+            frozen.prefix(2, 2)
+        with pytest.raises(GraphConstructionError):
+            graph.prefix(2, 2)
+        with pytest.raises(GraphConstructionError):
+            frozen.prefix(4, 1)
+        with pytest.raises(GraphConstructionError):
+            frozen.prefix(3, 5)
+        # The genuine past state is fine.
+        assert frozen.prefix(2, 1) == MultiGraph.from_edges(2, [(2, 1)])
+
+    def test_prefix_fallback_matches_numpy_path(self, monkeypatch):
+        import repro.graphs.frozen as frozen_module
+
+        family = CooperFriezeFamily()
+        graph, marks = family.build_trajectory((30, 60), seed=9)
+        with_numpy = freeze(graph).prefix(30, marks[30])
+        monkeypatch.setattr(frozen_module, "HAVE_NUMPY", False)
+        without_numpy = freeze(graph).prefix(30, marks[30])
+        assert without_numpy == with_numpy
+        assert without_numpy.degree_sequence() == (
+            with_numpy.degree_sequence()
+        )
+        for v in with_numpy.vertices():
+            assert without_numpy.incident_edges(v) == (
+                with_numpy.incident_edges(v)
+            )
+            assert without_numpy.neighbors(v) == with_numpy.neighbors(v)
+
+    def test_configuration_family_rejects_trajectory(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            ConfigurationFamily().build_trajectory((40, 80), seed=0)
+
+
+class TestTrajectoryTrials:
+    """One trajectory spec reproduces the independent trials draw-for-draw."""
+
+    def test_checkpoint_cells_equal_independent_trials(self):
+        from repro.core.trials import (
+            family_spec,
+            search_cost_graph_trial,
+            trajectory_scaling_trial,
+        )
+
+        spec = family_spec(MoriFamily(p=0.5, m=1))
+        sizes = [60, 120]
+        for backend in ("frozen", "multigraph"):
+            value = trajectory_scaling_trial(
+                family=spec,
+                sizes=sizes,
+                portfolio="high-degree",
+                runs_per_graph=2,
+                seed=77,
+                backend=backend,
+            )
+            for n in sizes:
+                assert value[str(n)] == search_cost_graph_trial(
+                    family=spec,
+                    size=n,
+                    portfolio="high-degree",
+                    runs_per_graph=2,
+                    seed=77,
+                )
+
+    def test_slowdown_checkpoints_equal_independent_trials(self):
+        from repro.core.trials import (
+            family_spec,
+            simulation_slowdown_trial,
+            trajectory_slowdown_trial,
+        )
+
+        spec = family_spec(MoriFamily(p=0.25, m=1))
+        sizes = [60, 120]
+        value = trajectory_slowdown_trial(
+            family=spec, sizes=sizes, seed=5
+        )
+        for n in sizes:
+            assert value[str(n)] == simulation_slowdown_trial(
+                family=spec, size=n, seed=5
+            )
+
+    def test_runner_trajectory_helpers(self):
+        from repro.core.trials import (
+            family_spec,
+            trajectory_scaling_trial,
+        )
+        from repro.runner import (
+            run_trials,
+            split_trajectory_values,
+            trajectory_specs,
+            trial_ref,
+        )
+        from repro.errors import ExperimentError
+
+        spec = family_spec(MoriFamily(p=0.5, m=1))
+        specs = trajectory_specs(
+            "ADHOC",
+            trial_ref(trajectory_scaling_trial),
+            {"family": spec, "portfolio": "high-degree",
+             "runs_per_graph": 1},
+            [120, 60],
+            graph_seeds=[3, 4],
+        )
+        assert [s.seed for s in specs] == [3, 4]
+        assert specs[0].params["sizes"] == [60, 120]  # canonicalized
+        outcomes = run_trials(specs)
+        per_size = split_trajectory_values(outcomes, [60, 120])
+        assert set(per_size) == {60, 120}
+        assert len(per_size[60]) == 2
+        assert per_size[60][0] == trajectory_scaling_trial(
+            family=spec, sizes=[60, 120], portfolio="high-degree",
+            runs_per_graph=1, seed=3,
+        )["60"]
+        with pytest.raises(ExperimentError):
+            split_trajectory_values(outcomes, [60, 120, 999])
+        with pytest.raises(ExperimentError):
+            trajectory_specs(
+                "ADHOC", "m:f", {}, [], graph_seeds=[1]
+            )
+
+    def test_trajectory_value_survives_store_round_trip(self, tmp_path):
+        """String size keys keep the value identical through JSON."""
+        from repro.core.trials import (
+            family_spec,
+            trajectory_scaling_trial,
+        )
+        from repro.runner import (
+            ResultStore,
+            run_trials,
+            trajectory_specs,
+            trial_ref,
+        )
+
+        spec = family_spec(MoriFamily(p=0.5, m=1))
+        specs = trajectory_specs(
+            "ADHOC",
+            trial_ref(trajectory_scaling_trial),
+            {"family": spec, "portfolio": "high-degree",
+             "runs_per_graph": 1},
+            [60, 120],
+            graph_seeds=[8],
+        )
+        store = ResultStore(tmp_path)
+        fresh = run_trials(specs, store=store)
+        replayed = run_trials(specs, store=store)
+        assert replayed[0].from_cache
+        assert replayed[0].value == fresh[0].value
+
+
 class TestArrayFallback:
     """Without numpy the CSR lives in stdlib arrays; answers unchanged."""
 

@@ -141,6 +141,100 @@ class TestCorruptionRecovery:
         assert len(CALLS) == 2  # recomputed exactly once
 
 
+class TestSharedCacheRaces:
+    """Two processes sharing one --cache-dir must never eat each other's
+    entries: a corrupt read is retried once (a concurrent atomic
+    rewrite may have landed in between) and cleanup tolerates the
+    entry vanishing or being locked."""
+
+    def test_concurrent_rewrite_between_read_and_discard(
+        self, tmp_path, monkeypatch
+    ):
+        """Writer B replaces the corrupt entry while A is reacting to it.
+
+        Pre-fix, A's ``get`` would unlink B's fresh valid record and
+        report MISS; now A re-reads once, returns B's value, and the
+        entry survives.
+        """
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"value": {"ok": tr')  # torn write from a crash
+
+        real_load = json.load
+        state = {"loads": 0}
+
+        def racing_load(handle):
+            state["loads"] += 1
+            try:
+                return real_load(handle)
+            except json.JSONDecodeError:
+                # Between A's failed parse and its reaction, writer B's
+                # atomic put lands on the same key.
+                ResultStore(tmp_path).put(spec, {"from": "writer-b"})
+                raise
+
+        monkeypatch.setattr(json, "load", racing_load)
+        assert store.get(spec) == {"from": "writer-b"}
+        assert state["loads"] == 2  # exactly one re-read
+        assert os.path.exists(path)  # B's entry was not unlinked
+
+    def test_entry_vanishing_mid_recovery_is_a_plain_miss(
+        self, tmp_path, monkeypatch
+    ):
+        """Another process removes the corrupt entry first: still MISS."""
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage")
+
+        real_remove = os.remove
+
+        def concurrent_remove(target):
+            real_remove(target)  # the other process won the unlink...
+            raise FileNotFoundError(target)  # ...so ours sees ENOENT
+
+        monkeypatch.setattr(os, "remove", concurrent_remove)
+        assert store.get(spec) is MISS
+
+    def test_locked_entry_mid_recovery_is_a_plain_miss(
+        self, tmp_path, monkeypatch
+    ):
+        """EPERM from a peer holding the file (Windows rewrite): still MISS."""
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage")
+
+        def locked_remove(target):
+            raise PermissionError(target)
+
+        monkeypatch.setattr(os, "remove", locked_remove)
+        assert store.get(spec) is MISS
+        # The entry could not be cleaned up, but a later writer can
+        # still atomically replace it and be read normally.
+        store.put(spec, 42)
+        assert store.get(spec) == 42
+
+    def test_persistently_corrupt_entry_still_removed(self, tmp_path):
+        """The re-read is one retry, not a corruption leak: a file that
+        stays garbage is discarded exactly as before."""
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put(spec, {"ok": True})
+        path = store.path_for(spec)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage")
+        assert store.get(spec) is MISS
+        assert not os.path.exists(path)
+
+
 class TestCacheSkipsRecompute:
     def test_second_run_executes_nothing(self, tmp_path):
         store = ResultStore(tmp_path)
