@@ -3,7 +3,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: verify verify-full bench bench-smoke
+.PHONY: verify verify-full ci bench bench-smoke
 
 # Tier-1: the fast suite (pytest.ini excludes `slow`-marked tests).
 verify:
@@ -14,12 +14,22 @@ verify:
 verify-full:
 	$(PYTEST) -q -m "slow or not slow"
 
-# Minutes-scale bench trajectory point: downsized E17 (both
-# construction modes) and E19 per graph backend, plus the scaling-grid
-# realisation speedup (trajectory vs independent).  Writes
-# BENCH_PR3.json (schema-checked by tests/test_bench_schema.py);
-# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr2`
-# regenerates BENCH_PR2.json.
+# What .github/workflows/ci.yml runs, locally: the tier-1 suite with
+# numpy, then again with numpy import-blocked (a shim module shadows
+# it) to exercise the stdlib fallbacks and the ensemble engine's
+# clean "unavailable" error path.
+ci:
+	$(PYTEST) -x -q
+	@mkdir -p .ci-no-numpy && printf 'raise ImportError("numpy disabled for the no-numpy CI leg")\n' > .ci-no-numpy/numpy.py
+	PYTHONPATH=.ci-no-numpy:src python -m pytest -x -q; \
+		status=$$?; rm -rf .ci-no-numpy; exit $$status
+
+# Minutes-scale bench point: downsized walk-heavy experiments per
+# search engine, plus the ensemble-vs-serial walk-cell speedup at
+# n=1e5 (gate >= 3x on the frozen+numpy path).  Writes BENCH_PR4.json
+# (schema-checked by tests/test_bench_schema.py);
+# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr3` regenerates
+# BENCH_PR3.json and `--pr2` BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 

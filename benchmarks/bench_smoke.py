@@ -1,47 +1,44 @@
-"""Bench-trajectory smoke run: the growth-trajectory checkpoint point.
+"""Bench-trajectory smoke run: the walker-ensemble engine point.
 
-``make bench-smoke`` runs this script.  It records the PR's trajectory
-point in ``BENCH_PR3.json`` at the repository root:
+``make bench-smoke`` runs this script.  It records the PR's point in
+``BENCH_PR4.json`` at the repository root:
 
-1. downsized end-to-end experiment timings — E17 in both construction
-   modes and E19 (trajectory by definition) — per graph backend.  These
-   are honest end-to-end numbers: E17's wall clock is dominated by its
-   deterministic searches (whose cost is realisation-dependent), so its
-   mode ratio is noisy and close to 1;
-2. the headline measurement, ``e17-grid-realisations``: the wall-clock
-   cost of *materialising the per-size graph snapshots* of a downsized
-   E17-shaped scaling grid (Móri ``p = 0.25``, the construction work the
-   checkpoint engine exists to optimise), under two layouts per
-   backend —
-
-   * ``independent`` — every grid size evolves a fresh realisation from
-     scratch (``Σ nᵢ`` construction work, the pre-PR layout),
-   * ``trajectory``  — one realisation evolves to ``max(sizes)`` once
-     and every size is served by a bit-identical checkpoint snapshot
-     (prefix freeze; buffer-reusing CSR slices on the frozen backend).
+1. downsized end-to-end experiment timings — the walk-heavy E1 and E3
+   — per search engine on the default frozen backend.  These are
+   honest end-to-end numbers: small grids are construction-dominated,
+   so the end-to-end engine ratio is far more modest than the
+   per-cell one;
+2. the headline measurement, ``walk-cells``: one n=100 000 Móri
+   (``m = 2``) snapshot serving a 64-run (algorithm, start, target)
+   cell for each walk-family algorithm, serial oracle loop vs the
+   lock-step ensemble kernel.  The bench also asserts the two engines
+   return *equal* per-run results before trusting either timing.
 
 Record schema (validated by ``tests/test_bench_schema.py``)::
 
     {"schema": "repro-bench/v1",
-     "records": [{"experiment": "E17", "n": 4000, "wall_seconds": ...,
-                  "backend": "frozen", "mode": "trajectory"}, ...],
-     "trajectory_speedup": {
-         "workload": "e17-grid-realisations",
-         "family": "mori(m=1,p=0.25)", "sizes": [...],
-         "per_backend": {
-             "frozen":     {"independent_seconds": ...,
-                            "trajectory_seconds": ...,
-                            "speedup": ...},
-             "multigraph": {...}},
-         "acceptance_backend": "frozen"}}
+     "records": [{"experiment": "E1", "n": 240, "wall_seconds": ...,
+                  "backend": "frozen", "engine": "ensemble"}, ...],
+     "ensemble_speedup": {
+         "workload": "walk-cells",
+         "family": "mori(m=2,p=0.5)", "n": 100000,
+         "runs_per_cell": 64, "budget": 2000, "backend": "frozen",
+         "per_algorithm": {
+             "random-walk":        {"serial_seconds": ...,
+                                    "ensemble_seconds": ...,
+                                    "speedup": ...},
+             "self-avoiding-walk": {...},
+             "restart-walk-r0.1":  {...}},
+         "acceptance_algorithm": "random-walk"}}
 
 Wall-clock numbers vary with the machine; the committed file records
-the run that accompanied the PR (speedup >= 2x on both backends, with
-the acceptance gate on the default ``frozen`` backend).
+the run that accompanied the PR (>= 3x on the acceptance cell, on the
+frozen backend with numpy — the ensemble engine's native path).
 
-``PYTHONPATH=src python benchmarks/bench_smoke.py --pr2``
-regenerates the previous
-PR's ``BENCH_PR2.json`` artifact instead (FrozenGraph cell batching).
+``PYTHONPATH=src python benchmarks/bench_smoke.py --pr3`` regenerates
+the previous PR's ``BENCH_PR3.json`` artifact (growth-trajectory
+checkpoint engine) and ``--pr2`` the PR2 one (FrozenGraph cell
+batching).
 """
 
 from __future__ import annotations
@@ -61,17 +58,165 @@ from repro.core.experiments import (
 from repro.core.families import MoriFamily
 from repro.core.trials import snapshot_graph, trajectory_snapshots
 from repro.graphs import freeze
-from repro.rng import make_rng, substream
-from repro.search.algorithms import FloodingSearch
+from repro.rng import make_rng, run_substream, substream
+from repro.search.algorithms import (
+    FloodingSearch,
+    RandomWalkSearch,
+    RestartingWalkSearch,
+    SelfAvoidingWalkSearch,
+)
+from repro.search.ensemble import run_ensemble
 from repro.search.process import run_search
 
 SCHEMA = "repro-bench/v1"
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
-OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
+OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
+PR3_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 PR2_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
 
 # ----------------------------------------------------------------------
-# PR3: growth-trajectory checkpoint engine
+# PR4: vectorized walker-ensemble engine
+# ----------------------------------------------------------------------
+
+#: Downsized walk-heavy experiments timed per engine (frozen backend —
+#: the engine axis is orthogonal to the backend one, and frozen+numpy
+#: is the kernel's native path).
+PR4_EXPERIMENTS = (
+    ("E1", e1_mori_weak,
+     {"sizes": (60, 120, 240), "num_graphs": 2, "runs_per_graph": 2},
+     240),
+    ("E3", e3_cooper_frieze,
+     {"sizes": (60, 120), "num_graphs": 2, "runs_per_graph": 2}, 120),
+)
+
+PR4_CELL_FAMILY = MoriFamily(p=0.5, m=2)
+PR4_CELL_N = 100_000
+PR4_CELL_RUNS = 64
+PR4_CELL_BUDGET = 2_000
+PR4_CELL_SEED = 97
+PR4_CELL_ALGORITHMS = (
+    RandomWalkSearch(),
+    SelfAvoidingWalkSearch(),
+    RestartingWalkSearch(restart_prob=0.1),
+)
+
+
+def pr4_time_experiments() -> list:
+    """Downsized E1/E3 per engine, timed end to end."""
+    records = []
+    for experiment_id, function, kwargs, n in PR4_EXPERIMENTS:
+        for engine in ("serial", "ensemble"):
+            began = time.perf_counter()
+            function(**kwargs, backend="frozen", engine=engine)
+            elapsed = time.perf_counter() - began
+            records.append(
+                {
+                    "experiment": experiment_id,
+                    "n": n,
+                    "wall_seconds": round(elapsed, 4),
+                    "backend": "frozen",
+                    "engine": engine,
+                }
+            )
+            print(
+                f"  {experiment_id:>4} engine={engine:<9} "
+                f"{elapsed:7.2f}s"
+            )
+    return records
+
+
+def pr4_measure_ensemble_speedup() -> dict:
+    """Per-cell wall clock: serial oracle loop vs ensemble kernel."""
+    print(
+        f"  building {PR4_CELL_FAMILY.name} n={PR4_CELL_N} "
+        "(one snapshot serves every cell) ..."
+    )
+    graph = freeze(
+        PR4_CELL_FAMILY.build(PR4_CELL_N, seed=PR4_CELL_SEED)
+    )
+    target = PR4_CELL_FAMILY.theorem_target(graph)
+    start = PR4_CELL_FAMILY.default_start(graph)
+    per_algorithm = {}
+    for algorithm in PR4_CELL_ALGORITHMS:
+        run_seeds = [
+            run_substream(PR4_CELL_SEED, algorithm.name, run)
+            for run in range(PR4_CELL_RUNS)
+        ]
+        began = time.perf_counter()
+        serial_results = [
+            run_search(
+                algorithm, graph, start, target,
+                budget=PR4_CELL_BUDGET, seed=run_seed,
+            )
+            for run_seed in run_seeds
+        ]
+        serial_seconds = time.perf_counter() - began
+
+        began = time.perf_counter()
+        ensemble_results = run_ensemble(
+            algorithm, graph, start, target, run_seeds,
+            budget=PR4_CELL_BUDGET,
+        )
+        ensemble_seconds = time.perf_counter() - began
+
+        # The speedup claim is only worth recording if the engines
+        # agree run for run — the determinism contract, re-checked at
+        # bench scale (a real raise, so `python -O` cannot strip it).
+        if ensemble_results != serial_results:
+            raise SystemExit(
+                f"{algorithm.name}: engines diverged at bench scale"
+            )
+        per_algorithm[algorithm.name] = {
+            "serial_seconds": round(serial_seconds, 4),
+            "ensemble_seconds": round(ensemble_seconds, 4),
+            "speedup": round(serial_seconds / ensemble_seconds, 2),
+        }
+        print(
+            f"  {algorithm.name:<20} serial {serial_seconds:6.2f}s"
+            f" | ensemble {ensemble_seconds:6.2f}s -> "
+            f"{per_algorithm[algorithm.name]['speedup']:.1f}x"
+        )
+    return {
+        "workload": "walk-cells",
+        "family": PR4_CELL_FAMILY.name,
+        "n": PR4_CELL_N,
+        "runs_per_cell": PR4_CELL_RUNS,
+        "budget": PR4_CELL_BUDGET,
+        "backend": "frozen",
+        "per_algorithm": per_algorithm,
+        "acceptance_algorithm": "random-walk",
+    }
+
+
+def main() -> int:
+    print("bench-smoke: downsized E1/E3 (engines, frozen backend)")
+    records = pr4_time_experiments()
+    print(
+        "bench-smoke: walk cells, "
+        f"n={PR4_CELL_N} x {PR4_CELL_RUNS} runs"
+    )
+    speedup = pr4_measure_ensemble_speedup()
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "ensemble_speedup": speedup,
+    }
+    path = os.path.normpath(OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    gate = speedup["per_algorithm"][speedup["acceptance_algorithm"]]
+    ok = gate["speedup"] >= 3.0
+    print(
+        "acceptance: ensemble walk-cell speedup "
+        f"{gate['speedup']:.1f}x ({'>= 3x ok' if ok else 'BELOW 3x'})"
+    )
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# PR3 artifact regeneration (growth-trajectory checkpoint engine)
 # ----------------------------------------------------------------------
 
 #: Downsized end-to-end runs timed per backend (and, for E17, per mode).
@@ -90,7 +235,7 @@ GRID_SIZES = (
 GRID_SEED = 17
 
 
-def time_experiments() -> list:
+def pr3_time_experiments() -> list:
     """Downsized E17 (both modes) and E19, per backend, timed."""
     records = []
     runs = [
@@ -127,7 +272,7 @@ def time_experiments() -> list:
     return records
 
 
-def measure_trajectory_speedup() -> dict:
+def pr3_measure_trajectory_speedup() -> dict:
     """Grid-realisation wall clock: independent builds vs one trajectory."""
     per_backend = {}
     for backend in ("frozen", "multigraph"):
@@ -169,20 +314,21 @@ def measure_trajectory_speedup() -> dict:
     }
 
 
-def main() -> int:
-    print("bench-smoke: downsized E17/E19 (backends x modes)")
-    records = time_experiments()
+def pr3_main() -> int:
+    """Regenerate BENCH_PR3.json (the checkpoint-engine point)."""
+    print("bench-smoke --pr3: downsized E17/E19 (backends x modes)")
+    records = pr3_time_experiments()
     print(
-        "bench-smoke: E17-shaped grid realisations, "
+        "bench-smoke --pr3: E17-shaped grid realisations, "
         f"sizes {GRID_SIZES[0]}..{GRID_SIZES[-1]}"
     )
-    speedup = measure_trajectory_speedup()
+    speedup = pr3_measure_trajectory_speedup()
     payload = {
         "schema": SCHEMA,
         "records": records,
         "trajectory_speedup": speedup,
     }
-    path = os.path.normpath(OUTPUT_PATH)
+    path = os.path.normpath(PR3_OUTPUT_PATH)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -314,4 +460,6 @@ def pr2_main() -> int:
 if __name__ == "__main__":
     if "--pr2" in sys.argv[1:]:
         sys.exit(pr2_main())
+    if "--pr3" in sys.argv[1:]:
+        sys.exit(pr3_main())
     sys.exit(main())

@@ -20,8 +20,10 @@ persistent store; neither changes any printed number (trial seeds are
 substream-derived, so parallel output is bit-identical to serial).
 ``--mode trajectory`` serves scaling sweeps from checkpoint snapshots
 of shared growth trajectories (one construction pass per sweep).
-Experiments that a requested knob cannot apply to emit a warning on
-stderr instead of silently ignoring it.
+``--engine ensemble`` advances all runs of each walk-family search
+cell together through the lock-step numpy kernel (bit-identical to
+serial; requires numpy).  Experiments that a requested knob cannot
+apply to emit a warning on stderr instead of silently ignoring it.
 """
 
 from __future__ import annotations
@@ -168,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
             "snapshots (one construction pass per sweep)"
         ),
     )
+    run.add_argument(
+        "--engine",
+        choices=("serial", "ensemble"),
+        default=None,
+        help=(
+            "search-cell execution engine: 'serial' (default) steps "
+            "each run through the oracle one at a time; 'ensemble' "
+            "advances all runs of each walk-family cell together "
+            "through the lock-step numpy kernel (requires numpy); "
+            "numbers are identical either way"
+        ),
+    )
 
     compare = subparsers.add_parser(
         "compare",
@@ -224,8 +238,9 @@ def _warn_ignored(
     """Tell the user a CLI knob has no effect on this experiment.
 
     Silently dropping ``--cache-dir`` (or ``--jobs``/``--backend``/
-    ``--mode``) would let users believe results were cached or
-    parallelised when the experiment never consulted the flag.
+    ``--mode``/``--engine``) would let users believe results were
+    cached or parallelised when the experiment never consulted the
+    flag.
     """
     print(
         f"warning: {flag} has no effect on {experiment_id} (this "
@@ -245,6 +260,7 @@ def _run_one(
     cache_dir: Optional[str] = None,
     backend: Optional[str] = None,
     mode: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> None:
     function = ALL_EXPERIMENTS[experiment_id]
     accepted = _accepted_parameters(function)
@@ -284,6 +300,13 @@ def _run_one(
             kwargs["mode"] = mode
         else:
             _warn_ignored(experiment_id, f"--mode {mode}", "mode")
+    if engine is not None:
+        if "engine" in accepted:
+            kwargs["engine"] = engine
+        else:
+            _warn_ignored(
+                experiment_id, f"--engine {engine}", "engine"
+            )
     result = function(**kwargs)
     print(result.format())
     if plot:
@@ -327,6 +350,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         args.quick, args.plot,
                         jobs=args.jobs, cache_dir=args.cache_dir,
                         backend=args.backend, mode=args.mode,
+                        engine=args.engine,
                     )
                 except ReproError as error:
                     # One experiment rejecting a knob (e.g. E19 and
@@ -350,6 +374,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 requested, args.seed, args.json, args.quick, args.plot,
                 jobs=args.jobs, cache_dir=args.cache_dir,
                 backend=args.backend, mode=args.mode,
+                engine=args.engine,
             )
         except ReproError as error:
             print(f"error: {requested} failed: {error}", file=sys.stderr)

@@ -174,6 +174,7 @@ def e1_mori_weak(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
+    engine: str = "serial",
 ) -> ExperimentResult:
     """E1: every weak-model algorithm respects the Ω(√n) floor on Móri graphs.
 
@@ -193,6 +194,7 @@ def e1_mori_weak(
         store=_store_for(cache_dir),
         experiment_id="E1",
         backend=backend,
+        engine=engine,
     )
 
     def bound(size: int) -> float:
@@ -250,6 +252,7 @@ def e2_mori_strong(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
+    engine: str = "serial",
 ) -> ExperimentResult:
     """E2: strong-model algorithms respect Ω(n^{1/2-p-eps}) for p < 1/2."""
     family = MoriFamily(p=p, m=m)
@@ -264,6 +267,7 @@ def e2_mori_strong(
         store=_store_for(cache_dir),
         experiment_id="E2",
         backend=backend,
+        engine=engine,
     )
 
     def bound(size: int) -> float:
@@ -318,6 +322,7 @@ def e3_cooper_frieze(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
+    engine: str = "serial",
 ) -> ExperimentResult:
     """E3: the Ω(√n) floor holds in the Cooper–Frieze model (Theorem 2)."""
     params = CooperFriezeParams(alpha=alpha)
@@ -333,6 +338,7 @@ def e3_cooper_frieze(
         store=_store_for(cache_dir),
         experiment_id="E3",
         backend=backend,
+        engine=engine,
     )
 
     def bound(size: int) -> float:
@@ -597,6 +603,8 @@ def e7_adamic(
     seed: int = 7,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
+    engine: str = "serial",
 ) -> ExperimentResult:
     """E7: high-degree search beats the random walk on power-law graphs.
 
@@ -621,6 +629,8 @@ def e7_adamic(
         jobs=jobs,
         store=_store_for(cache_dir),
         experiment_id="E7",
+        backend=backend,
+        engine=engine,
     )
     predicted_greedy = 2.0 * (1.0 - 2.0 / exponent)
     predicted_walk = 3.0 * (1.0 - 2.0 / exponent)
@@ -889,6 +899,8 @@ def e11_lemma1_floor(
     seed: int = 11,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
+    engine: str = "serial",
 ) -> ExperimentResult:
     """E11: measured costs sit above the Lemma-1 floor; omniscient ~ Θ(√n)."""
     family = MoriFamily(p=p, m=1)
@@ -902,6 +914,8 @@ def e11_lemma1_floor(
         jobs=jobs,
         store=_store_for(cache_dir),
         experiment_id="E11",
+        backend=backend,
+        engine=engine,
     )
 
     result = ExperimentResult(
@@ -1038,6 +1052,8 @@ def e13_ablation_p(
     seed: int = 13,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
+    engine: str = "serial",
 ) -> ExperimentResult:
     """E13: the √n floor is insensitive to the attachment mixture p."""
     result = ExperimentResult(
@@ -1066,6 +1082,8 @@ def e13_ablation_p(
             jobs=jobs,
             store=_store_for(cache_dir),
             experiment_id="E13",
+            backend=backend,
+            engine=engine,
         )
         exponent = measurement.fitted_exponent("high-degree")
         for size in measurement.sizes:
@@ -1094,6 +1112,8 @@ def e14_ablation_m(
     seed: int = 14,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend: str = "frozen",
+    engine: str = "serial",
 ) -> ExperimentResult:
     """E14: the √n floor holds for every merge arity m (Theorem 1)."""
     result = ExperimentResult(
@@ -1123,6 +1143,8 @@ def e14_ablation_m(
             jobs=jobs,
             store=_store_for(cache_dir),
             experiment_id="E14",
+            backend=backend,
+            engine=engine,
         )
         exponent = measurement.fitted_exponent("high-degree")
         for size in measurement.sizes:

@@ -20,7 +20,6 @@ staying draw-for-draw identical to the serial in-process loop.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -37,7 +36,6 @@ from repro.search.metrics import (
     SearchResult,
     summarize_results,
 )
-from repro.search.process import default_budget, run_search
 
 __all__ = [
     "AlgorithmFactory",
@@ -139,6 +137,7 @@ def _build_cell_specs(
     neighbor_success: bool,
     start_rule: str,
     backend: str,
+    engine: str = "serial",
 ) -> List[TrialSpec]:
     """One :class:`TrialSpec` per graph realisation of a (size, seed) cell."""
     from repro.core.trials import family_spec, search_cost_graph_trial
@@ -153,12 +152,14 @@ def _build_cell_specs(
         "neighbor_success": neighbor_success,
         "start_rule": start_rule,
     }
-    # The backend never changes a trial's value (the equivalence
-    # battery pins this), so the default stays out of the params —
-    # keeping cache keys identical to pre-snapshot runs; only a forced
-    # non-default backend gets its own cache entries.
+    # Neither backend nor engine ever changes a trial's value (the
+    # equivalence batteries pin this), so the defaults stay out of the
+    # params — keeping cache keys identical to earlier runs; only a
+    # forced non-default choice gets its own cache entries.
     if backend != "frozen":
         params["backend"] = backend
+    if engine != "serial":
+        params["engine"] = engine
     return [
         TrialSpec(
             experiment_id=experiment_id,
@@ -168,6 +169,49 @@ def _build_cell_specs(
         )
         for graph_index in range(num_graphs)
     ]
+
+
+def _portfolio_grid_in_process(
+    graph,
+    factories: Dict[str, AlgorithmFactory],
+    runs_per_graph: int,
+    *,
+    start: int,
+    target: int,
+    budget: Optional[int],
+    neighbor_success: bool,
+    graph_seed: int,
+    engine: str,
+):
+    """One graph's whole portfolio grid through the shared executor.
+
+    The in-process factory paths (independent and trajectory) both
+    delegate here, which delegates to the trial layer's
+    ``_execute_cells`` — one derivation of run seeds, one engine
+    dispatch — so closures get the ensemble kernel too, and the
+    factory and named-portfolio paths cannot drift apart.  Yields
+    ``(algorithm_name, SearchResult)`` in the serial loop's order.
+    """
+    from repro.core.trials import _execute_cells, result_from_dict
+
+    cells = [
+        {"algorithm": name, "run_index": run_index}
+        for name in factories
+        for run_index in range(runs_per_graph)
+    ]
+    cell_results = _execute_cells(
+        graph,
+        factories,
+        cells,
+        default_start=start,
+        default_target=target,
+        budget=budget,
+        neighbor_success=neighbor_success,
+        seed=graph_seed,
+        engine=engine,
+    )
+    for cell, value in zip(cells, cell_results):
+        yield cell["algorithm"], result_from_dict(value)
 
 
 def _fold_cell(
@@ -203,6 +247,7 @@ def measure_search_cost(
     store: Optional[ResultStore] = None,
     experiment_id: str = "adhoc",
     backend: str = "frozen",
+    engine: str = "serial",
 ) -> CostMeasurement:
     """Estimate expected request counts on ``family`` at ``size``.
 
@@ -230,8 +275,12 @@ def measure_search_cost(
     ``backend`` picks the graph form the searches run on: ``"frozen"``
     (default) snapshots each realisation into a read-optimised
     :class:`~repro.graphs.frozen.FrozenGraph` once built,
-    ``"multigraph"`` searches the mutable object directly.  Like
-    ``jobs``/``store`` it never changes a number, only wall-clock time.
+    ``"multigraph"`` searches the mutable object directly.  ``engine``
+    picks the cell execution strategy: ``"serial"`` (default) steps
+    runs one at a time, ``"ensemble"`` advances all runs of each
+    walk-family cell through the lock-step numpy kernel (see
+    :data:`repro.core.trials.ENGINES`; requires numpy).  Like
+    ``jobs``/``store`` neither changes a number, only wall-clock time.
     """
     if num_graphs < 1 or runs_per_graph < 1:
         raise ExperimentError(
@@ -256,6 +305,7 @@ def measure_search_cost(
             neighbor_success,
             start_rule,
             backend,
+            engine,
         )
         outcomes = run_trials(specs, jobs=jobs, store=store)
         return _fold_cell(
@@ -285,28 +335,18 @@ def measure_search_cost(
         start = _choose_start(
             family, graph, target, start_rule, graph_seed
         )
-        instance_budget = (
-            budget if budget is not None else default_budget(graph)
-        )
-        for name, factory in factories.items():
-            algorithm = factory(graph, target)
-            # str hashes are salted per process; crc32 keeps run seeds
-            # reproducible across interpreter invocations.
-            name_code = zlib.crc32(name.encode("utf-8"))
-            for run_index in range(runs_per_graph):
-                run_seed = substream(
-                    graph_seed, (name_code << 16) ^ run_index
-                )
-                result = run_search(
-                    algorithm,
-                    graph,
-                    start,
-                    target,
-                    budget=instance_budget,
-                    seed=run_seed,
-                    neighbor_success=neighbor_success,
-                )
-                collected[name].append(result)
+        for name, result in _portfolio_grid_in_process(
+            graph,
+            factories,
+            runs_per_graph,
+            start=start,
+            target=target,
+            budget=budget,
+            neighbor_success=neighbor_success,
+            graph_seed=graph_seed,
+            engine=engine,
+        ):
+            collected[name].append(result)
 
     for name, results in collected.items():
         measurement.results[name] = results
@@ -402,6 +442,7 @@ def measure_scaling(
     experiment_id: str = "adhoc",
     backend: str = "frozen",
     mode: str = "independent",
+    engine: str = "serial",
 ) -> ScalingMeasurement:
     """Run :func:`measure_search_cost` across a size grid.
 
@@ -427,6 +468,10 @@ def measure_scaling(
       which is also what makes the mode a pure wall-clock win.
       Requires a prefix-stable family (the evolving models; the
       configuration model is rejected).
+
+    ``engine`` selects the per-cell execution strategy exactly as in
+    :func:`measure_search_cost` (``"ensemble"`` batches each walk-family
+    cell through the numpy kernel; numbers are engine-independent).
     """
     ordered = sorted(set(sizes))
     if len(ordered) < 2:
@@ -465,6 +510,7 @@ def measure_scaling(
             store,
             experiment_id,
             backend,
+            engine,
         )
 
     if isinstance(factories, str):
@@ -483,6 +529,7 @@ def measure_scaling(
                 neighbor_success,
                 start_rule,
                 backend,
+                engine,
             )
             offsets.append((size, len(grid_specs), len(cell_specs)))
             grid_specs.extend(cell_specs)
@@ -509,6 +556,7 @@ def measure_scaling(
             store=store,
             experiment_id=experiment_id,
             backend=backend,
+            engine=engine,
         )
     return measurement
 
@@ -527,6 +575,7 @@ def _measure_scaling_trajectory(
     store: Optional[ResultStore],
     experiment_id: str,
     backend: str,
+    engine: str = "serial",
 ) -> ScalingMeasurement:
     """The ``mode='trajectory'`` body of :func:`measure_scaling`.
 
@@ -555,11 +604,13 @@ def _measure_scaling_trajectory(
             "neighbor_success": neighbor_success,
             "start_rule": start_rule,
         }
-        # Same cache-key policy as the independent cells: only a forced
-        # non-default backend enters the params (values are
-        # backend-independent).
+        # Same cache-key policy as the independent cells: only forced
+        # non-default choices enter the params (values are backend- and
+        # engine-independent).
         if backend != "frozen":
             params["backend"] = backend
+        if engine != "serial":
+            params["engine"] = engine
         specs = trajectory_specs(
             experiment_id,
             trial_ref(trajectory_scaling_trial),
@@ -598,25 +649,18 @@ def _measure_scaling_trajectory(
             start = _choose_start(
                 family, graph, target, start_rule, graph_seed
             )
-            instance_budget = default_budget(graph)
-            for name, factory in factories.items():
-                algorithm = factory(graph, target)
-                name_code = zlib.crc32(name.encode("utf-8"))
-                for run_index in range(runs_per_graph):
-                    run_seed = substream(
-                        graph_seed, (name_code << 16) ^ run_index
-                    )
-                    collected[size][name].append(
-                        run_search(
-                            algorithm,
-                            graph,
-                            start,
-                            target,
-                            budget=instance_budget,
-                            seed=run_seed,
-                            neighbor_success=neighbor_success,
-                        )
-                    )
+            for name, result in _portfolio_grid_in_process(
+                graph,
+                factories,
+                runs_per_graph,
+                start=start,
+                target=target,
+                budget=None,
+                neighbor_success=neighbor_success,
+                graph_seed=graph_seed,
+                engine=engine,
+            ):
+                collected[size][name].append(result)
     for size in ordered:
         cell = CostMeasurement(family_name=family.name, size=size)
         for name, results in collected[size].items():

@@ -33,7 +33,6 @@ bit-identical to the corresponding independent same-seed trial.
 
 from __future__ import annotations
 
-import zlib
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.degrees import max_degree
@@ -50,7 +49,7 @@ from repro.graphs.base import MultiGraph
 from repro.graphs.frozen import GraphBackend, freeze
 from repro.graphs.cooper_frieze import CooperFriezeParams
 from repro.graphs.kleinberg import kleinberg_grid
-from repro.rng import make_rng, substream
+from repro.rng import make_rng, run_substream, substream
 from repro.search.algorithms import (
     AgeGreedySearch,
     DegreeBiasedWalkSearch,
@@ -88,6 +87,16 @@ __all__ = [
 
 #: Valid values of the ``backend`` trial parameter.
 BACKENDS = ("frozen", "multigraph")
+
+#: Valid values of the ``engine`` trial parameter.  ``"serial"`` (the
+#: default) steps every search cell through the oracle machinery one
+#: run at a time; ``"ensemble"`` advances all runs of each walk-family
+#: (algorithm, start, target) cell together through the numpy kernel in
+#: :mod:`repro.search.ensemble` (non-walk algorithms fall back to the
+#: serial path per cell).  Like ``backend``, the engine never changes a
+#: number — per-run costs, flags, and oracle traces are bit-identical
+#: (``tests/test_search_ensemble.py``) — only wall-clock time.
+ENGINES = ("serial", "ensemble")
 
 
 def snapshot_graph(graph: MultiGraph, backend: str) -> GraphBackend:
@@ -371,25 +380,50 @@ def _execute_cells(
     budget: Optional[int],
     neighbor_success: bool,
     seed: int,
+    engine: str = "serial",
 ) -> List[Dict[str, Any]]:
     """Run a batch of search cells against one (snapshotted) graph.
 
     Each cell is ``{"algorithm": <portfolio member>, "run_index": i}``
     plus optional ``"start"`` / ``"target"`` overrides.  The run seed of
-    a cell is ``substream(seed, (crc32(name) << 16) ^ run_index)`` —
-    the exact formula of the original serial loop, so any regrouping of
-    cells (by portfolio, by explicit batch) is draw-for-draw identical
-    to the monolithic iteration.
+    a cell is :func:`repro.rng.run_substream` of ``(seed, name,
+    run_index)`` — the exact formula of the original serial loop, so
+    any regrouping of cells (by portfolio, by explicit batch, by
+    ensemble) is draw-for-draw identical to the monolithic iteration.
+
+    ``engine`` selects the execution strategy (see :data:`ENGINES`):
+    under ``"ensemble"``, cells are grouped by (algorithm, start,
+    target) and each walk-family group advances through
+    :func:`repro.search.ensemble.run_ensemble` in one lock-step batch,
+    each run seeded exactly as its serial counterpart; groups without a
+    kernel run serially.  Results come back in cell order either way.
     """
+    if engine not in ENGINES:
+        raise ExperimentError(
+            f"unknown search engine {engine!r}; valid: "
+            f"{', '.join(ENGINES)}"
+        )
+    ensemble_groups: Dict[Any, List[int]] = {}
+    ensemble_graph = graph
+    if engine == "ensemble":
+        from repro.search.ensemble import (
+            ensemble_supported,
+            require_ensemble_engine,
+            run_ensemble,
+        )
+
+        require_ensemble_engine()
+        # One shared snapshot for every walk-family group (a no-op on
+        # the frozen backend); run_ensemble would otherwise re-freeze
+        # a multigraph-backend graph once per group.
+        ensemble_graph = freeze(graph)
     instance_budget = (
         budget if budget is not None else default_budget(graph)
     )
-    algorithms: Dict[str, Any] = {}
-    results: List[Dict[str, Any]] = []
-    for cell in cells:
-        name = cell["algorithm"]
-        target = cell.get("target", default_target)
-        start = cell.get("start", default_start)
+
+    algorithms: Dict[Any, Any] = {}
+
+    def resolve(name: str, target: int):
         # Factories may close over the target (the omniscient window
         # does), so the instance cache is keyed by both.
         algorithm = algorithms.get((name, target))
@@ -403,22 +437,48 @@ def _execute_cells(
                 ) from None
             algorithm = factory(graph, target)
             algorithms[(name, target)] = algorithm
-        # str hashes are salted per process; crc32 keeps run seeds
-        # reproducible across interpreter invocations.
-        name_code = zlib.crc32(name.encode("utf-8"))
-        run_seed = substream(
-            seed, (name_code << 16) ^ cell.get("run_index", 0)
-        )
+        return algorithm
+
+    results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    for position, cell in enumerate(cells):
+        name = cell["algorithm"]
+        target = cell.get("target", default_target)
+        start = cell.get("start", default_start)
+        algorithm = resolve(name, target)
+        if engine == "ensemble" and ensemble_supported(algorithm):
+            ensemble_groups.setdefault(
+                (name, start, target), []
+            ).append(position)
+            continue
         result = run_search(
             algorithm,
             graph,
             start,
             target,
             budget=instance_budget,
-            seed=run_seed,
+            seed=run_substream(seed, name, cell.get("run_index", 0)),
             neighbor_success=neighbor_success,
         )
-        results.append(result_to_dict(result))
+        results[position] = result_to_dict(result)
+
+    for (name, start, target), positions in ensemble_groups.items():
+        run_seeds = [
+            run_substream(
+                seed, name, cells[position].get("run_index", 0)
+            )
+            for position in positions
+        ]
+        cell_results = run_ensemble(
+            algorithms[(name, target)],
+            ensemble_graph,
+            start,
+            target,
+            run_seeds,
+            budget=instance_budget,
+            neighbor_success=neighbor_success,
+        )
+        for position, result in zip(positions, cell_results):
+            results[position] = result_to_dict(result)
     return results
 
 
@@ -432,6 +492,7 @@ def search_cost_graph_trial(
     neighbor_success: bool = False,
     start_rule: str = "default",
     backend: str = "frozen",
+    engine: str = "serial",
     seed: int = 0,
 ) -> Dict[str, List[Dict[str, Any]]]:
     """One graph realisation searched by a whole portfolio.
@@ -441,7 +502,8 @@ def search_cost_graph_trial(
     from it exactly as in the original serial loop, so the decomposed
     grid is draw-for-draw identical to the monolithic one.  ``backend``
     selects the graph form the searches run on (see
-    :func:`snapshot_graph`); it changes wall-clock time, never numbers.
+    :func:`snapshot_graph`) and ``engine`` the cell execution strategy
+    (see :data:`ENGINES`); both change wall-clock time, never numbers.
     """
     family_obj = build_family(family)
     factories = portfolio_factories(portfolio)
@@ -464,6 +526,7 @@ def search_cost_graph_trial(
         budget=budget,
         neighbor_success=neighbor_success,
         seed=seed,
+        engine=engine,
     )
     collected: Dict[str, List[Dict[str, Any]]] = {}
     for cell, result in zip(cells, cell_results):
@@ -481,6 +544,7 @@ def batched_search_trial(
     neighbor_success: bool = False,
     start_rule: str = "default",
     backend: str = "frozen",
+    engine: str = "serial",
     seed: int = 0,
 ) -> List[Dict[str, Any]]:
     """One generated graph snapshot serving an explicit batch of cells.
@@ -502,6 +566,9 @@ def batched_search_trial(
     per cell, in cell order.  Per-cell run seeds use the same substream
     formula as the serial loops, so a batch containing the portfolio
     grid reproduces :func:`search_cost_graph_trial` bit-for-bit.
+    ``engine="ensemble"`` advances each walk-family (algorithm, start,
+    target) group of the batch in one lock-step kernel call — same
+    seeds, same numbers, same traces (see :data:`ENGINES`).
     """
     family_obj = build_family(family)
     factories = portfolio_factories(portfolio)
@@ -519,6 +586,7 @@ def batched_search_trial(
         budget=budget,
         neighbor_success=neighbor_success,
         seed=seed,
+        engine=engine,
     )
 
 
@@ -532,6 +600,7 @@ def trajectory_scaling_trial(
     neighbor_success: bool = False,
     start_rule: str = "default",
     backend: str = "frozen",
+    engine: str = "serial",
     seed: int = 0,
 ) -> Dict[str, Dict[str, List[Dict[str, Any]]]]:
     """One growth trajectory serving a whole scaling grid of cells.
@@ -571,6 +640,7 @@ def trajectory_scaling_trial(
             budget=budget,
             neighbor_success=neighbor_success,
             seed=seed,
+            engine=engine,
         )
         collected: Dict[str, List[Dict[str, Any]]] = {}
         for cell, result in zip(cells, cell_results):

@@ -15,9 +15,17 @@ faster to call and keeps the core package dependency-free.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterator, Optional, Union
 
-__all__ = ["RandomLike", "make_rng", "spawn", "substream", "stream_seeds"]
+__all__ = [
+    "RandomLike",
+    "make_rng",
+    "run_substream",
+    "spawn",
+    "substream",
+    "stream_seeds",
+]
 
 #: Anything accepted as a source of randomness by library entry points.
 RandomLike = Union[None, int, random.Random]
@@ -73,6 +81,41 @@ def substream(seed: int, index: int) -> int:
     statistically independent Mersenne Twister seedings.
     """
     return _mix((seed & _MASK_64) ^ _mix(index & _MASK_64))
+
+
+def run_substream(seed: int, algorithm_name: str, run_index: int) -> int:
+    """The per-run seed of a named algorithm's ``run_index``-th repetition.
+
+    This is *the* derivation every search-cost loop uses — the serial
+    per-cell path in :func:`repro.core.trials._execute_cells` and the
+    vectorized walker-ensemble kernel
+    (:func:`repro.search.ensemble.run_ensemble`) must draw run seeds
+    from this one function so their per-run draw sequences can never
+    drift apart (``tests/test_search_ensemble.py`` pins golden values
+    and golden first-draw traces).
+
+    The formula is ``substream(seed, (crc32(name) << 16) ^ run_index)``:
+
+    * ``crc32`` (not ``hash``) because str hashes are salted per
+      process and run seeds must be reproducible across interpreter
+      invocations;
+    * the ``<< 16`` shift gives run indices their own 16-bit field, so
+      distinct ``(name, run_index)`` pairs map to distinct substream
+      indices for every ``run_index < 2**16`` — the audited contract.
+      (Indices beyond that would fold into the name bits; they are
+      rejected here rather than silently colliding.  No experiment
+      comes near 65536 runs per graph per algorithm.)
+    """
+    if not 0 <= run_index < (1 << 16):
+        from repro.errors import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"run_index must lie in [0, 65536), got {run_index} "
+            "(indices beyond the 16-bit field would collide with the "
+            "algorithm-name bits of the substream index)"
+        )
+    name_code = zlib.crc32(algorithm_name.encode("utf-8"))
+    return substream(seed, (name_code << 16) ^ run_index)
 
 
 def spawn(rng: random.Random) -> random.Random:

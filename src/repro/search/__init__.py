@@ -8,6 +8,7 @@ algorithm.  :func:`~repro.search.process.run_search` drives one search;
 aggregation lives in :mod:`repro.search.metrics`.
 """
 
+from repro.search.ensemble import ensemble_supported, run_ensemble
 from repro.search.metrics import (
     SearchCostSummary,
     SearchResult,
@@ -26,4 +27,6 @@ __all__ = [
     "run_search",
     "make_oracle",
     "default_budget",
+    "run_ensemble",
+    "ensemble_supported",
 ]

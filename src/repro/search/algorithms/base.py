@@ -22,9 +22,17 @@ from typing import Union
 from repro.search.metrics import SearchResult
 from repro.search.oracle import StrongOracle, WeakOracle
 
-__all__ = ["SearchAlgorithm"]
+__all__ = ["MOVES_PER_REQUEST", "SearchAlgorithm"]
 
 Oracle = Union[WeakOracle, StrongOracle]
+
+#: Wall-clock guard shared by every walk-family algorithm: a walk that
+#: keeps moving along already-resolved edges makes no requests, so the
+#: number of *moves* is bounded at ``MOVES_PER_REQUEST * max(budget, 1)``.
+#: One constant (rather than one per class) so the serial walks and the
+#: vectorized ensemble kernel (:mod:`repro.search.ensemble`) can never
+#: disagree about when a run is cut off.
+MOVES_PER_REQUEST = 200
 
 
 class SearchAlgorithm(ABC):

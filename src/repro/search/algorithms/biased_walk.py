@@ -20,7 +20,10 @@ from __future__ import annotations
 import random
 from typing import Dict, Tuple
 
-from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.algorithms.base import (
+    MOVES_PER_REQUEST,
+    SearchAlgorithm,
+)
 from repro.search.metrics import SearchResult
 from repro.search.oracle import StrongOracle
 
@@ -32,8 +35,8 @@ class DegreeBiasedWalkSearch(SearchAlgorithm):
 
     model = "strong"
 
-    #: Wall-clock guard, as in the weak random walk.
-    _MOVES_PER_REQUEST = 200
+    #: Wall-clock guard shared with the ensemble kernel (see base.py).
+    _MOVES_PER_REQUEST = MOVES_PER_REQUEST
 
     def __init__(self, beta: float = 1.0):
         self.beta = float(beta)

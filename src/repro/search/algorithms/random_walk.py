@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import random
 
-from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.algorithms.base import (
+    MOVES_PER_REQUEST,
+    SearchAlgorithm,
+)
 from repro.search.metrics import SearchResult
 from repro.search.oracle import WeakOracle
 
@@ -31,9 +34,8 @@ class RandomWalkSearch(SearchAlgorithm):
     name = "random-walk"
     model = "weak"
 
-    #: Wall-clock guard: a walk that keeps moving along known edges makes
-    #: no requests, so bound the number of *moves* relative to budget.
-    _MOVES_PER_REQUEST = 200
+    #: Wall-clock guard shared with the ensemble kernel (see base.py).
+    _MOVES_PER_REQUEST = MOVES_PER_REQUEST
 
     def run(
         self, oracle: WeakOracle, rng: random.Random, budget: int

@@ -13,6 +13,15 @@ lower bound is checked:
   the common TTL-and-retry flooding discipline of unstructured P2P
   systems; movement along known edges is free, so only fresh discovery
   costs requests.
+
+Determinism contract (audited for the ensemble engine): a walk run
+consumes exactly one private generator, ``make_rng(run_substream(seed,
+name, run_index))`` (see :func:`repro.rng.run_substream`), drawing one
+variate per step in loop order — ``rng.random()`` for the restart coin,
+then ``rng.randrange(len(candidates))`` over the candidate-edge list of
+the moment.  The vectorized ensemble kernel
+(:mod:`repro.search.ensemble`) replays precisely this sequence per run,
+which is what makes its costs and traces bit-identical to these loops.
 """
 
 from __future__ import annotations
@@ -20,7 +29,10 @@ from __future__ import annotations
 import random
 
 from repro.errors import InvalidParameterError
-from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.algorithms.base import (
+    MOVES_PER_REQUEST,
+    SearchAlgorithm,
+)
 from repro.search.metrics import SearchResult
 from repro.search.oracle import WeakOracle
 
@@ -33,7 +45,7 @@ class SelfAvoidingWalkSearch(SearchAlgorithm):
     name = "self-avoiding-walk"
     model = "weak"
 
-    _MOVES_PER_REQUEST = 200
+    _MOVES_PER_REQUEST = MOVES_PER_REQUEST
 
     def run(
         self, oracle: WeakOracle, rng: random.Random, budget: int
@@ -68,7 +80,7 @@ class RestartingWalkSearch(SearchAlgorithm):
 
     model = "weak"
 
-    _MOVES_PER_REQUEST = 200
+    _MOVES_PER_REQUEST = MOVES_PER_REQUEST
 
     def __init__(self, restart_prob: float = 0.1):
         if not 0.0 <= restart_prob < 1.0:

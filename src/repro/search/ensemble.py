@@ -1,0 +1,674 @@
+"""Vectorized walker-ensemble kernel for Monte-Carlo search cells.
+
+Every walk-heavy experiment estimates an expectation by repeating the
+same (algorithm, start, target) search cell over many independent runs
+on one graph snapshot.  The serial path steps each run through the
+oracle machinery one Python object at a time — per move that is a
+``Knowledge`` dict lookup or three, and per request the oracle's
+protocol checks plus ``_add_vertex`` bookkeeping, all proportional to
+vertex degree.  This module advances the *whole ensemble of runs* of a
+cell directly on :class:`~repro.graphs.frozen.FrozenGraph`'s CSR
+arrays instead:
+
+* the uniform-step walks (random walk, restarting walk) run in **lock
+  step** — state is a ``(n_runs,)`` array of current vertices plus a
+  ``(n_runs, n+1)`` discovered bitmap, and each step is one gather
+  into the slot arrays for every live run plus one scalar RNG draw per
+  run (the draw is the only per-run Python left);
+* the variable-candidate walks (self-avoiding, degree-biased) run
+  per-run on flat arrays — bytearray discovered/requested rows, slot
+  lists, shared per-vertex answer/weight caches — because their
+  candidate filter is a variable-length scan that vectorises per
+  vertex, not per ensemble.  Runs are independent, so per-run and
+  lock-step scheduling are interchangeable (pinned by the
+  run-order-permutation property test).
+
+Bit-identical determinism is the contract, not an aspiration:
+
+* each run ``i`` draws from its own ``make_rng(run_seeds[i])``
+  generator — the caller derives those seeds with
+  :func:`repro.rng.run_substream`, exactly as the serial loops do;
+* the kernel replays each algorithm's draw sequence *in loop order*
+  (restart coin before edge draw, unresolved-preferring choice before
+  the uniform fallback), so run ``i`` consumes its Mersenne Twister
+  stream variate-for-variate as the serial algorithm would.  Draws go
+  through the bound ``Random._randbelow`` — what ``randrange(n)``
+  itself calls for ``n > 0`` — skipping only argument validation,
+  never changing a variate;
+* the oracle protocol is simulated using the one
+  :class:`~repro.search.oracle.Knowledge` invariant that holds while a
+  single walk drives the oracle: ``far_endpoint(u, eid)`` is inferable
+  exactly when the edge's other endpoint has been discovered (a
+  self-loop resolves the moment its owner is).
+
+Consequently per-run costs, success flags, result extras, and oracle
+request traces are equal — as Python objects — to what
+:func:`~repro.search.process.run_search` produces run by run
+(``tests/test_search_ensemble.py`` pins this for every walk-family
+algorithm, all five graph models, and both graph backends).
+
+The kernel accepts either backend and freezes internally (snapshots
+preserve every answer bit-for-bit, so this changes nothing but speed).
+numpy is required: without it :func:`run_ensemble` raises
+:class:`~repro.errors.EngineUnavailableError` — there is no stdlib
+rendering of the lock-step kernel, callers must use the serial engine.
+
+Supported algorithms are exactly the walk family.  The deterministic
+and heap-driven portfolio members (flooding, degree/age greedy,
+omniscient, mixtures) keep their serial path;
+:func:`repro.core.trials._execute_cells` falls back per algorithm.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    EngineUnavailableError,
+    InvalidParameterError,
+    OracleProtocolError,
+)
+from repro.graphs.frozen import HAVE_NUMPY, FrozenGraph, GraphBackend, freeze
+from repro.rng import make_rng
+from repro.search.algorithms.base import SearchAlgorithm
+from repro.search.algorithms.biased_walk import DegreeBiasedWalkSearch
+from repro.search.algorithms.random_walk import RandomWalkSearch
+from repro.search.algorithms.walks import (
+    RestartingWalkSearch,
+    SelfAvoidingWalkSearch,
+)
+from repro.search.metrics import SearchResult
+from repro.search.process import default_budget
+
+if HAVE_NUMPY:  # pragma: no branch - module-level import guard
+    import numpy as _np
+else:  # pragma: no cover - the container always has numpy
+    _np = None
+
+__all__ = [
+    "ENSEMBLE_ALGORITHMS",
+    "ensemble_supported",
+    "require_ensemble_engine",
+    "run_ensemble",
+]
+
+
+def require_ensemble_engine() -> None:
+    """Raise unless the ensemble engine can run here (numpy present).
+
+    Called by :func:`run_ensemble` itself and by the trial layer when
+    ``engine='ensemble'`` is selected, so a numpy-less environment
+    fails loudly up front instead of on the first walk cell.
+    """
+    if not HAVE_NUMPY:
+        raise EngineUnavailableError(
+            "ensemble engine unavailable: numpy is not installed "
+            "(the lock-step walker kernel has no stdlib rendering); "
+            "use engine='serial'"
+        )
+
+#: Exact algorithm types the kernel can advance.  Strict ``type`` checks
+#: (mirroring flooding's fast-path guard) — a subclass may override
+#: stepping semantics the kernel would silently ignore.
+ENSEMBLE_ALGORITHMS = (
+    RandomWalkSearch,
+    SelfAvoidingWalkSearch,
+    RestartingWalkSearch,
+    DegreeBiasedWalkSearch,
+)
+
+
+def ensemble_supported(algorithm: SearchAlgorithm) -> bool:
+    """Whether :func:`run_ensemble` can advance ``algorithm``.
+
+    True exactly for unsubclassed walk-family instances; everything
+    else (flooding, greedy heaps, mixtures, omniscient, subclasses)
+    must take the serial per-run path.
+    """
+    return type(algorithm) in ENSEMBLE_ALGORITHMS
+
+
+class _Cell:
+    """One validated (algorithm, start, target) cell and its buffers."""
+
+    def __init__(
+        self,
+        graph: FrozenGraph,
+        start: int,
+        target: int,
+        run_seeds: Sequence[int],
+        budget: int,
+        neighbor_success: bool,
+        collect_traces: bool,
+    ):
+        n = graph.num_vertices
+        self.graph = graph
+        self.start = start
+        self.target = target
+        self.budget = budget
+        self.n_runs = len(run_seeds)
+        # asarray: no-copy for numpy-built snapshots, converts the
+        # stdlib-array buffers of a snapshot frozen while numpy was
+        # (artificially) absent.
+        self.offsets = _np.asarray(graph._offsets, dtype=_np.int64)
+        self.slot_targets = _np.asarray(
+            graph._slot_targets, dtype=_np.int64
+        )
+        self.slot_edges = _np.asarray(graph._slot_edges, dtype=_np.int64)
+        zone = [target]
+        if neighbor_success:
+            zone.extend(graph.unique_neighbors(target))
+        self.zone_mask = _np.zeros(n + 1, dtype=bool)
+        self.zone_mask[zone] = True
+        self.zone_bytes = bytearray(n + 1)
+        for member in zone:
+            self.zone_bytes[member] = 1
+        self.rngs = [make_rng(seed) for seed in run_seeds]
+        self.start_found = bool(self.zone_bytes[start])
+        self.traces: Optional[List[List[tuple]]] = (
+            [[] for _ in range(self.n_runs)] if collect_traces else None
+        )
+
+    def results(
+        self,
+        algorithm: SearchAlgorithm,
+        found,
+        requests,
+        **extras,
+    ) -> List[SearchResult]:
+        """Per-run :class:`SearchResult` list, in run order.
+
+        ``extras`` are per-run diagnostic sequences keyed by the
+        ``extra`` name the serial algorithm reports (``hops``,
+        ``restarts``); everything is cast to plain Python types so
+        results compare equal to serial ones and round-trip through
+        the JSON store identically.
+        """
+        return [
+            SearchResult(
+                algorithm=algorithm.name,
+                model=algorithm.model,
+                found=bool(found[i]),
+                requests=int(requests[i]),
+                start=self.start,
+                target=self.target,
+                extra={
+                    key: int(values[i])
+                    for key, values in extras.items()
+                },
+            )
+            for i in range(self.n_runs)
+        ]
+
+
+def run_ensemble(
+    algorithm: SearchAlgorithm,
+    graph: GraphBackend,
+    start: int,
+    target: int,
+    run_seeds: Sequence[int],
+    budget: Optional[int] = None,
+    neighbor_success: bool = False,
+    collect_traces: bool = False,
+):
+    """Advance every run of one search cell through the array kernel.
+
+    Parameters mirror :func:`~repro.search.process.run_search`, except
+    that ``run_seeds`` carries one integer seed per run (derive them
+    with :func:`repro.rng.run_substream` to match the serial loops).
+
+    Returns the list of per-run :class:`SearchResult` — element ``i``
+    equals ``run_search(algorithm, graph, start, target, budget=budget,
+    seed=run_seeds[i], neighbor_success=neighbor_success)`` exactly.
+    With ``collect_traces=True`` returns ``(results, traces)`` where
+    ``traces[i]`` is run ``i``'s oracle request journal in the tracing
+    format of the golden-trace gauntlet: ``("weak", u, eid, answer)``
+    per weak request, ``("strong", u, answers)`` per strong request.
+
+    Raises :class:`~repro.errors.EngineUnavailableError` without numpy
+    and :class:`~repro.errors.InvalidParameterError` for algorithms
+    outside the walk family (see :func:`ensemble_supported`).
+    """
+    require_ensemble_engine()
+    if not ensemble_supported(algorithm):
+        supported = ", ".join(
+            cls.__name__ for cls in ENSEMBLE_ALGORITHMS
+        )
+        raise InvalidParameterError(
+            f"{type(algorithm).__name__} has no ensemble kernel "
+            f"(supported: {supported}); run it with engine='serial'"
+        )
+    if not graph.has_vertex(start):
+        raise OracleProtocolError(f"start vertex {start} not in graph")
+    if not graph.has_vertex(target):
+        raise OracleProtocolError(f"target vertex {target} not in graph")
+    if budget is None:
+        budget = default_budget(graph)
+    if budget < 0:
+        raise InvalidParameterError(f"budget must be >= 0, got {budget}")
+
+    cell = _Cell(
+        freeze(graph),
+        start,
+        target,
+        run_seeds,
+        budget,
+        neighbor_success,
+        collect_traces,
+    )
+    if type(algorithm) is RandomWalkSearch:
+        results = _uniform_walk_kernel(cell, algorithm, restart_prob=None)
+    elif type(algorithm) is RestartingWalkSearch:
+        results = _uniform_walk_kernel(
+            cell, algorithm, restart_prob=algorithm.restart_prob
+        )
+    elif type(algorithm) is SelfAvoidingWalkSearch:
+        results = _self_avoiding_kernel(cell, algorithm)
+    else:
+        results = _degree_biased_kernel(cell, algorithm)
+    if collect_traces:
+        return results, cell.traces
+    return results
+
+
+# ----------------------------------------------------------------------
+# Lock-step kernel: uniform-step weak walks
+# ----------------------------------------------------------------------
+
+#: Below this many live runs the lock-step gathers cost more than they
+#: amortise (one fancy-index pays for the whole ensemble width), so the
+#: kernel finishes the stragglers on the scalar flat-array path.  Purely
+#: a wall-clock knob: both paths replay the identical draw sequence.
+_SCALAR_CUTOVER = 8
+
+
+def _finish_uniform_run(
+    cell: _Cell,
+    run: int,
+    rng,
+    restart_prob: Optional[float],
+    offsets: List[int],
+    slot_targets: List[int],
+    discovered: bytearray,
+    v: int,
+    found: bool,
+    requests: int,
+    hops: int,
+    restarts: int,
+    budget: int,
+    max_moves: int,
+):
+    """Advance one run to completion on flat scalar state.
+
+    Continues the serial loop exactly from wherever the lock-step
+    phase left it — same guards, same draw order — and returns the
+    final ``(v, found, requests, hops, restarts)``.
+    """
+    draw = rng._randbelow  # == randrange(n) for n > 0
+    coin = rng.random
+    zone = cell.zone_bytes
+    trace = cell.traces[run] if cell.traces is not None else None
+    slot_edges = cell.slot_edges if trace is not None else None
+    start = cell.start
+    while not found and requests < budget and hops < max_moves:
+        if restart_prob is not None and coin() < restart_prob:
+            v = start
+            restarts += 1
+            hops += 1  # restarts count toward the move guard
+            continue
+        lo = offsets[v]
+        hi = offsets[v + 1]
+        if lo == hi:
+            break  # isolated start vertex: nowhere to go
+        slot = lo + draw(hi - lo)
+        far = slot_targets[slot]
+        if not discovered[far]:
+            requests += 1
+            discovered[far] = 1
+            if zone[far]:
+                found = True
+            if trace is not None:
+                trace.append(("weak", v, int(slot_edges[slot]), far))
+        v = far
+        hops += 1
+    return v, found, requests, hops, restarts
+
+
+def _uniform_walk_kernel(
+    cell: _Cell,
+    algorithm: SearchAlgorithm,
+    restart_prob: Optional[float],
+) -> List[SearchResult]:
+    """Lock-step random walk, with or without restart coins.
+
+    One iteration advances every live run by exactly one serial loop
+    iteration.  Liveness is event-driven: a run leaves the live set
+    when it finds the target, exhausts its budget, or (isolated start
+    only) has nowhere to move; the global move guard is the iteration
+    counter, because every live run has taken exactly one move per
+    iteration since the start — the serial ``hops`` of all live runs
+    are equal by construction.
+    """
+    graph = cell.graph
+    budget = cell.budget
+    max_moves = algorithm._MOVES_PER_REQUEST * max(budget, 1)
+    n_runs = cell.n_runs
+    offsets, targets = cell.offsets, cell.slot_targets
+    zone_mask = cell.zone_mask
+    tracing = cell.traces is not None
+
+    current = _np.full(n_runs, cell.start, dtype=_np.int64)
+    requests = _np.zeros(n_runs, dtype=_np.int64)
+    hops = _np.zeros(n_runs, dtype=_np.int64)
+    found = _np.full(n_runs, cell.start_found, dtype=bool)
+    restarts = _np.zeros(n_runs, dtype=_np.int64)
+    discovered = _np.zeros(
+        (n_runs, graph.num_vertices + 1), dtype=bool
+    )
+    discovered[:, cell.start] = True
+
+    # A walk can only stand on the start vertex or a vertex it moved
+    # into along an edge, so a degree-0 position is possible only at
+    # the (isolated) start — precompute that one flag instead of
+    # checking every iteration.
+    start_isolated = graph.degree(cell.start) == 0
+    # randrange(n) for n > 0 *is* self._randbelow(n); binding it skips
+    # per-draw argument validation without changing a single variate.
+    draw = [rng._randbelow for rng in cell.rngs]
+    coin = [rng.random for rng in cell.rngs]
+
+    if cell.start_found or budget == 0:
+        live: List[int] = []
+    else:
+        live = list(range(n_runs))
+    if start_isolated and restart_prob is None:
+        # Serial: empty incidence list -> immediate break, zero hops.
+        live = []
+
+    # degrees indexed by vertex, saving one gather+subtract per step.
+    degrees = _np.diff(offsets)
+    # Live-set views are cached and rebuilt only on departures (the
+    # restart variant re-derives the movers each iteration — its coin
+    # flips repartition the live set every time).
+    idx = _np.array(live, dtype=_np.int64)
+    draw_live = [draw[i] for i in live]
+
+    iteration = 0
+    while live and iteration < max_moves:
+        if len(live) <= _SCALAR_CUTOVER:
+            # Narrow ensemble (or lock-step stragglers): the scalar
+            # path finishes each remaining run without paying one
+            # numpy dispatch per surviving step.
+            offsets_list = offsets.tolist()
+            targets_list = targets.tolist()
+            for i in live:
+                row = bytearray(discovered[i].tobytes())
+                (
+                    current[i],
+                    found[i],
+                    requests[i],
+                    hops[i],
+                    restarts[i],
+                ) = _finish_uniform_run(
+                    cell,
+                    i,
+                    cell.rngs[i],
+                    restart_prob,
+                    offsets_list,
+                    targets_list,
+                    row,
+                    int(current[i]),
+                    bool(found[i]),
+                    int(requests[i]),
+                    int(hops[i]),
+                    int(restarts[i]),
+                    budget,
+                    max_moves,
+                )
+            break
+        iteration += 1
+        if restart_prob is not None:
+            movers = []
+            for i in live:
+                if coin[i]() < restart_prob:
+                    # Restart: jump home, count the move, no draw.
+                    current[i] = cell.start
+                    restarts[i] += 1
+                    hops[i] += 1
+                else:
+                    movers.append(i)
+            if not movers:
+                continue
+            if start_isolated:
+                # A non-restart coin at the isolated start is the
+                # serial ``break``: leaves without moving.
+                departed = set(movers)
+                live = [i for i in live if i not in departed]
+                continue
+            idx = _np.array(movers, dtype=_np.int64)
+            draw_live = [draw[i] for i in movers]
+        else:
+            movers = live
+
+        cur = current[idx]
+        deg = degrees[cur]
+        draws = _np.fromiter(
+            (
+                d_i(d)
+                for d_i, d in zip(draw_live, deg.tolist())
+            ),
+            dtype=_np.int64,
+            count=len(movers),
+        )
+        slots = offsets[cur] + draws
+        far = targets[slots]
+        known = discovered[idx, far]
+        current[idx] = far
+        hops[idx] += 1
+        if not known.all():
+            req = ~known
+            rows = idx[req]
+            answers = far[req]
+            requests[rows] += 1
+            discovered[rows, answers] = True
+            hit = zone_mask[answers]
+            if hit.any():
+                found[rows[hit]] = True
+            if tracing:
+                eids = cell.slot_edges[slots[req]]
+                for i, u, eid, v in zip(
+                    rows.tolist(),
+                    cur[req].tolist(),
+                    eids.tolist(),
+                    answers.tolist(),
+                ):
+                    cell.traces[i].append(("weak", u, eid, v))
+            done = hit | (requests[rows] >= budget)
+            if done.any():
+                departed = set(rows[done].tolist())
+                live = [i for i in live if i not in departed]
+                if restart_prob is None:
+                    idx = _np.array(live, dtype=_np.int64)
+                    draw_live = [draw[i] for i in live]
+
+    return (
+        cell.results(
+            algorithm, found, requests, hops=hops, restarts=restarts
+        )
+        if restart_prob is not None
+        else cell.results(algorithm, found, requests, hops=hops)
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-run flat-array kernels: variable-candidate walks
+# ----------------------------------------------------------------------
+
+
+def _self_avoiding_kernel(
+    cell: _Cell, algorithm: SelfAvoidingWalkSearch
+) -> List[SearchResult]:
+    """Flat-array self-avoiding walk, one run at a time.
+
+    The unresolved-edge preference is a per-step scan over the current
+    vertex's slots; with a bytearray discovered row the scan is a pure
+    index test per slot, against the serial path's tuple-key dict
+    probe per edge plus the oracle's per-request bookkeeping.  Slot
+    order equals edge-tuple order, so candidate index ``k`` picks the
+    same edge the serial ``randrange`` picks.
+    """
+    graph = cell.graph
+    budget = cell.budget
+    max_moves = algorithm._MOVES_PER_REQUEST * max(budget, 1)
+    n1 = graph.num_vertices + 1
+    offsets = cell.offsets.tolist()
+    slot_targets = cell.slot_targets.tolist()
+    slot_edges = cell.slot_edges.tolist() if cell.traces is not None else None
+    zone = cell.zone_bytes
+
+    found_list = []
+    requests_list = []
+    hops_list = []
+    for run, rng in enumerate(cell.rngs):
+        draw = rng._randbelow  # == randrange(n) for n > 0
+        trace = cell.traces[run] if cell.traces is not None else None
+        discovered = bytearray(n1)
+        discovered[cell.start] = 1
+        v = cell.start
+        found = cell.start_found
+        requests = 0
+        hops = 0
+        while not found and requests < budget and hops < max_moves:
+            lo = offsets[v]
+            hi = offsets[v + 1]
+            if lo == hi:
+                break  # isolated start vertex
+            candidates = [
+                slot
+                for slot in range(lo, hi)
+                if not discovered[slot_targets[slot]]
+            ]
+            if candidates:
+                slot = candidates[draw(len(candidates))]
+                far = slot_targets[slot]
+                requests += 1
+                discovered[far] = 1
+                if zone[far]:
+                    found = True
+                if trace is not None:
+                    trace.append(("weak", v, slot_edges[slot], far))
+            else:
+                # All edges resolved: a free move (a self-loop slot
+                # targets v itself, matching the serial fallback).
+                far = slot_targets[lo + draw(hi - lo)]
+            v = far
+            hops += 1
+        found_list.append(found)
+        requests_list.append(requests)
+        hops_list.append(hops)
+
+    return cell.results(
+        algorithm, found_list, requests_list, hops=hops_list
+    )
+
+
+def _degree_biased_kernel(
+    cell: _Cell, algorithm: DegreeBiasedWalkSearch
+) -> List[SearchResult]:
+    """Flat-array :class:`DegreeBiasedWalkSearch`, one run at a time.
+
+    A strong request's answer is a pure function of the graph, so the
+    per-vertex answer (sorted unique neighbors), its zone verdict, and
+    — for biased variants — the running-sum weight table are computed
+    once and shared by every run and step.  The weight table replays
+    the serial accumulation exactly: Python-float left-to-right sums,
+    so ``bisect_right``'s strict comparisons decide each pick on the
+    very doubles the serial linear scan compares against.
+    """
+    graph = cell.graph
+    budget = cell.budget
+    beta = algorithm.beta
+    max_moves = algorithm._MOVES_PER_REQUEST * max(budget, 1)
+    n1 = graph.num_vertices + 1
+    zone = cell.zone_bytes
+
+    answer_cache: Dict[int, Tuple[tuple, bool]] = {}
+    weight_cache: Dict[int, Tuple[List[float], float]] = {}
+
+    def neighbors_of(v: int) -> Tuple[tuple, bool]:
+        cached = answer_cache.get(v)
+        if cached is None:
+            uniq = graph.unique_neighbors(v)
+            cached = (
+                tuple(uniq),
+                any(zone[w] for w in uniq),
+            )
+            answer_cache[v] = cached
+        return cached
+
+    def weights_of(v: int) -> Tuple[List[float], float]:
+        cached = weight_cache.get(v)
+        if cached is None:
+            answer, _ = neighbors_of(v)
+            # knowledge.degree(w) of a discovered vertex is its true
+            # degree; the serial per-step recomputation is replayed
+            # once here, with the identical left-to-right float sums.
+            weights = [
+                max(graph.degree(w), 1) ** beta for w in answer
+            ]
+            total = sum(weights)
+            running = []
+            acc = 0.0
+            for weight in weights:
+                acc += weight
+                running.append(acc)
+            cached = (running, total)
+            weight_cache[v] = cached
+        return cached
+
+    found_list = []
+    requests_list = []
+    hops_list = []
+    for run, rng in enumerate(cell.rngs):
+        draw = rng._randbelow
+        uniform = rng.random
+        trace = cell.traces[run] if cell.traces is not None else None
+        requested = bytearray(n1)
+        v = cell.start
+        found = cell.start_found
+        requests = 0
+        hops = 0
+        while not found and hops < max_moves:
+            if not requested[v]:
+                if requests >= budget:
+                    break
+                answer, zone_hit = neighbors_of(v)
+                requests += 1
+                requested[v] = 1
+                if trace is not None:
+                    trace.append(("strong", v, answer))
+                if zone_hit:
+                    found = True
+                    break  # serial: `if oracle.found: break`
+            else:
+                answer, _ = neighbors_of(v)
+            if not answer:
+                break  # isolated vertex: nowhere to go
+            if beta == 0.0:
+                v = answer[draw(len(answer))]
+            else:
+                running, total = weights_of(v)
+                pick = uniform() * total
+                k = bisect_right(running, pick)
+                if k >= len(answer):
+                    k = len(answer) - 1  # serial: neighbors[-1]
+                v = answer[k]
+            hops += 1
+        found_list.append(found)
+        requests_list.append(requests)
+        hops_list.append(hops)
+
+    return cell.results(
+        algorithm, found_list, requests_list, hops=hops_list
+    )

@@ -2,13 +2,15 @@
 
 Each PR appends one point to the bench trajectory: ``BENCH_PR2.json``
 (FrozenGraph cell batching, regenerable with
-``PYTHONPATH=src python benchmarks/bench_smoke.py --pr2``) and ``BENCH_PR3.json``
-(growth-trajectory checkpoint engine, written by ``make bench-smoke``).
-These tests never run the benchmarks (that takes minutes) but pin the
-committed artifacts: the schema the trajectory tooling consumes and
-each PR's recorded acceptance claim (>= 3x on the PR2 flooding/BFS
-cell batch; >= 2x on the PR3 grid-realisation workload, trajectory
-mode vs independent per-size construction).
+``PYTHONPATH=src python benchmarks/bench_smoke.py --pr2``),
+``BENCH_PR3.json`` (growth-trajectory checkpoint engine, ``--pr3``)
+and ``BENCH_PR4.json`` (vectorized walker-ensemble engine, written by
+``make bench-smoke``).  These tests never run the benchmarks (that
+takes minutes) but pin the committed artifacts: the schema the
+trajectory tooling consumes and each PR's recorded acceptance claim
+(>= 3x on the PR2 flooding/BFS cell batch; >= 2x on the PR3
+grid-realisation workload; >= 3x on the PR4 ensemble-vs-serial walk
+cell, frozen backend with numpy).
 """
 
 from __future__ import annotations
@@ -21,9 +23,11 @@ import pytest
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
 BENCH_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
 BENCH_PR3_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
+BENCH_PR4_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 
 VALID_BACKENDS = {"frozen", "multigraph"}
 VALID_MODES = {"independent", "trajectory"}
+VALID_ENGINES = {"serial", "ensemble"}
 
 
 @pytest.fixture(scope="module")
@@ -161,4 +165,79 @@ class TestBenchPR3Schema:
         gate = speedup["per_backend"][speedup["acceptance_backend"]]
         assert gate["speedup"] >= 2.0
         for numbers in speedup["per_backend"].values():
+            assert numbers["speedup"] >= 1.0
+
+
+@pytest.fixture(scope="module")
+def pr4_payload():
+    assert os.path.exists(BENCH_PR4_PATH), (
+        "BENCH_PR4.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PR4_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchPR4Schema:
+    """The vectorized walker-ensemble engine point."""
+
+    def test_schema_version(self, pr4_payload):
+        assert pr4_payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, pr4_payload):
+        records = pr4_payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+            assert record["engine"] in VALID_ENGINES
+
+    def test_walk_experiments_timed_per_engine(self, pr4_payload):
+        seen: dict = {}
+        for record in pr4_payload["records"]:
+            seen.setdefault(record["experiment"], set()).add(
+                record["engine"]
+            )
+        for experiment_id in ("E1", "E3"):
+            assert seen.get(experiment_id) == VALID_ENGINES, (
+                f"{experiment_id} must be timed under both engines"
+            )
+
+    def test_ensemble_speedup_block(self, pr4_payload):
+        speedup = pr4_payload["ensemble_speedup"]
+        assert speedup["workload"] == "walk-cells"
+        assert speedup["family"].startswith("mori")
+        assert speedup["n"] == 100_000
+        assert speedup["runs_per_cell"] >= 1
+        assert speedup["budget"] >= 1
+        assert speedup["backend"] == "frozen"
+        per_algorithm = speedup["per_algorithm"]
+        # The whole walk family is measured, not a favourable subset.
+        assert set(per_algorithm) == {
+            "random-walk",
+            "self-avoiding-walk",
+            "restart-walk-r0.1",
+        }
+        for numbers in per_algorithm.values():
+            assert numbers["serial_seconds"] > 0
+            assert numbers["ensemble_seconds"] > 0
+            expected = (
+                numbers["serial_seconds"] / numbers["ensemble_seconds"]
+            )
+            assert numbers["speedup"] == pytest.approx(
+                expected, abs=0.01
+            )
+
+    def test_recorded_acceptance_speedup(self, pr4_payload):
+        """The committed run met the PR's >= 3x acceptance bar on the
+        gate cell, and the ensemble engine wins on every walk cell."""
+        speedup = pr4_payload["ensemble_speedup"]
+        gate = speedup["per_algorithm"][
+            speedup["acceptance_algorithm"]
+        ]
+        assert gate["speedup"] >= 3.0
+        for numbers in speedup["per_algorithm"].values():
             assert numbers["speedup"] >= 1.0

@@ -1,10 +1,13 @@
-"""Property-based tests for the search layer (oracle honesty, termination)."""
+"""Property-based tests for the search layer (oracle honesty, termination,
+and the walker-ensemble kernel's invariants)."""
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.graphs.frozen import HAVE_NUMPY
 from repro.graphs.mori import merged_mori_graph
 from repro.search.algorithms import (
     AgeGreedySearch,
@@ -14,12 +17,20 @@ from repro.search.algorithms import (
     HighDegreeWeakSearch,
     MixedStrategySearch,
     RandomWalkSearch,
+    RestartingWalkSearch,
+    SelfAvoidingWalkSearch,
 )
+from repro.search.algorithms.base import MOVES_PER_REQUEST
+from repro.search.ensemble import run_ensemble
 from repro.search.oracle import StrongOracle, WeakOracle
 from repro.search.process import run_search
 
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
 small_n = st.integers(min_value=3, max_value=40)
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="ensemble engine requires numpy"
+)
 
 ALGORITHM_BUILDERS = [
     RandomWalkSearch,
@@ -135,3 +146,104 @@ class TestSearchProperties:
                 inferred = knowledge.far_endpoint(v, eid)
                 if inferred is not None:
                     assert inferred == graph.other_endpoint(eid, v)
+
+
+@needs_numpy
+class TestEnsembleKernelProperties:
+    """Invariants of the walker-ensemble kernel itself."""
+
+    @given(n=small_n, graph_seed=seeds, cell_seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_self_avoiding_never_revisits_a_node_within_a_run(
+        self, n, graph_seed, cell_seed
+    ):
+        """Every self-avoiding request discovers a *fresh* vertex.
+
+        The walk prefers unresolved edges, whose far endpoint is by
+        definition undiscovered in that run — so within one run's
+        request trace no vertex is ever discovered twice, and the
+        start vertex (discovered at time zero) never reappears.
+        """
+        graph = merged_mori_graph(n, 2, 0.5, seed=graph_seed).graph
+        run_seeds = [cell_seed + run for run in range(4)]
+        _, traces = run_ensemble(
+            SelfAvoidingWalkSearch(),
+            graph,
+            1,
+            n,
+            run_seeds,
+            budget=2 * graph.num_edges,
+            collect_traces=True,
+        )
+        for trace in traces:
+            answers = [answer for (_, _, _, answer) in trace]
+            assert len(set(answers)) == len(answers)
+            assert 1 not in answers  # the start is known from step 0
+
+    @given(
+        n=small_n,
+        graph_seed=seeds,
+        cell_seed=seeds,
+        budget=st.integers(min_value=0, max_value=30),
+        restart_prob=st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_restarting_respects_hop_and_request_budgets(
+        self, n, graph_seed, cell_seed, budget, restart_prob
+    ):
+        """Hop guard and request budget are hard caps for every run."""
+        graph = merged_mori_graph(n, 1, 0.5, seed=graph_seed).graph
+        run_seeds = [cell_seed + run for run in range(4)]
+        results = run_ensemble(
+            RestartingWalkSearch(restart_prob=restart_prob),
+            graph,
+            1,
+            n,
+            run_seeds,
+            budget=budget,
+        )
+        max_moves = MOVES_PER_REQUEST * max(budget, 1)
+        for result in results:
+            assert result.requests <= budget
+            assert result.extra["hops"] <= max_moves
+            assert result.extra["restarts"] <= result.extra["hops"]
+
+    @given(
+        n=small_n,
+        graph_seed=seeds,
+        cell_seed=seeds,
+        order=st.permutations(list(range(5))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_run_order_permutation_never_changes_a_run(
+        self, n, graph_seed, cell_seed, order
+    ):
+        """Runs are independent: permuting a cell permutes its results.
+
+        The kernel may schedule runs in lock step or per run; either
+        way a run's outcome is a function of its own seed only, so
+        submitting the ensemble in any order returns the same
+        per-seed results (and traces), merely reordered.
+        """
+        graph = merged_mori_graph(n, 2, 0.5, seed=graph_seed).graph
+        run_seeds = [cell_seed + run for run in range(5)]
+        for algorithm_builder in (
+            RandomWalkSearch,
+            SelfAvoidingWalkSearch,
+            lambda: DegreeBiasedWalkSearch(beta=1.0),
+        ):
+            baseline, base_traces = run_ensemble(
+                algorithm_builder(), graph, 1, n, run_seeds,
+                budget=25, collect_traces=True,
+            )
+            permuted, permuted_traces = run_ensemble(
+                algorithm_builder(), graph, 1, n,
+                [run_seeds[position] for position in order],
+                budget=25, collect_traces=True,
+            )
+            for new_position, position in enumerate(order):
+                assert permuted[new_position] == baseline[position]
+                assert (
+                    permuted_traces[new_position]
+                    == base_traces[position]
+                )
