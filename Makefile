@@ -15,21 +15,26 @@ verify-full:
 	$(PYTEST) -q -m "slow or not slow"
 
 # What .github/workflows/ci.yml runs, locally: the tier-1 suite with
-# numpy, then again with numpy import-blocked (a shim module shadows
-# it) to exercise the stdlib fallbacks and the ensemble engine's
-# clean "unavailable" error path.
+# numpy, then the registry CLI smoke (the capability matrix plus one
+# downsized registry-driven experiment through the real CLI, both
+# engines), then the suite again with numpy import-blocked (a shim
+# module shadows it) to exercise the stdlib fallbacks and the
+# ensemble engine's clean "unavailable" error path.
 ci:
 	$(PYTEST) -x -q
+	PYTHONPATH=src python -m repro list
+	PYTHONPATH=src python -m repro run E20 --quick --jobs 2 --backend frozen
+	PYTHONPATH=src python -m repro run E20 --quick --jobs 2 --engine ensemble --backend frozen
 	@mkdir -p .ci-no-numpy && printf 'raise ImportError("numpy disabled for the no-numpy CI leg")\n' > .ci-no-numpy/numpy.py
 	PYTHONPATH=.ci-no-numpy:src python -m pytest -x -q; \
 		status=$$?; rm -rf .ci-no-numpy; exit $$status
 
-# Minutes-scale bench point: downsized walk-heavy experiments per
-# search engine, plus the ensemble-vs-serial walk-cell speedup at
-# n=1e5 (gate >= 3x on the frozen+numpy path).  Writes BENCH_PR4.json
-# (schema-checked by tests/test_bench_schema.py);
-# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr3` regenerates
-# BENCH_PR3.json and `--pr2` BENCH_PR2.json.
+# Seconds-scale bench point: the registry-enumeration smoke (E1..E20
+# capability matrix, pinned against the live registry by
+# tests/test_bench_schema.py) plus downsized E20 per engine through
+# the registry.  Writes BENCH_PR5.json;
+# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr4` regenerates
+# BENCH_PR4.json, `--pr3` BENCH_PR3.json and `--pr2` BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 
@@ -40,4 +45,5 @@ bench:
 		benchmarks/bench_e2_mori_strong.py \
 		benchmarks/bench_e3_cooper_frieze.py \
 		benchmarks/bench_e6_degree_distribution.py \
-		benchmarks/bench_e17_simulation.py
+		benchmarks/bench_e17_simulation.py \
+		benchmarks/bench_e20_cross_model.py

@@ -1,43 +1,35 @@
-"""Bench-trajectory smoke run: the walker-ensemble engine point.
+"""Bench-trajectory smoke run: the experiment-registry point.
 
 ``make bench-smoke`` runs this script.  It records the PR's point in
-``BENCH_PR4.json`` at the repository root:
+``BENCH_PR5.json`` at the repository root:
 
-1. downsized end-to-end experiment timings — the walk-heavy E1 and E3
-   — per search engine on the default frozen backend.  These are
-   honest end-to-end numbers: small grids are construction-dominated,
-   so the end-to-end engine ratio is far more modest than the
-   per-cell one;
-2. the headline measurement, ``walk-cells``: one n=100 000 Móri
-   (``m = 2``) snapshot serving a 64-run (algorithm, start, target)
-   cell for each walk-family algorithm, serial oracle loop vs the
-   lock-step ensemble kernel.  The bench also asserts the two engines
-   return *equal* per-run results before trusting either timing.
+1. a **registry-enumeration smoke**: the full E1..E20 capability
+   matrix as the live registry reports it (plus how long enumerating
+   the registry takes), so the schema test pins the declarative
+   surface — adding or re-declaring an experiment without
+   regenerating the artifact fails ``tests/test_bench_schema.py``;
+2. downsized end-to-end timings of **E20** (the registry's pure-spec
+   extension proof: the cross-model search-cost grid) per declared
+   engine, run *through the registry* exactly as ``repro run E20``
+   would.  The bench asserts the engines' derived scalars are equal
+   before trusting either timing.
 
 Record schema (validated by ``tests/test_bench_schema.py``)::
 
     {"schema": "repro-bench/v1",
-     "records": [{"experiment": "E1", "n": 240, "wall_seconds": ...,
-                  "backend": "frozen", "engine": "ensemble"}, ...],
-     "ensemble_speedup": {
-         "workload": "walk-cells",
-         "family": "mori(m=2,p=0.5)", "n": 100000,
-         "runs_per_cell": 64, "budget": 2000, "backend": "frozen",
-         "per_algorithm": {
-             "random-walk":        {"serial_seconds": ...,
-                                    "ensemble_seconds": ...,
-                                    "speedup": ...},
-             "self-avoiding-walk": {...},
-             "restart-walk-r0.1":  {...}},
-         "acceptance_algorithm": "random-walk"}}
+     "records": [{"experiment": "E20", "n": 240, "wall_seconds": ...,
+                  "backend": "frozen", "engine": "serial"}, ...],
+     "registry": {
+         "count": 20,
+         "experiments": ["E1", ..., "E20"],
+         "capability_matrix": {"E1": ["jobs", "cache", ...], ...},
+         "enumeration_seconds": ...}}
 
 Wall-clock numbers vary with the machine; the committed file records
-the run that accompanied the PR (>= 3x on the acceptance cell, on the
-frozen backend with numpy — the ensemble engine's native path).
-
-``PYTHONPATH=src python benchmarks/bench_smoke.py --pr3`` regenerates
-the previous PR's ``BENCH_PR3.json`` artifact (growth-trajectory
-checkpoint engine) and ``--pr2`` the PR2 one (FrozenGraph cell
+the run that accompanied the PR.  Earlier trajectory points
+regenerate with ``PYTHONPATH=src python benchmarks/bench_smoke.py
+--pr4`` (walker-ensemble engine, ``BENCH_PR4.json``), ``--pr3``
+(growth-trajectory checkpoint engine) and ``--pr2`` (FrozenGraph cell
 batching).
 """
 
@@ -70,9 +62,106 @@ from repro.search.process import run_search
 
 SCHEMA = "repro-bench/v1"
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
-OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
+OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
+PR4_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 PR3_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 PR2_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
+
+# ----------------------------------------------------------------------
+# PR5: declarative experiment registry + unified execution context
+# ----------------------------------------------------------------------
+
+#: E20's downsized grid for the per-engine end-to-end timing (run
+#: through the registry, exactly as `repro run E20 --set ...` would).
+PR5_E20_OVERRIDES = {
+    "sizes": (60, 120, 240),
+    "num_graphs": 2,
+    "runs_per_graph": 2,
+}
+
+
+def pr5_registry_block() -> dict:
+    """Enumerate the live registry: the declarative surface, pinned."""
+    from repro.core.registry import REGISTRY
+
+    began = time.perf_counter()
+    experiments = REGISTRY.ids()
+    matrix = {
+        experiment_id: list(capabilities)
+        for experiment_id, capabilities in
+        REGISTRY.capability_matrix().items()
+    }
+    elapsed = time.perf_counter() - began
+    print(
+        f"  registry: {len(experiments)} experiments, "
+        f"{sum(len(v) for v in matrix.values())} capability "
+        f"declarations ({elapsed * 1000:.2f} ms)"
+    )
+    return {
+        "count": len(experiments),
+        "experiments": experiments,
+        "capability_matrix": matrix,
+        "enumeration_seconds": round(elapsed, 6),
+    }
+
+
+def pr5_time_e20_per_engine() -> list:
+    """Downsized E20 through the registry, per declared engine.
+
+    Raises if the engines disagree on any derived scalar — the
+    timings are only worth recording for equal numbers.
+    """
+    from repro.core.registry import REGISTRY
+
+    spec = REGISTRY.get("E20")
+    records = []
+    derived_per_engine = {}
+    n = max(PR5_E20_OVERRIDES["sizes"])
+    for engine in ("serial", "ensemble"):
+        began = time.perf_counter()
+        result = spec.run(
+            PR5_E20_OVERRIDES, backend="frozen", engine=engine
+        )
+        elapsed = time.perf_counter() - began
+        derived_per_engine[engine] = result.derived
+        records.append(
+            {
+                "experiment": "E20",
+                "n": n,
+                "wall_seconds": round(elapsed, 4),
+                "backend": "frozen",
+                "engine": engine,
+            }
+        )
+        print(f"   E20 engine={engine:<9} {elapsed:7.2f}s")
+    if derived_per_engine["serial"] != derived_per_engine["ensemble"]:
+        raise SystemExit("E20: engines diverged at bench scale")
+    return records
+
+
+def main() -> int:
+    """Write BENCH_PR5.json (the experiment-registry point)."""
+    print("bench-smoke: registry enumeration (E1..E20)")
+    registry_block = pr5_registry_block()
+    print("bench-smoke: downsized E20 per engine, via the registry")
+    records = pr5_time_e20_per_engine()
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "registry": registry_block,
+    }
+    path = os.path.normpath(OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    ok = registry_block["count"] == 20
+    print(
+        f"acceptance: {registry_block['count']} registered "
+        f"experiments ({'== 20 ok' if ok else 'NOT 20'}), "
+        "E20 engines equal"
+    )
+    return 0 if ok else 1
 
 # ----------------------------------------------------------------------
 # PR4: vectorized walker-ensemble engine
@@ -188,11 +277,12 @@ def pr4_measure_ensemble_speedup() -> dict:
     }
 
 
-def main() -> int:
-    print("bench-smoke: downsized E1/E3 (engines, frozen backend)")
+def pr4_main() -> int:
+    """Regenerate BENCH_PR4.json (the walker-ensemble engine point)."""
+    print("bench-smoke --pr4: downsized E1/E3 (engines, frozen backend)")
     records = pr4_time_experiments()
     print(
-        "bench-smoke: walk cells, "
+        "bench-smoke --pr4: walk cells, "
         f"n={PR4_CELL_N} x {PR4_CELL_RUNS} runs"
     )
     speedup = pr4_measure_ensemble_speedup()
@@ -201,7 +291,7 @@ def main() -> int:
         "records": records,
         "ensemble_speedup": speedup,
     }
-    path = os.path.normpath(OUTPUT_PATH)
+    path = os.path.normpath(PR4_OUTPUT_PATH)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -462,4 +552,6 @@ if __name__ == "__main__":
         sys.exit(pr2_main())
     if "--pr3" in sys.argv[1:]:
         sys.exit(pr3_main())
+    if "--pr4" in sys.argv[1:]:
+        sys.exit(pr4_main())
     sys.exit(main())

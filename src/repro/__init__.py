@@ -71,6 +71,12 @@ from repro.runner import (
     TrialSpec,
     run_trials,
 )
+from repro.core.registry import (
+    ExecutionContext,
+    ExperimentSpec,
+    REGISTRY,
+    run_experiment,
+)
 
 __version__ = "1.0.0"
 
@@ -112,4 +118,9 @@ __all__ = [
     "TrialSpec",
     "ResultStore",
     "run_trials",
+    # experiment registry
+    "ExperimentSpec",
+    "ExecutionContext",
+    "REGISTRY",
+    "run_experiment",
 ]

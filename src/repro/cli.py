@@ -2,17 +2,26 @@
 
 Usage::
 
-    repro list
+    repro list [--markdown]
     repro run E1 [--seed 7] [--json out.json] [--quick] [--plot]
     repro run E1 --jobs 8 --cache-dir .repro-cache
+    repro run E20 --set sizes=200,400 --set num_graphs=2
+    repro run E1,E3,E20 --quick
     repro run all --json-dir results/ [--quick]
     repro compare old.json new.json [--rtol 0.25]
 
 (Equivalently ``python -m repro ...``.)  The CLI is a thin shell over
-:mod:`repro.core.experiments`; every number it prints is regenerable
-from the seed it echoes.  ``--quick`` swaps in reduced grids,
-``--plot`` renders scaling tables as ASCII log-log charts, and
-``compare`` diffs two result records within Monte-Carlo tolerance.
+the experiment registry (:mod:`repro.core.registry`); every number it
+prints is regenerable from the seed it echoes.
+
+``repro list`` prints the registry's capability matrix — which of the
+execution axes (``jobs``, ``cache``, ``backend``, ``engine``,
+``mode``) each experiment declares; ``--markdown`` emits the same
+index as a markdown table (the README's experiment index is generated
+from it).  ``repro run`` accepts one id, a comma-separated list, or
+``all``; ``--set key=value`` overrides any declared experiment
+parameter with typed coercion (``--set sizes=200,400``), so no
+experiment needs bespoke CLI flags.
 
 ``--jobs`` fans runner-dispatched experiments out over worker
 processes and ``--cache-dir`` replays completed trials from a
@@ -22,23 +31,34 @@ substream-derived, so parallel output is bit-identical to serial).
 of shared growth trajectories (one construction pass per sweep).
 ``--engine ensemble`` advances all runs of each walk-family search
 cell together through the lock-step numpy kernel (bit-identical to
-serial; requires numpy).  Experiments that a requested knob cannot
-apply to emit a warning on stderr instead of silently ignoring it.
+serial; requires numpy).  Whether a flag applies is read off the
+experiment's *declared capabilities*, not guessed from signatures:
+requesting an axis an experiment does not declare emits a warning on
+stderr instead of silently ignoring it.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.experiments import ALL_EXPERIMENTS
+import repro.core.experiments  # noqa: F401 — registers E1..E20
+from repro.core.registry import (
+    CAPABILITY_PARAMS,
+    REGISTRY,
+    ExperimentSpec,
+)
 from repro.core.results import save_result
-from repro.errors import ReproError
+from repro.errors import ExperimentError, ReproError
 
-__all__ = ["build_parser", "main", "QUICK_OVERRIDES"]
+__all__ = [
+    "build_parser",
+    "main",
+    "format_listing",
+    "QUICK_OVERRIDES",
+]
 
 #: Reduced parameter grids for `repro run --quick`: same code paths,
 #: seconds instead of minutes.  Keys absent here run their defaults.
@@ -65,6 +85,16 @@ QUICK_OVERRIDES = {
     "E17": {"sizes": (100, 200), "num_graphs": 2},
     "E18": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
     "E19": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
+    "E20": {"sizes": (60, 120), "num_graphs": 2, "runs_per_graph": 1},
+}
+
+#: Capability -> the CLI flag that requests it (for warnings/help).
+_CAPABILITY_FLAGS = {
+    "jobs": "--jobs",
+    "cache": "--cache-dir",
+    "backend": "--backend",
+    "engine": "--engine",
+    "mode": "--mode",
 }
 
 
@@ -83,6 +113,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _set_pair(text: str) -> Tuple[str, str]:
+    """argparse type for ``--set``: a ``key=value`` pair."""
+    key, separator, value = text.partition("=")
+    if not separator or not key.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    return key.strip(), value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -95,20 +135,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser(
-        "list", help="list available experiments"
+    listing = subparsers.add_parser(
+        "list",
+        help="list registered experiments and their capability matrix",
+    )
+    listing.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the index as a markdown table (README source)",
     )
 
-    run = subparsers.add_parser("run", help="run one experiment or 'all'")
+    run = subparsers.add_parser(
+        "run",
+        help="run one experiment, a comma-separated list, or 'all'",
+    )
     run.add_argument(
         "experiment",
-        help="experiment id (E1..E19) or 'all'",
+        help="experiment id (E1..E20), comma-separated ids, or 'all'",
     )
     run.add_argument(
         "--seed",
         type=int,
         default=None,
         help="override the experiment's default seed",
+    )
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        type=_set_pair,
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override any declared experiment parameter, with typed "
+            "coercion per the registry schema (repeatable; e.g. "
+            "--set sizes=200,400 --set num_graphs=2)"
+        ),
     )
     run.add_argument(
         "--json",
@@ -118,7 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--json-dir",
         default=None,
-        help="with 'all': write one JSON record per experiment here",
+        help=(
+            "with 'all' or a comma-separated list: write one JSON "
+            "record per experiment here"
+        ),
     )
     run.add_argument(
         "--quick",
@@ -198,6 +263,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def format_listing(markdown: bool = False) -> str:
+    """The registry index: one line (or table row) per experiment.
+
+    The plain form is ``repro list``'s capability matrix; the markdown
+    form is the README experiment index's source of truth (``repro
+    list --markdown``).
+    """
+    specs = REGISTRY.specs()
+    if markdown:
+        lines = [
+            "| id | experiment | parameters | capabilities |",
+            "|---|---|---|---|",
+        ]
+        for spec in specs:
+            parameters = ", ".join(
+                f"`{param.name}`" for param in spec.params
+            )
+            capabilities = ", ".join(spec.capabilities) or "—"
+            lines.append(
+                f"| `{spec.id}` | {spec.title} | {parameters} "
+                f"| {capabilities} |"
+            )
+        return "\n".join(lines)
+    width = max(
+        (len(",".join(spec.capabilities)) for spec in specs),
+        default=0,
+    )
+    lines = []
+    for spec in specs:
+        capabilities = ",".join(spec.capabilities) or "-"
+        lines.append(
+            f"{spec.id:>4}  {capabilities:<{width}}  {spec.title}"
+        )
+    return "\n".join(lines)
+
+
 def _plot_scaling_tables(result) -> None:
     """Render any (n, algorithm, mean requests) table as a log-log plot."""
     from repro.core.plotting import render_loglog
@@ -222,25 +323,15 @@ def _plot_scaling_tables(result) -> None:
             print(render_loglog(table.title, curves))
 
 
-def _accepted_parameters(function) -> Dict[str, inspect.Parameter]:
-    """Keyword parameters ``function`` accepts, seen through wrappers.
-
-    ``inspect.signature`` follows ``__wrapped__`` chains (functools
-    decorators), unlike the brittle ``__code__.co_varnames`` peek it
-    replaces.
-    """
-    return dict(inspect.signature(function).parameters)
-
-
 def _warn_ignored(
     experiment_id: str, flag: str, parameter: str
 ) -> None:
     """Tell the user a CLI knob has no effect on this experiment.
 
     Silently dropping ``--cache-dir`` (or ``--jobs``/``--backend``/
-    ``--mode``/``--engine``) would let users believe results were
-    cached or parallelised when the experiment never consulted the
-    flag.
+    ``--mode``/``--engine``/``--set``) would let users believe results
+    were cached or parallelised when the experiment never declared the
+    capability (or parameter).
     """
     print(
         f"warning: {flag} has no effect on {experiment_id} (this "
@@ -250,71 +341,112 @@ def _warn_ignored(
     )
 
 
-def _run_one(
-    experiment_id: str,
-    seed: Optional[int],
-    json_path: Optional[str],
-    quick: bool = False,
-    plot: bool = False,
-    jobs: Optional[int] = None,
-    cache_dir: Optional[str] = None,
-    backend: Optional[str] = None,
-    mode: Optional[str] = None,
-    engine: Optional[str] = None,
-) -> None:
-    function = ALL_EXPERIMENTS[experiment_id]
-    accepted = _accepted_parameters(function)
+def _context_kwargs(spec: ExperimentSpec, args) -> Dict[str, Any]:
+    """Map requested capability flags onto ``spec``'s declarations.
+
+    Declared capabilities forward their value to the execution
+    context; requesting an undeclared one warns on stderr.  ``None``
+    means the flag was not given at all; an explicitly typed value —
+    even a default like ``--jobs 1`` or ``--mode independent`` — is
+    forwarded when declared (E19, for one, rejects independent mode
+    rather than silently running its trajectory default).
+    """
+    requested = {
+        "jobs": args.jobs,
+        "cache": args.cache_dir,
+        "backend": args.backend,
+        "engine": args.engine,
+        "mode": args.mode,
+    }
     kwargs: Dict[str, Any] = {}
-    if quick:
-        kwargs.update(QUICK_OVERRIDES.get(experiment_id, {}))
-    if seed is not None and "seed" in accepted:
-        kwargs["seed"] = seed
-    # Runner knobs apply only to experiments dispatched through
-    # repro.runner; others run exactly as before.  `None` means the
-    # flag was not given at all; an explicitly typed value — even a
-    # default like `--jobs 1` or `--mode independent` — is forwarded
-    # when the experiment takes it (E19, for one, rejects independent
-    # mode rather than silently running its trajectory default), and
-    # warned about loudly when it cannot apply.
-    if jobs is not None:
-        if "jobs" in accepted:
-            kwargs["jobs"] = jobs
+    for capability, value in requested.items():
+        if value is None:
+            continue
+        parameter = CAPABILITY_PARAMS[capability][0]
+        if capability in spec.capabilities:
+            kwargs[parameter] = value
         else:
-            _warn_ignored(experiment_id, f"--jobs {jobs}", "jobs")
-    if cache_dir is not None:
-        if "cache_dir" in accepted:
-            kwargs["cache_dir"] = cache_dir
-        else:
-            _warn_ignored(
-                experiment_id, f"--cache-dir {cache_dir}", "cache_dir"
-            )
-    if backend is not None:
-        if "backend" in accepted:
-            kwargs["backend"] = backend
-        else:
-            _warn_ignored(
-                experiment_id, f"--backend {backend}", "backend"
-            )
-    if mode is not None:
-        if "mode" in accepted:
-            kwargs["mode"] = mode
-        else:
-            _warn_ignored(experiment_id, f"--mode {mode}", "mode")
-    if engine is not None:
-        if "engine" in accepted:
-            kwargs["engine"] = engine
-        else:
-            _warn_ignored(
-                experiment_id, f"--engine {engine}", "engine"
-            )
-    result = function(**kwargs)
+            flag = _CAPABILITY_FLAGS[capability]
+            _warn_ignored(spec.id, f"{flag} {value}", parameter)
+    return kwargs
+
+
+def _resolve_overrides(
+    spec: ExperimentSpec,
+    args,
+    strict: bool,
+) -> Dict[str, Any]:
+    """Quick grids + ``--seed`` + typed ``--set`` pairs for one spec.
+
+    ``strict`` (single-experiment runs) turns an unknown ``--set`` key
+    into an :class:`ExperimentError`; multi-experiment runs warn and
+    skip instead, so ``repro run all --set sizes=...`` downsizes every
+    experiment that has a ``sizes`` parameter without aborting on the
+    ones that do not.
+    """
+    overrides: Dict[str, Any] = {}
+    if args.quick:
+        overrides.update(
+            {
+                key: value
+                for key, value in QUICK_OVERRIDES.get(
+                    spec.id, {}
+                ).items()
+                if key in spec.param_names
+            }
+        )
+    if args.seed is not None and "seed" in spec.param_names:
+        overrides["seed"] = args.seed
+    for key, text in args.overrides:
+        if key not in spec.param_names:
+            if strict:
+                raise ExperimentError(
+                    f"{spec.id} takes no parameter {key!r}; valid: "
+                    f"{', '.join(spec.param_names) or '(none)'}"
+                )
+            _warn_ignored(spec.id, f"--set {key}={text}", key)
+            continue
+        overrides[key] = spec.param(key).coerce(text)
+    return overrides
+
+
+def _run_one(
+    spec: ExperimentSpec,
+    args,
+    json_path: Optional[str],
+    strict: bool,
+) -> None:
+    """Run one registered spec with the CLI's overrides and context."""
+    overrides = _resolve_overrides(spec, args, strict)
+    context_kwargs = _context_kwargs(spec, args)
+    result = spec.run(overrides, **context_kwargs)
     print(result.format())
-    if plot:
+    if args.plot:
         _plot_scaling_tables(result)
     print()
     if json_path:
         save_result(result, json_path)
         print(f"wrote {json_path}")
+
+
+def _requested_ids(text: str) -> Optional[List[str]]:
+    """Parse the run target: 'all', one id, or a comma-separated list.
+
+    Returns the ids in request order (registry order for 'all'), or
+    ``None`` when any id is unknown — the caller prints the registry's
+    id list and exits non-zero (satisfying "unknown experiment ids
+    never traceback").
+    """
+    if text.strip().lower() == "all":
+        return REGISTRY.ids()
+    ids = [
+        token.strip().upper()
+        for token in text.split(",")
+        if token.strip()
+    ]
+    if not ids or any(i not in REGISTRY for i in ids):
+        return None
+    return ids
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -323,63 +455,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for experiment_id in sorted(
-            ALL_EXPERIMENTS, key=lambda e: int(e[1:])
-        ):
-            doc = ALL_EXPERIMENTS[experiment_id].__doc__ or ""
-            first_line = doc.strip().splitlines()[0] if doc else ""
-            print(f"{experiment_id:>4}  {first_line}")
+        print(format_listing(markdown=args.markdown))
         return 0
 
     if args.command == "run":
-        requested = args.experiment.upper()
-        if requested == "ALL":
-            failures = 0
-            for experiment_id in sorted(
-                ALL_EXPERIMENTS, key=lambda e: int(e[1:])
-            ):
-                json_path = None
-                if args.json_dir:
-                    os.makedirs(args.json_dir, exist_ok=True)
-                    json_path = os.path.join(
-                        args.json_dir, f"{experiment_id.lower()}.json"
-                    )
-                try:
-                    _run_one(
-                        experiment_id, args.seed, json_path,
-                        args.quick, args.plot,
-                        jobs=args.jobs, cache_dir=args.cache_dir,
-                        backend=args.backend, mode=args.mode,
-                        engine=args.engine,
-                    )
-                except ReproError as error:
-                    # One experiment rejecting a knob (e.g. E19 and
-                    # --mode independent) must not abort the sweep or
-                    # discard the hours of output already produced.
-                    failures += 1
-                    print(
-                        f"error: {experiment_id} failed: {error}",
-                        file=sys.stderr,
-                    )
-            return 1 if failures else 0
-        if requested not in ALL_EXPERIMENTS:
+        ids = _requested_ids(args.experiment)
+        if ids is None:
             print(
                 f"unknown experiment {args.experiment!r}; valid: "
-                f"{', '.join(sorted(ALL_EXPERIMENTS))} or 'all'",
+                f"{', '.join(REGISTRY.ids())} or 'all'",
                 file=sys.stderr,
             )
             return 2
-        try:
-            _run_one(
-                requested, args.seed, args.json, args.quick, args.plot,
-                jobs=args.jobs, cache_dir=args.cache_dir,
-                backend=args.backend, mode=args.mode,
-                engine=args.engine,
+        if len(ids) == 1:
+            spec = REGISTRY.get(ids[0])
+            try:
+                _run_one(spec, args, args.json, strict=True)
+            except ReproError as error:
+                print(
+                    f"error: {spec.id} failed: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+        if args.json:
+            # The single-record flag cannot name one file for many
+            # results; saying so beats silently writing nothing.
+            print(
+                "warning: --json applies to single-experiment runs "
+                "only; use --json-dir to write one record per "
+                "experiment (the flag was ignored)",
+                file=sys.stderr,
             )
-        except ReproError as error:
-            print(f"error: {requested} failed: {error}", file=sys.stderr)
-            return 1
-        return 0
+        failures = 0
+        for experiment_id in ids:
+            spec = REGISTRY.get(experiment_id)
+            json_path = None
+            if args.json_dir:
+                os.makedirs(args.json_dir, exist_ok=True)
+                json_path = os.path.join(
+                    args.json_dir, f"{experiment_id.lower()}.json"
+                )
+            try:
+                _run_one(spec, args, json_path, strict=False)
+            except ReproError as error:
+                # One experiment rejecting a knob (e.g. E19 and
+                # --mode independent) must not abort the sweep or
+                # discard the hours of output already produced.
+                failures += 1
+                print(
+                    f"error: {experiment_id} failed: {error}",
+                    file=sys.stderr,
+                )
+        return 1 if failures else 0
 
     if args.command == "compare":
         from repro.core.compare import compare_results

@@ -1,11 +1,16 @@
-"""Experiment engine: families, measurements, named experiments, results.
+"""Experiment engine: families, measurements, registry, results.
 
 * :mod:`repro.core.families` — uniform build/target handles over the
   paper's graph models;
 * :mod:`repro.core.searchability` — Monte-Carlo estimation of expected
   request counts and scaling sweeps;
-* :mod:`repro.core.experiments` — the named experiments E1–E14 that
-  regenerate every table/figure of the reproduction;
+* :mod:`repro.core.registry` — the declarative experiment registry:
+  typed param schemas, capability declarations, and the
+  :class:`~repro.core.registry.ExecutionContext` carrying the resolved
+  jobs/store/backend/engine/mode axes once per run;
+* :mod:`repro.core.experiments` — the registered experiments E1–E20
+  that regenerate every table/figure of the reproduction (plus their
+  thin public wrappers);
 * :mod:`repro.core.results` — printable tables and JSON records;
 * :mod:`repro.core.sweep` — parameter-grid helpers.
 """
@@ -17,6 +22,15 @@ from repro.core.families import (
     GraphFamily,
     MoriFamily,
     theorem_target_for_size,
+)
+from repro.core.registry import (
+    CAPABILITIES,
+    ExecutionContext,
+    ExperimentSpec,
+    Param,
+    REGISTRY,
+    Registry,
+    run_experiment,
 )
 from repro.core.results import ExperimentResult, Table, load_result, save_result
 from repro.core.searchability import (
@@ -46,5 +60,12 @@ __all__ = [
     "measure_scaling",
     "constant_factory",
     "omniscient_factory",
+    "CAPABILITIES",
+    "Param",
+    "ExperimentSpec",
+    "ExecutionContext",
+    "Registry",
+    "REGISTRY",
+    "run_experiment",
     "ALL_EXPERIMENTS",
 ]

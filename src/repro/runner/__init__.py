@@ -17,7 +17,7 @@ from repro.runner.batching import (
     unbatch_values,
 )
 from repro.runner.executor import run_trials
-from repro.runner.store import MISS, ResultStore
+from repro.runner.store import MISS, ResultStore, store_for
 from repro.runner.trial import (
     TrialExecutionError,
     TrialResult,
@@ -38,6 +38,7 @@ __all__ = [
     "resolve_trial",
     "run_trials",
     "split_trajectory_values",
+    "store_for",
     "trajectory_specs",
     "trial_ref",
     "unbatch_values",

@@ -34,7 +34,7 @@ from typing import Any, Optional, Tuple, Union
 
 from repro.runner.trial import TrialSpec
 
-__all__ = ["ResultStore", "MISS"]
+__all__ = ["ResultStore", "MISS", "store_for"]
 
 
 class _Miss:
@@ -46,6 +46,20 @@ class _Miss:
 
 #: Returned by :meth:`ResultStore.get` when no usable entry exists.
 MISS = _Miss()
+
+
+def store_for(
+    cache_dir: Optional[Union[str, os.PathLike]]
+) -> Optional["ResultStore"]:
+    """A :class:`ResultStore` rooted at ``cache_dir``, or ``None``.
+
+    The canonical resolution of the ``cache_dir`` execution axis: every
+    layer that accepts a directory-or-nothing cache knob (the
+    experiment registry's :class:`~repro.core.registry.ExecutionContext`,
+    benchmarks honouring ``REPRO_BENCH_CACHE_DIR``) funnels through
+    this helper instead of re-spelling the conditional.
+    """
+    return ResultStore(cache_dir) if cache_dir else None
 
 
 class ResultStore:

@@ -3,14 +3,17 @@
 Each PR appends one point to the bench trajectory: ``BENCH_PR2.json``
 (FrozenGraph cell batching, regenerable with
 ``PYTHONPATH=src python benchmarks/bench_smoke.py --pr2``),
-``BENCH_PR3.json`` (growth-trajectory checkpoint engine, ``--pr3``)
-and ``BENCH_PR4.json`` (vectorized walker-ensemble engine, written by
+``BENCH_PR3.json`` (growth-trajectory checkpoint engine, ``--pr3``),
+``BENCH_PR4.json`` (vectorized walker-ensemble engine, ``--pr4``) and
+``BENCH_PR5.json`` (declarative experiment registry, written by
 ``make bench-smoke``).  These tests never run the benchmarks (that
 takes minutes) but pin the committed artifacts: the schema the
 trajectory tooling consumes and each PR's recorded acceptance claim
 (>= 3x on the PR2 flooding/BFS cell batch; >= 2x on the PR3
 grid-realisation workload; >= 3x on the PR4 ensemble-vs-serial walk
-cell, frozen backend with numpy).
+cell, frozen backend with numpy; the PR5 registry-enumeration smoke
+must match the *live* registry, so re-declaring an experiment without
+regenerating the artifact fails here).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
 BENCH_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
 BENCH_PR3_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 BENCH_PR4_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
+BENCH_PR5_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
 
 VALID_BACKENDS = {"frozen", "multigraph"}
 VALID_MODES = {"independent", "trajectory"}
@@ -241,3 +245,69 @@ class TestBenchPR4Schema:
         assert gate["speedup"] >= 3.0
         for numbers in speedup["per_algorithm"].values():
             assert numbers["speedup"] >= 1.0
+
+
+@pytest.fixture(scope="module")
+def pr5_payload():
+    assert os.path.exists(BENCH_PR5_PATH), (
+        "BENCH_PR5.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PR5_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchPR5Schema:
+    """The declarative experiment-registry point."""
+
+    def test_schema_version(self, pr5_payload):
+        assert pr5_payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, pr5_payload):
+        records = pr5_payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+            assert record["engine"] in VALID_ENGINES
+
+    def test_e20_timed_per_declared_engine(self, pr5_payload):
+        engines = {
+            record["engine"]
+            for record in pr5_payload["records"]
+            if record["experiment"] == "E20"
+        }
+        assert engines == VALID_ENGINES, (
+            "E20 must be timed under both declared engines"
+        )
+
+    def test_registry_block_shape(self, pr5_payload):
+        registry = pr5_payload["registry"]
+        assert registry["count"] == 20
+        assert registry["experiments"] == [
+            f"E{i}" for i in range(1, 21)
+        ]
+        assert registry["enumeration_seconds"] >= 0
+        matrix = registry["capability_matrix"]
+        assert set(matrix) == set(registry["experiments"])
+        valid_capabilities = {"jobs", "cache", "backend", "engine",
+                              "mode"}
+        for capabilities in matrix.values():
+            assert set(capabilities) <= valid_capabilities
+
+    def test_registry_block_matches_live_registry(self, pr5_payload):
+        """The committed enumeration is the *current* surface: adding
+        or re-declaring an experiment without regenerating the
+        artifact (`make bench-smoke`) fails here."""
+        from repro.core.registry import REGISTRY
+
+        registry = pr5_payload["registry"]
+        assert registry["experiments"] == REGISTRY.ids()
+        assert registry["capability_matrix"] == {
+            experiment_id: list(capabilities)
+            for experiment_id, capabilities in
+            REGISTRY.capability_matrix().items()
+        }

@@ -30,11 +30,17 @@ from repro.core.experiments import (
 
 
 class TestExperimentRegistry:
-    def test_all_nineteen_registered(self):
-        assert len(ALL_EXPERIMENTS) == 19
+    def test_all_twenty_registered(self):
+        assert len(ALL_EXPERIMENTS) == 20
         assert set(ALL_EXPERIMENTS) == {
-            f"E{i}" for i in range(1, 20)
+            f"E{i}" for i in range(1, 21)
         }
+
+    def test_wrappers_cover_the_registry(self):
+        from repro.core.registry import REGISTRY
+
+        assert REGISTRY.ids() == [f"E{i}" for i in range(1, 21)]
+        assert set(ALL_EXPERIMENTS) == set(REGISTRY.ids())
 
     def test_all_have_docstrings(self):
         for function in ALL_EXPERIMENTS.values():
@@ -293,23 +299,34 @@ class TestCLI:
         ) == 0
         assert "mode=trajectory" in capsys.readouterr().out
 
-    def test_seed_detection_survives_wrappers(self, monkeypatch):
-        import functools
-
+    def test_seed_reaches_the_registered_body(self, monkeypatch):
+        """--seed is resolved against the spec's declared params (no
+        signature inspection): the body receives the override."""
         from repro import cli
-        from repro.core.experiments import e17_simulation_slowdown
+        from repro.core.registry import REGISTRY
+        from repro.core import experiments
 
         captured = {}
+        spec = REGISTRY.get("E17")
+        original_body = spec.body
 
-        @functools.wraps(e17_simulation_slowdown)
-        def wrapped(**kwargs):
+        def capturing_body(ctx, **kwargs):
             captured.update(kwargs)
-            return e17_simulation_slowdown(**kwargs)
+            return original_body(ctx, **kwargs)
 
-        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "E17", wrapped)
-        # functools.wraps copies __wrapped__, not __code__: the old
-        # co_varnames peek would have seen only (args, kwargs) here
-        # and silently dropped the seed.
+        fake = type(REGISTRY)()
+        for other in REGISTRY.specs():
+            fake.add(other)
+        fake.add(
+            type(spec)(
+                id=spec.id,
+                title=spec.title,
+                params=spec.params,
+                capabilities=spec.capabilities,
+                body=capturing_body,
+            )
+        )
+        monkeypatch.setattr(cli, "REGISTRY", fake)
         assert cli.main(["run", "E17", "--quick", "--seed", "77"]) == 0
         assert captured["seed"] == 77
 
@@ -484,16 +501,24 @@ class TestE19:
     ):
         """One experiment rejecting a knob must not abort the sweep."""
         from repro import cli
+        from repro.core.registry import REGISTRY, ExperimentSpec, Registry
         from repro.errors import ExperimentError
 
-        def exploding(**kwargs):
+        def exploding(ctx):
             raise ExperimentError("boom")
 
-        subset = {
-            "E10": exploding,
-            "E17": cli.ALL_EXPERIMENTS["E17"],
-        }
-        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", subset)
+        subset = Registry()
+        subset.add(
+            ExperimentSpec(
+                id="E10",
+                title="exploding stand-in",
+                params=(),
+                capabilities={},
+                body=exploding,
+            )
+        )
+        subset.add(REGISTRY.get("E17"))
+        monkeypatch.setattr(cli, "REGISTRY", subset)
         assert main(["run", "all", "--quick"]) == 1
         captured = capsys.readouterr()
         assert "error: E10 failed: boom" in captured.err
@@ -521,8 +546,8 @@ class TestCLIRunAll:
         )
         written = sorted(os.listdir(json_dir))
         assert written == sorted(
-            f"e{i}.json" for i in range(1, 20)
+            f"e{i}.json" for i in range(1, 21)
         )
         out = capsys.readouterr().out
-        for i in range(1, 20):
+        for i in range(1, 21):
             assert f"E{i}:" in out
