@@ -17,24 +17,40 @@ verify-full:
 # What .github/workflows/ci.yml runs, locally: the tier-1 suite with
 # numpy, then the registry CLI smoke (the capability matrix plus one
 # downsized registry-driven experiment through the real CLI, both
-# engines), then the suite again with numpy import-blocked (a shim
-# module shadows it) to exercise the stdlib fallbacks and the
-# ensemble engine's clean "unavailable" error path.
+# engines), then the corpus-cache smoke (cold fill, warm replay with
+# identical output, verify), then the suite plus the generator
+# fallback with numpy import-blocked (a shim module shadows it) to
+# exercise the stdlib fallbacks and the clean "unavailable" error
+# paths of the ensemble engine and the vectorized generator.
 ci:
 	$(PYTEST) -x -q
 	PYTHONPATH=src python -m repro list
 	PYTHONPATH=src python -m repro run E20 --quick --jobs 2 --backend frozen
 	PYTHONPATH=src python -m repro run E20 --quick --jobs 2 --engine ensemble --backend frozen
+	rm -rf .ci-corpus
+	PYTHONPATH=src python -m repro run E17 --quick --set sizes=60,120 --set num_graphs=2 --generator vectorized --corpus-dir .ci-corpus | tee .ci-corpus-cold.log
+	grep -q "corpus: 0 hits, 4 misses" .ci-corpus-cold.log
+	PYTHONPATH=src python -m repro run E17 --quick --set sizes=60,120 --set num_graphs=2 --generator vectorized --corpus-dir .ci-corpus | tee .ci-corpus-warm.log
+	grep -q "corpus: 4 hits, 0 misses" .ci-corpus-warm.log
+	grep -v "^corpus:" .ci-corpus-cold.log > .ci-corpus-cold.trimmed
+	grep -v "^corpus:" .ci-corpus-warm.log > .ci-corpus-warm.trimmed
+	diff .ci-corpus-cold.trimmed .ci-corpus-warm.trimmed
+	PYTHONPATH=src python -m repro corpus verify .ci-corpus
+	rm -rf .ci-corpus .ci-corpus-cold.log .ci-corpus-warm.log .ci-corpus-cold.trimmed .ci-corpus-warm.trimmed
 	@mkdir -p .ci-no-numpy && printf 'raise ImportError("numpy disabled for the no-numpy CI leg")\n' > .ci-no-numpy/numpy.py
+	! PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator vectorized 2> .ci-no-numpy/err.log
+	grep -q "requires numpy" .ci-no-numpy/err.log
+	PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator serial
 	PYTHONPATH=.ci-no-numpy:src python -m pytest -x -q; \
 		status=$$?; rm -rf .ci-no-numpy; exit $$status
 
-# Seconds-scale bench point: the registry-enumeration smoke (E1..E20
-# capability matrix, pinned against the live registry by
-# tests/test_bench_schema.py) plus downsized E20 per engine through
-# the registry.  Writes BENCH_PR5.json;
-# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr4` regenerates
-# BENCH_PR4.json, `--pr3` BENCH_PR3.json and `--pr2` BENCH_PR2.json.
+# Minutes-scale bench point: serial-vs-vectorized generation at paper
+# scale (bit-identical fingerprints enforced), the corpus cold/warm
+# timing with a full verify pass, and downsized E17 per generator.
+# Writes BENCH_PR6.json (pinned by tests/test_bench_schema.py);
+# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr5` regenerates
+# BENCH_PR5.json, `--pr4` BENCH_PR4.json, `--pr3` BENCH_PR3.json and
+# `--pr2` BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 

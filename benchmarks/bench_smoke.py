@@ -1,43 +1,51 @@
-"""Bench-trajectory smoke run: the experiment-registry point.
+"""Bench-trajectory smoke run: the vectorized-generation point.
 
 ``make bench-smoke`` runs this script.  It records the PR's point in
-``BENCH_PR5.json`` at the repository root:
+``BENCH_PR6.json`` at the repository root:
 
-1. a **registry-enumeration smoke**: the full E1..E20 capability
-   matrix as the live registry reports it (plus how long enumerating
-   the registry takes), so the schema test pins the declarative
-   surface — adding or re-declaring an experiment without
-   regenerating the artifact fails ``tests/test_bench_schema.py``;
-2. downsized end-to-end timings of **E20** (the registry's pure-spec
-   extension proof: the cross-model search-cost grid) per declared
-   engine, run *through the registry* exactly as ``repro run E20``
-   would.  The bench asserts the engines' derived scalars are equal
-   before trusting either timing.
+1. a **generation-speedup block**: one frozen snapshot of each
+   kernel-backed model built serially and through the batched
+   :mod:`repro.graphs.fastgen` kernels, timed — Móri at n=10^6 is the
+   acceptance gate (>= 5x).  The bench asserts the two snapshots are
+   bit-identical (a real ``SystemExit``, so ``python -O`` cannot
+   strip it) before trusting either timing;
+2. a **corpus block**: cold (build + persist) vs warm (memory-mapped
+   replay) timings of :meth:`GraphCorpus.get_or_build` over a small
+   size grid, with :meth:`GraphCorpus.verify` run on the bench-built
+   corpus — the acceptance requires every entry to digest-check;
+3. downsized end-to-end timings of **E17** per generator, run
+   *through the registry* exactly as ``repro run E17 --generator ...``
+   would, with the derived scalars asserted equal first.
 
 Record schema (validated by ``tests/test_bench_schema.py``)::
 
     {"schema": "repro-bench/v1",
-     "records": [{"experiment": "E20", "n": 240, "wall_seconds": ...,
-                  "backend": "frozen", "engine": "serial"}, ...],
-     "registry": {
-         "count": 20,
-         "experiments": ["E1", ..., "E20"],
-         "capability_matrix": {"E1": ["jobs", "cache", ...], ...},
-         "enumeration_seconds": ...}}
+     "records": [{"experiment": "E17", "n": 2000, "wall_seconds": ...,
+                  "backend": "frozen", "generator": "serial"}, ...],
+     "generation_speedup": {
+         "workload": "graph-generation", "backend": "frozen",
+         "per_model": {"mori": {"n": 1000000, "serial_seconds": ...,
+                                "vectorized_seconds": ...,
+                                "speedup": ...}, ...},
+         "acceptance_model": "mori"},
+     "corpus": {"entries": 2, "cold_seconds": ..., "warm_seconds": ...,
+                "speedup": ..., "verify_ok": true, ...}}
 
 Wall-clock numbers vary with the machine; the committed file records
 the run that accompanied the PR.  Earlier trajectory points
 regenerate with ``PYTHONPATH=src python benchmarks/bench_smoke.py
---pr4`` (walker-ensemble engine, ``BENCH_PR4.json``), ``--pr3``
-(growth-trajectory checkpoint engine) and ``--pr2`` (FrozenGraph cell
-batching).
+--pr5`` (declarative registry, ``BENCH_PR5.json``), ``--pr4``
+(walker-ensemble engine), ``--pr3`` (growth-trajectory checkpoint
+engine) and ``--pr2`` (FrozenGraph cell batching).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 from repro.analysis.diameter import bfs_distances
@@ -47,7 +55,11 @@ from repro.core.experiments import (
     e17_simulation_slowdown,
     e19_trajectory_scaling,
 )
-from repro.core.families import MoriFamily
+from repro.core.families import (
+    BarabasiAlbertFamily,
+    CooperFriezeFamily,
+    MoriFamily,
+)
 from repro.core.trials import snapshot_graph, trajectory_snapshots
 from repro.graphs import freeze
 from repro.rng import make_rng, run_substream, substream
@@ -62,10 +74,255 @@ from repro.search.process import run_search
 
 SCHEMA = "repro-bench/v1"
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
-OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
+OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
+PR5_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
 PR4_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 PR3_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 PR2_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
+
+
+# ----------------------------------------------------------------------
+# PR6: vectorized graph-generation engine + memory-mapped corpus store
+# ----------------------------------------------------------------------
+
+#: (model key, family, acceptance-gate n) of the generation block.
+#: Móri at 10^6 carries the gate; BA shares the urn kernel; the
+#: Cooper-Frieze lean replay only trims the constant factor, so it is
+#: recorded at a smaller n and outside the gate.
+PR6_GENERATION_GRID = (
+    ("mori", MoriFamily(p=0.5, m=1), 1_000_000),
+    ("ba", BarabasiAlbertFamily(m=1), 1_000_000),
+    ("cooper-frieze", CooperFriezeFamily(), 200_000),
+)
+PR6_GENERATION_SEED = 1_000_003
+
+#: The corpus block's size grid (one family, one seed): cold pass
+#: builds + persists, warm pass replays through ``numpy.memmap``.
+PR6_CORPUS_FAMILY = MoriFamily(p=0.5, m=1)
+PR6_CORPUS_SIZES = (250_000, 500_000)
+PR6_CORPUS_SEED = 11
+
+#: E17's downsized grid for the per-generator end-to-end timing (run
+#: through the registry, exactly as `repro run E17 --generator ...`).
+PR6_E17_OVERRIDES = {"sizes": (500, 1000, 2000), "num_graphs": 2}
+
+
+def _fingerprinted_build(build):
+    """Time ``build()`` on a quiesced heap; return a content fingerprint.
+
+    A million-vertex snapshot keeps millions of boxed endpoints alive,
+    so timing one generator with the other's snapshot still in memory
+    charges it generational GC passes over a heap it did not allocate.
+    Instead each build is timed fresh (collect first, GC otherwise on
+    — collector work a builder triggers for its *own* allocations is
+    honestly part of its cost), reduced to a content fingerprint, and
+    released before the other side runs.
+    """
+    import gc
+    import hashlib
+
+    gc.collect()
+    began = time.perf_counter()
+    snapshot = build()
+    elapsed = time.perf_counter() - began
+    digest = hashlib.sha256(
+        json.dumps(
+            [
+                snapshot.num_vertices,
+                [[t, h] for _, t, h in snapshot.edges()],
+            ],
+            separators=(",", ":"),
+        ).encode("utf-8")
+    ).hexdigest()
+    return (hash(snapshot), digest), elapsed
+
+
+def pr6_measure_generation_speedup() -> dict:
+    """Per-model wall clock: serial builder + freeze vs fastgen kernel.
+
+    Raises if any kernel's snapshot differs from the serial one — the
+    speedup claim is only worth recording for identical bytes.
+    """
+    per_model = {}
+    for key, family, n in PR6_GENERATION_GRID:
+        serial_print, serial_seconds = _fingerprinted_build(
+            lambda: family.build_frozen(n, seed=PR6_GENERATION_SEED)
+        )
+        vector_print, vectorized_seconds = _fingerprinted_build(
+            lambda: family.build_frozen(
+                n, seed=PR6_GENERATION_SEED, generator="vectorized"
+            )
+        )
+
+        # The determinism contract, re-checked at bench scale (a real
+        # raise, so `python -O` cannot strip it).
+        if vector_print != serial_print:
+            raise SystemExit(
+                f"{family.name}: generators diverged at bench scale"
+            )
+        per_model[key] = {
+            "family": family.name,
+            "n": n,
+            "serial_seconds": round(serial_seconds, 4),
+            "vectorized_seconds": round(vectorized_seconds, 4),
+            "speedup": round(serial_seconds / vectorized_seconds, 2),
+        }
+        print(
+            f"  {family.name:<22} n={n:>9,} serial "
+            f"{serial_seconds:6.2f}s | vectorized "
+            f"{vectorized_seconds:6.2f}s -> "
+            f"{per_model[key]['speedup']:.1f}x"
+        )
+    return {
+        "workload": "graph-generation",
+        "backend": "frozen",
+        "seed": PR6_GENERATION_SEED,
+        "per_model": per_model,
+        "acceptance_model": "mori",
+    }
+
+
+def pr6_time_corpus() -> dict:
+    """Cold (build + persist) vs warm (mapped replay) corpus passes."""
+    from repro.graphs.corpus import (
+        GraphCorpus,
+        corpus_stats,
+        reset_corpus_stats,
+    )
+
+    from repro.core.trials import family_spec
+
+    spec = family_spec(PR6_CORPUS_FAMILY)
+    root = tempfile.mkdtemp(prefix="bench-corpus-")
+    try:
+        corpus = GraphCorpus(root)
+        reset_corpus_stats()
+
+        def build_all():
+            return [
+                corpus.get_or_build(
+                    spec, n, PR6_CORPUS_SEED,
+                    lambda n=n: PR6_CORPUS_FAMILY.build_frozen(
+                        n, seed=PR6_CORPUS_SEED,
+                        generator="vectorized",
+                    ),
+                    generator="vectorized",
+                )
+                for n in PR6_CORPUS_SIZES
+            ]
+
+        began = time.perf_counter()
+        cold = build_all()
+        cold_seconds = time.perf_counter() - began
+        began = time.perf_counter()
+        warm = build_all()
+        warm_seconds = time.perf_counter() - began
+
+        if corpus_stats() != {
+            "hits": len(PR6_CORPUS_SIZES),
+            "misses": len(PR6_CORPUS_SIZES),
+        }:
+            raise SystemExit(
+                f"corpus accounting off: {corpus_stats()}"
+            )
+        if [hash(g) for g in warm] != [hash(g) for g in cold]:
+            raise SystemExit("corpus replay diverged at bench scale")
+
+        report = corpus.verify()
+        verified = sum(1 for _, ok, _ in report if ok)
+        if verified != len(report) or not report:
+            raise SystemExit(
+                "bench-built corpus failed verify: "
+                f"{verified}/{len(report)} ok"
+            )
+        print(
+            f"  corpus ({len(report)} entries) cold "
+            f"{cold_seconds:6.2f}s | warm {warm_seconds:6.2f}s -> "
+            f"{cold_seconds / warm_seconds:.1f}x; verify "
+            f"{verified}/{len(report)} ok"
+        )
+        return {
+            "family": PR6_CORPUS_FAMILY.name,
+            "sizes": list(PR6_CORPUS_SIZES),
+            "entries": len(report),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "speedup": round(cold_seconds / warm_seconds, 2),
+            "verify_ok": True,
+            "verified_entries": verified,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def pr6_time_e17_per_generator() -> list:
+    """Downsized E17 through the registry, per generator.
+
+    Raises if the generators disagree on any derived scalar — the
+    timings are only worth recording for equal numbers.
+    """
+    from repro.core.registry import REGISTRY
+
+    spec = REGISTRY.get("E17")
+    records = []
+    derived_per_generator = {}
+    n = max(PR6_E17_OVERRIDES["sizes"])
+    for generator in ("serial", "vectorized"):
+        began = time.perf_counter()
+        result = spec.run(
+            PR6_E17_OVERRIDES, backend="frozen", generator=generator
+        )
+        elapsed = time.perf_counter() - began
+        derived_per_generator[generator] = result.derived
+        records.append(
+            {
+                "experiment": "E17",
+                "n": n,
+                "wall_seconds": round(elapsed, 4),
+                "backend": "frozen",
+                "generator": generator,
+            }
+        )
+        print(f"   E17 generator={generator:<11} {elapsed:7.2f}s")
+    if derived_per_generator["serial"] != (
+        derived_per_generator["vectorized"]
+    ):
+        raise SystemExit("E17: generators diverged at bench scale")
+    return records
+
+
+def main() -> int:
+    """Write BENCH_PR6.json (the vectorized-generation point)."""
+    print("bench-smoke: serial vs vectorized generation (frozen)")
+    generation = pr6_measure_generation_speedup()
+    print(
+        "bench-smoke: corpus cold/warm passes, sizes "
+        f"{PR6_CORPUS_SIZES[0]:,}..{PR6_CORPUS_SIZES[-1]:,}"
+    )
+    corpus_block = pr6_time_corpus()
+    print("bench-smoke: downsized E17 per generator, via the registry")
+    records = pr6_time_e17_per_generator()
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "generation_speedup": generation,
+        "corpus": corpus_block,
+    }
+    path = os.path.normpath(OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    gate = generation["per_model"][generation["acceptance_model"]]
+    ok = gate["speedup"] >= 5.0 and corpus_block["verify_ok"]
+    print(
+        "acceptance: vectorized generation speedup "
+        f"{gate['speedup']:.1f}x "
+        f"({'>= 5x ok' if gate['speedup'] >= 5.0 else 'BELOW 5x'}), "
+        f"corpus verify {corpus_block['verified_entries']}/"
+        f"{corpus_block['entries']} ok"
+    )
+    return 0 if ok else 1
 
 # ----------------------------------------------------------------------
 # PR5: declarative experiment registry + unified execution context
@@ -139,18 +396,20 @@ def pr5_time_e20_per_engine() -> list:
     return records
 
 
-def main() -> int:
-    """Write BENCH_PR5.json (the experiment-registry point)."""
-    print("bench-smoke: registry enumeration (E1..E20)")
+def pr5_main() -> int:
+    """Regenerate BENCH_PR5.json (the experiment-registry point)."""
+    print("bench-smoke --pr5: registry enumeration (E1..E20)")
     registry_block = pr5_registry_block()
-    print("bench-smoke: downsized E20 per engine, via the registry")
+    print(
+        "bench-smoke --pr5: downsized E20 per engine, via the registry"
+    )
     records = pr5_time_e20_per_engine()
     payload = {
         "schema": SCHEMA,
         "records": records,
         "registry": registry_block,
     }
-    path = os.path.normpath(OUTPUT_PATH)
+    path = os.path.normpath(PR5_OUTPUT_PATH)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -554,4 +813,6 @@ if __name__ == "__main__":
         sys.exit(pr3_main())
     if "--pr4" in sys.argv[1:]:
         sys.exit(pr4_main())
+    if "--pr5" in sys.argv[1:]:
+        sys.exit(pr5_main())
     sys.exit(main())

@@ -8,6 +8,10 @@ Usage::
     repro run E20 --set sizes=200,400 --set num_graphs=2
     repro run E1,E3,E20 --quick
     repro run all --json-dir results/ [--quick]
+    repro run E17 --generator vectorized --corpus-dir corpus/
+    repro corpus build corpus/ --model mori --sizes 1000,2000
+    repro corpus list corpus/
+    repro corpus verify corpus/
     repro compare old.json new.json [--rtol 0.25]
 
 (Equivalently ``python -m repro ...``.)  The CLI is a thin shell over
@@ -16,7 +20,8 @@ prints is regenerable from the seed it echoes.
 
 ``repro list`` prints the registry's capability matrix — which of the
 execution axes (``jobs``, ``cache``, ``backend``, ``engine``,
-``mode``) each experiment declares; ``--markdown`` emits the same
+``mode``, ``generator``) each experiment declares; ``--markdown``
+emits the same
 index as a markdown table (the README's experiment index is generated
 from it).  ``repro run`` accepts one id, a comma-separated list, or
 ``all``; ``--set key=value`` overrides any declared experiment
@@ -31,10 +36,22 @@ substream-derived, so parallel output is bit-identical to serial).
 of shared growth trajectories (one construction pass per sweep).
 ``--engine ensemble`` advances all runs of each walk-family search
 cell together through the lock-step numpy kernel (bit-identical to
-serial; requires numpy).  Whether a flag applies is read off the
-experiment's *declared capabilities*, not guessed from signatures:
-requesting an axis an experiment does not declare emits a warning on
-stderr instead of silently ignoring it.
+serial; requires numpy).  ``--generator vectorized`` builds each graph
+through the batched kernels in :mod:`repro.graphs.fastgen`, consuming
+the RNG in exactly the serial draw order so snapshots are bit-identical
+to the reference builders (requires numpy; families without a kernel
+build serially).  Whether a flag applies is read off the experiment's
+*declared capabilities*, not guessed from signatures: requesting an
+axis an experiment does not declare emits a warning on stderr instead
+of silently ignoring it.
+
+``--corpus-dir`` (equivalently the ``REPRO_CORPUS_DIR`` environment
+variable) points runs at a memory-mapped on-disk corpus of generated
+snapshots (:mod:`repro.graphs.corpus`): independent frozen-backend
+builds are served from the corpus when present and persisted when not,
+and the run reports its hit/miss tally afterwards.  ``repro corpus
+build/list/verify`` pre-generates, enumerates and digest-checks corpus
+entries directly.
 """
 
 from __future__ import annotations
@@ -95,6 +112,7 @@ _CAPABILITY_FLAGS = {
     "backend": "--backend",
     "engine": "--engine",
     "mode": "--mode",
+    "generator": "--generator",
 }
 
 
@@ -121,6 +139,23 @@ def _set_pair(text: str) -> Tuple[str, str]:
             f"expected key=value, got {text!r}"
         )
     return key.strip(), value
+
+
+def _int_list(text: str) -> Tuple[int, ...]:
+    """argparse type for ``--sizes``/``--seeds``: comma-separated ints."""
+    try:
+        values = tuple(
+            int(token) for token in text.split(",") if token.strip()
+        )
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one integer, got {text!r}"
+        )
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -247,6 +282,102 @@ def build_parser() -> argparse.ArgumentParser:
             "numbers are identical either way"
         ),
     )
+    run.add_argument(
+        "--generator",
+        choices=("serial", "vectorized"),
+        default=None,
+        help=(
+            "graph construction strategy: 'serial' (default) grows "
+            "each realisation one edge at a time through the "
+            "reference builders; 'vectorized' builds the same "
+            "realisation through the batched numpy kernels, consuming "
+            "the RNG in the serial draw order (requires numpy; "
+            "families without a kernel build serially); numbers are "
+            "identical either way"
+        ),
+    )
+    run.add_argument(
+        "--corpus-dir",
+        default=None,
+        help=(
+            "serve independent frozen-backend graph builds from this "
+            "on-disk snapshot corpus, persisting misses (equivalent "
+            "to setting REPRO_CORPUS_DIR; requires numpy, silently "
+            "inert without it)"
+        ),
+    )
+
+    corpus = subparsers.add_parser(
+        "corpus",
+        help="manage an on-disk corpus of generated graph snapshots",
+    )
+    corpus_commands = corpus.add_subparsers(
+        dest="corpus_command", required=True
+    )
+    corpus_build = corpus_commands.add_parser(
+        "build",
+        help="pre-generate snapshots for a (model, sizes, seeds) grid",
+    )
+    corpus_build.add_argument(
+        "dir", help="corpus directory (created if missing)"
+    )
+    corpus_build.add_argument(
+        "--model",
+        choices=("mori", "cooper-frieze", "ba"),
+        default="mori",
+        help="graph family to generate (default mori)",
+    )
+    corpus_build.add_argument(
+        "--p",
+        type=float,
+        default=0.5,
+        help="Móri attachment parameter (mori; default 0.5)",
+    )
+    corpus_build.add_argument(
+        "--m",
+        type=int,
+        default=1,
+        help="edges per arriving vertex (mori/ba; default 1)",
+    )
+    corpus_build.add_argument(
+        "--alpha",
+        type=float,
+        default=0.5,
+        help="Cooper-Frieze NEW-step probability (default 0.5)",
+    )
+    corpus_build.add_argument(
+        "--sizes",
+        type=_int_list,
+        required=True,
+        help="comma-separated graph sizes to generate",
+    )
+    corpus_build.add_argument(
+        "--seeds",
+        type=_int_list,
+        default=(0,),
+        help="comma-separated graph seeds (default 0)",
+    )
+    corpus_build.add_argument(
+        "--generator",
+        choices=("serial", "vectorized"),
+        default="serial",
+        help=(
+            "construction strategy for missing entries (stored bytes "
+            "are identical either way)"
+        ),
+    )
+    corpus_list = corpus_commands.add_parser(
+        "list", help="enumerate the entries of a corpus directory"
+    )
+    corpus_list.add_argument("dir", help="corpus directory")
+    corpus_verify = corpus_commands.add_parser(
+        "verify",
+        help=(
+            "digest-check every corpus entry; non-zero exit on any "
+            "corruption"
+        ),
+    )
+    corpus_verify.add_argument("dir", help="corpus directory")
 
     compare = subparsers.add_parser(
         "compare",
@@ -357,6 +488,7 @@ def _context_kwargs(spec: ExperimentSpec, args) -> Dict[str, Any]:
         "backend": args.backend,
         "engine": args.engine,
         "mode": args.mode,
+        "generator": args.generator,
     }
     kwargs: Dict[str, Any] = {}
     for capability, value in requested.items():
@@ -449,6 +581,115 @@ def _requested_ids(text: str) -> Optional[List[str]]:
     return ids
 
 
+def _print_corpus_stats() -> None:
+    """Report this run's corpus hit/miss tally (if a corpus is active).
+
+    The tally is process-local: with ``--jobs`` > 1 the workers'
+    lookups are not counted here, only the parent's.
+    """
+    from repro.graphs.corpus import active_corpus, corpus_stats
+
+    if active_corpus() is None:
+        return
+    stats = corpus_stats()
+    print(
+        f"corpus: {stats['hits']} hits, {stats['misses']} misses"
+    )
+
+
+def _corpus_family(args):
+    """The graph family a ``repro corpus build`` grid generates."""
+    from repro.core.families import (
+        BarabasiAlbertFamily,
+        CooperFriezeFamily,
+        MoriFamily,
+    )
+    from repro.graphs.cooper_frieze import CooperFriezeParams
+
+    if args.model == "mori":
+        return MoriFamily(p=args.p, m=args.m)
+    if args.model == "ba":
+        return BarabasiAlbertFamily(m=args.m)
+    return CooperFriezeFamily(
+        params=CooperFriezeParams(alpha=args.alpha)
+    )
+
+
+def _corpus_main(args) -> int:
+    """The ``repro corpus build/list/verify`` commands."""
+    from repro.graphs.corpus import (
+        CORPUS_SCHEMA,
+        HAVE_CORPUS,
+        GraphCorpus,
+    )
+
+    if not HAVE_CORPUS:
+        print(
+            "error: the graph corpus requires numpy, which is not "
+            "available",
+            file=sys.stderr,
+        )
+        return 1
+    corpus = GraphCorpus(args.dir)
+
+    if args.corpus_command == "build":
+        from repro.core.trials import family_spec
+
+        family_obj = _corpus_family(args)
+        spec = family_spec(family_obj)
+        built = 0
+        present = 0
+        for size in args.sizes:
+            for seed in args.seeds:
+                if corpus.get(spec, size, seed) is not None:
+                    present += 1
+                    continue
+                snapshot = family_obj.build_frozen(
+                    size, seed=seed, generator=args.generator
+                )
+                corpus.put(
+                    spec, size, seed, snapshot,
+                    generator=args.generator,
+                )
+                built += 1
+        print(
+            f"corpus build: {built} built, {present} already "
+            f"present in {args.dir} ({family_obj.name})"
+        )
+        return 0
+
+    if args.corpus_command == "list":
+        count = 0
+        for path, manifest in corpus.entries():
+            count += 1
+            if manifest.get("schema") == CORPUS_SCHEMA:
+                print(
+                    f"{manifest['model']:>13}  n={manifest['n']:<8} "
+                    f"seed={manifest['seed']:<4} "
+                    f"edges={manifest['num_edges']:<8} "
+                    f"generator={manifest.get('generator', '?')}  "
+                    f"{path}"
+                )
+            else:
+                print(f"  (unreadable)  {path}")
+        print(f"{count} entries in {args.dir}")
+        return 0
+
+    report = corpus.verify()
+    failures = 0
+    for path, ok, message in report:
+        if ok:
+            print(f"ok    {path}  ({message})")
+        else:
+            failures += 1
+            print(f"FAIL  {path}  ({message})", file=sys.stderr)
+    print(
+        f"corpus verify: {len(report) - failures}/{len(report)} "
+        "entries ok"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -458,56 +699,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_listing(markdown=args.markdown))
         return 0
 
+    if args.command == "corpus":
+        return _corpus_main(args)
+
     if args.command == "run":
-        ids = _requested_ids(args.experiment)
-        if ids is None:
-            print(
-                f"unknown experiment {args.experiment!r}; valid: "
-                f"{', '.join(REGISTRY.ids())} or 'all'",
-                file=sys.stderr,
-            )
-            return 2
-        if len(ids) == 1:
-            spec = REGISTRY.get(ids[0])
-            try:
-                _run_one(spec, args, args.json, strict=True)
-            except ReproError as error:
-                print(
-                    f"error: {spec.id} failed: {error}",
-                    file=sys.stderr,
-                )
-                return 1
-            return 0
-        if args.json:
-            # The single-record flag cannot name one file for many
-            # results; saying so beats silently writing nothing.
-            print(
-                "warning: --json applies to single-experiment runs "
-                "only; use --json-dir to write one record per "
-                "experiment (the flag was ignored)",
-                file=sys.stderr,
-            )
-        failures = 0
-        for experiment_id in ids:
-            spec = REGISTRY.get(experiment_id)
-            json_path = None
-            if args.json_dir:
-                os.makedirs(args.json_dir, exist_ok=True)
-                json_path = os.path.join(
-                    args.json_dir, f"{experiment_id.lower()}.json"
-                )
-            try:
-                _run_one(spec, args, json_path, strict=False)
-            except ReproError as error:
-                # One experiment rejecting a knob (e.g. E19 and
-                # --mode independent) must not abort the sweep or
-                # discard the hours of output already produced.
-                failures += 1
-                print(
-                    f"error: {experiment_id} failed: {error}",
-                    file=sys.stderr,
-                )
-        return 1 if failures else 0
+        if not args.corpus_dir:
+            return _run_main(args)
+        from repro.graphs.corpus import CORPUS_DIR_VARIABLE
+
+        # Workers inherit the environment, so the variable also
+        # activates the corpus in --jobs subprocesses; restored
+        # afterwards so in-process callers of main() (tests, other
+        # runs) are not left with a corpus they never asked for.
+        previous = os.environ.get(CORPUS_DIR_VARIABLE)
+        os.environ[CORPUS_DIR_VARIABLE] = args.corpus_dir
+        try:
+            return _run_main(args)
+        finally:
+            if previous is None:
+                del os.environ[CORPUS_DIR_VARIABLE]
+            else:
+                os.environ[CORPUS_DIR_VARIABLE] = previous
 
     if args.command == "compare":
         from repro.core.compare import compare_results
@@ -522,6 +734,64 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
+
+
+def _run_main(args) -> int:
+    """The ``repro run`` branch (corpus activation handled by main)."""
+    from repro.graphs.corpus import reset_corpus_stats
+
+    reset_corpus_stats()
+    ids = _requested_ids(args.experiment)
+    if ids is None:
+        print(
+            f"unknown experiment {args.experiment!r}; valid: "
+            f"{', '.join(REGISTRY.ids())} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    if len(ids) == 1:
+        spec = REGISTRY.get(ids[0])
+        try:
+            _run_one(spec, args, args.json, strict=True)
+        except ReproError as error:
+            print(
+                f"error: {spec.id} failed: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        _print_corpus_stats()
+        return 0
+    if args.json:
+        # The single-record flag cannot name one file for many
+        # results; saying so beats silently writing nothing.
+        print(
+            "warning: --json applies to single-experiment runs "
+            "only; use --json-dir to write one record per "
+            "experiment (the flag was ignored)",
+            file=sys.stderr,
+        )
+    failures = 0
+    for experiment_id in ids:
+        spec = REGISTRY.get(experiment_id)
+        json_path = None
+        if args.json_dir:
+            os.makedirs(args.json_dir, exist_ok=True)
+            json_path = os.path.join(
+                args.json_dir, f"{experiment_id.lower()}.json"
+            )
+        try:
+            _run_one(spec, args, json_path, strict=False)
+        except ReproError as error:
+            # One experiment rejecting a knob (e.g. E19 and
+            # --mode independent) must not abort the sweep or
+            # discard the hours of output already produced.
+            failures += 1
+            print(
+                f"error: {experiment_id} failed: {error}",
+                file=sys.stderr,
+            )
+    _print_corpus_stats()
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

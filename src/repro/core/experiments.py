@@ -178,7 +178,7 @@ def _exponent_table(measurement, algorithms: Sequence[str]) -> Table:
 @REGISTRY.register(
     "E1",
     title="Weak-model search cost on merged Mori graphs (Theorem 1)",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -249,6 +249,7 @@ def e1_mori_weak(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E1: every weak-model algorithm respects the Ω(√n) floor on Móri graphs.
 
@@ -268,6 +269,7 @@ def e1_mori_weak(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 
@@ -279,7 +281,7 @@ def e1_mori_weak(
 @REGISTRY.register(
     "E2",
     title="Strong-model search cost on Mori graphs (Theorem 1, p<1/2)",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.25),
@@ -353,6 +355,7 @@ def e2_mori_strong(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E2: strong-model algorithms respect Ω(n^{1/2-p-eps}) for p < 1/2."""
     return run_experiment(
@@ -368,6 +371,7 @@ def e2_mori_strong(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 
@@ -379,7 +383,7 @@ def e2_mori_strong(
 @REGISTRY.register(
     "E3",
     title="Weak-model search cost on Cooper-Frieze graphs (Theorem 2)",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("alpha", FLOAT, 0.75),
@@ -445,6 +449,7 @@ def e3_cooper_frieze(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E3: the Ω(√n) floor holds in the Cooper–Frieze model (Theorem 2)."""
     return run_experiment(
@@ -458,6 +463,7 @@ def e3_cooper_frieze(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 
@@ -947,7 +953,7 @@ def e8_kleinberg(
 @REGISTRY.register(
     "E9",
     title="Diameter vs search cost on merged Mori graphs",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -1033,12 +1039,13 @@ def e9_diameter_vs_search(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E9: O(log n) diameter yet polynomial search cost (the headline).
 
-    The search cells honour ``backend``/``engine`` like every other
-    search-running experiment; the diameter estimate walks the freshly
-    built graph directly (it is BFS-bound either way).
+    The search cells honour ``backend``/``engine``/``generator`` like
+    every other search-running experiment; the diameter estimate walks
+    the freshly built graph directly (it is BFS-bound either way).
     """
     return run_experiment(
         "E9",
@@ -1051,6 +1058,7 @@ def e9_diameter_vs_search(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 
@@ -1123,7 +1131,7 @@ def e10_equivalence_exact(
 @REGISTRY.register(
     "E11",
     title="Lemma 1 floor vs measured costs; tightness via omniscient",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -1193,6 +1201,7 @@ def e11_lemma1_floor(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E11: measured costs sit above the Lemma-1 floor; omniscient ~ Θ(√n)."""
     return run_experiment(
@@ -1206,6 +1215,7 @@ def e11_lemma1_floor(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 
@@ -1342,7 +1352,7 @@ def e12_percolation(
 @REGISTRY.register(
     "E13",
     title="Ablation: attachment mixture p vs searchability",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800)),
         Param("p_values", FLOAT_TUPLE, (0.0, 0.25, 0.5, 0.75, 1.0)),
@@ -1403,6 +1413,7 @@ def e13_ablation_p(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E13: the √n floor is insensitive to the attachment mixture p."""
     return run_experiment(
@@ -1415,13 +1426,14 @@ def e13_ablation_p(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 
 @REGISTRY.register(
     "E14",
     title="Ablation: merge arity m vs searchability",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800)),
         Param("m_values", INT_TUPLE, (1, 2, 4, 8)),
@@ -1481,6 +1493,7 @@ def e14_ablation_m(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E14: the √n floor holds for every merge arity m (Theorem 1)."""
     return run_experiment(
@@ -1494,6 +1507,7 @@ def e14_ablation_m(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 
@@ -1699,7 +1713,7 @@ def e16_neighbor_dependence(
 @REGISTRY.register(
     "E17",
     title="Strong-to-weak simulation slowdown (Theorem 1, strong case)",
-    capabilities=("jobs", "cache", "backend", "mode"),
+    capabilities=("jobs", "cache", "backend", "mode", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.25),
@@ -1815,6 +1829,7 @@ def e17_simulation_slowdown(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     mode: str = "independent",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E17: weak simulation of a strong algorithm pays <= max-degree slowdown.
 
@@ -1850,6 +1865,7 @@ def e17_simulation_slowdown(
         cache_dir=cache_dir,
         backend=backend,
         mode=mode,
+        generator=generator,
     )
 
 
@@ -1861,7 +1877,8 @@ def e17_simulation_slowdown(
 @REGISTRY.register(
     "E18",
     title="Ablation: start-vertex rule vs searchability",
-    capabilities=("jobs", "cache", "backend", "engine", "mode"),
+    capabilities=("jobs", "cache", "backend", "engine", "mode",
+                  "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -1930,6 +1947,7 @@ def e18_start_rule(
     backend: str = "frozen",
     engine: str = "serial",
     mode: str = "independent",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E18: the Ω(√n) floor is start-vertex independent.
 
@@ -1956,6 +1974,7 @@ def e18_start_rule(
         backend=backend,
         engine=engine,
         mode=mode,
+        generator=generator,
     )
 
 
@@ -1973,6 +1992,7 @@ def e18_start_rule(
         "backend",
         "engine",
         ("mode", "trajectory"),
+        "generator",
     ),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
@@ -2091,6 +2111,7 @@ def e19_trajectory_scaling(
     backend: str = "frozen",
     engine: str = "serial",
     mode: str = "trajectory",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E19: request cost vs n measured *along* single evolving networks.
 
@@ -2126,6 +2147,7 @@ def e19_trajectory_scaling(
         backend=backend,
         engine=engine,
         mode=mode,
+        generator=generator,
     )
 
 
@@ -2137,7 +2159,7 @@ def e19_trajectory_scaling(
 @REGISTRY.register(
     "E20",
     title="Cross-model search-cost grid (weak + strong portfolios)",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800)),
         Param("p", FLOAT, 0.5),
@@ -2262,6 +2284,7 @@ def e20_cross_model(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ExperimentResult:
     """E20: one harness, three models, both knowledge models.
 
@@ -2292,6 +2315,7 @@ def e20_cross_model(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        generator=generator,
     )
 
 

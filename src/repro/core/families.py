@@ -21,6 +21,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.graphs.base import MultiGraph
+from repro.graphs.frozen import FrozenGraph, freeze
 from repro.graphs.components import induced_subgraph, largest_component
 from repro.graphs.configuration import power_law_configuration_graph
 from repro.graphs.barabasi_albert import barabasi_albert_graph
@@ -90,12 +91,39 @@ class GraphFamily:
     #: is a global operation.
     prefix_stable: bool = False
 
+    #: Whether ``build(n)`` returns a graph with exactly ``n`` vertices.
+    #: False for the configuration family, which restricts to the giant
+    #: component — its realisations cannot be stored in a corpus keyed
+    #: by ``(spec, n, seed)`` with an exact-size invariant.
+    exact_size: bool = True
+
     def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
         """Build one instance with ``size`` vertices."""
         raise NotImplementedError
 
+    def build_frozen(
+        self,
+        size: int,
+        seed: RandomLike = None,
+        generator: str = "serial",
+    ) -> FrozenGraph:
+        """Frozen CSR snapshot of one instance.
+
+        ``generator="vectorized"`` routes families that have one
+        through the batched kernels in :mod:`repro.graphs.fastgen`
+        (requires numpy; bit-identical to the serial builder —
+        ``tests/test_fastgen_equivalence.py`` pins it).  Families
+        without a kernel build serially under either generator, the
+        same silent fallback the ensemble engine applies to non-walk
+        algorithms.
+        """
+        return freeze(self.build(size, seed=seed))
+
     def build_trajectory(
-        self, sizes: Sequence[int], seed: RandomLike = None
+        self,
+        sizes: Sequence[int],
+        seed: RandomLike = None,
+        generator: str = "serial",
     ) -> Tuple[MultiGraph, Dict[int, int]]:
         """One realisation at ``max(sizes)`` plus per-checkpoint marks.
 
@@ -103,9 +131,12 @@ class GraphFamily:
         edges the realisation had at the moment an independent
         same-seed run targeting ``n`` would have stopped, so
         ``graph.prefix(n, marks[n])`` (or the frozen equivalent) is
-        bit-identical to ``build(n, seed)``.  Gated on
-        :attr:`prefix_stable`: families that declare it must also
-        override this method with their checkpoint-mark rule.
+        bit-identical to ``build(n, seed)``.  Under
+        ``generator="vectorized"`` the realisation comes back already
+        frozen (:func:`repro.core.trials.trajectory_snapshots` accepts
+        both forms).  Gated on :attr:`prefix_stable`: families that
+        declare it must also override this method with their
+        checkpoint-mark rule.
         """
         if not self.prefix_stable:
             raise InvalidParameterError(
@@ -149,11 +180,37 @@ class MoriFamily(GraphFamily):
             size, self.m, self.p, seed=seed, keep_tree=False
         ).graph
 
+    def build_frozen(
+        self,
+        size: int,
+        seed: RandomLike = None,
+        generator: str = "serial",
+    ) -> FrozenGraph:
+        if generator == "vectorized":
+            from repro.graphs.fastgen import (
+                fast_merged_mori_frozen,
+                require_fastgen_engine,
+            )
+
+            require_fastgen_engine()
+            return fast_merged_mori_frozen(
+                size, self.m, self.p, seed=seed
+            )
+        return super().build_frozen(size, seed=seed)
+
     def build_trajectory(
-        self, sizes: Sequence[int], seed: RandomLike = None
+        self,
+        sizes: Sequence[int],
+        seed: RandomLike = None,
+        generator: str = "serial",
     ) -> Tuple[MultiGraph, Dict[int, int]]:
         ordered = _validated_checkpoints(sizes, minimum=2)
-        graph = self.build(ordered[-1], seed=seed)
+        if generator == "vectorized":
+            graph = self.build_frozen(
+                ordered[-1], seed=seed, generator=generator
+            )
+        else:
+            graph = self.build(ordered[-1], seed=seed)
         # The merged graph on n vertices carries one edge per tree
         # vertex 2 .. n*m, and its edges arrive in tree-vertex order,
         # so the mark at checkpoint n is exactly n*m - 1.
@@ -176,13 +233,47 @@ class CooperFriezeFamily(GraphFamily):
     def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
         return cooper_frieze_graph(size, self.params, seed=seed).graph
 
+    def build_frozen(
+        self,
+        size: int,
+        seed: RandomLike = None,
+        generator: str = "serial",
+    ) -> FrozenGraph:
+        if generator == "vectorized":
+            from repro.graphs.fastgen import (
+                fast_cooper_frieze_frozen,
+                require_fastgen_engine,
+            )
+
+            require_fastgen_engine()
+            graph, _ = fast_cooper_frieze_frozen(
+                size, self.params, seed=seed
+            )
+            return graph
+        return super().build_frozen(size, seed=seed)
+
     def build_trajectory(
-        self, sizes: Sequence[int], seed: RandomLike = None
+        self,
+        sizes: Sequence[int],
+        seed: RandomLike = None,
+        generator: str = "serial",
     ) -> Tuple[MultiGraph, Dict[int, int]]:
         ordered = _validated_checkpoints(sizes, minimum=2)
         # The number of evolution steps is random (OLD steps add edges
         # without adding vertices), so the marks are observed during
         # the one shared run rather than computed from the arity.
+        if generator == "vectorized":
+            from repro.graphs.fastgen import (
+                fast_cooper_frieze_frozen,
+                require_fastgen_engine,
+            )
+
+            require_fastgen_engine()
+            graph, marks = fast_cooper_frieze_frozen(
+                ordered[-1], self.params, seed=seed,
+                checkpoints=ordered,
+            )
+            return graph, dict(marks)
         realised = cooper_frieze_graph(
             ordered[-1], self.params, seed=seed, checkpoints=ordered
         )
@@ -203,11 +294,35 @@ class BarabasiAlbertFamily(GraphFamily):
     def build(self, size: int, seed: RandomLike = None) -> MultiGraph:
         return barabasi_albert_graph(size, self.m, seed=seed)
 
+    def build_frozen(
+        self,
+        size: int,
+        seed: RandomLike = None,
+        generator: str = "serial",
+    ) -> FrozenGraph:
+        if generator == "vectorized":
+            from repro.graphs.fastgen import (
+                fast_barabasi_albert_frozen,
+                require_fastgen_engine,
+            )
+
+            require_fastgen_engine()
+            return fast_barabasi_albert_frozen(size, self.m, seed=seed)
+        return super().build_frozen(size, seed=seed)
+
     def build_trajectory(
-        self, sizes: Sequence[int], seed: RandomLike = None
+        self,
+        sizes: Sequence[int],
+        seed: RandomLike = None,
+        generator: str = "serial",
     ) -> Tuple[MultiGraph, Dict[int, int]]:
         ordered = _validated_checkpoints(sizes, minimum=2)
-        graph = self.build(ordered[-1], seed=seed)
+        if generator == "vectorized":
+            graph = self.build_frozen(
+                ordered[-1], seed=seed, generator=generator
+            )
+        else:
+            graph = self.build(ordered[-1], seed=seed)
         # One seed self-loop plus m edges per vertex 2 .. n.
         return graph, {n: 1 + (n - 1) * self.m for n in ordered}
 
@@ -217,7 +332,8 @@ class ConfigurationFamily(GraphFamily):
     """Giant component of a power-law configuration model (Adamic, E7).
 
     ``build`` generates a size-``size`` Molloy–Reed graph and returns
-    its largest component, relabelled order-preservingly (so the
+    its largest component (fewer than ``size`` vertices, so
+    ``exact_size`` is False), relabelled order-preservingly (so the
     highest new identity is still the "newest" vertex in spirit — ids
     are arbitrary in this model anyway, neighbors being independent).
     """
@@ -225,6 +341,8 @@ class ConfigurationFamily(GraphFamily):
     exponent: float = 2.5
     min_degree: int = 1
     max_degree: Optional[int] = None
+
+    exact_size = False
 
     def __post_init__(self) -> None:
         self.name = f"config(k={self.exponent:g})"

@@ -16,7 +16,8 @@ The registry replaces that with three declarative pieces:
 * :class:`ExperimentSpec` — one experiment: id, title, its param
   schema, and the **capabilities** it declares from
   :data:`CAPABILITIES` (``jobs``, ``cache``, ``backend``, ``engine``,
-  ``mode``).  Capabilities are data, not signatures: the CLI derives
+  ``mode``, ``generator``).  Capabilities are data, not signatures:
+  the CLI derives
   its capability matrix and its "flag has no effect" warnings from
   them, and a new axis lands in exactly one place.
 * :class:`ExecutionContext` — the resolved execution axes carried
@@ -73,7 +74,8 @@ __all__ = [
 
 #: The execution axes an experiment may declare, in canonical order
 #: (also the order their keyword parameters appear in public wrappers).
-CAPABILITIES = ("jobs", "cache", "backend", "engine", "mode")
+CAPABILITIES = ("jobs", "cache", "backend", "engine", "mode",
+                "generator")
 
 #: Capability -> (public keyword parameter, default value).  ``cache``
 #: surfaces as ``cache_dir`` because the public unit is a directory;
@@ -84,6 +86,7 @@ CAPABILITY_PARAMS = {
     "backend": ("backend", "frozen"),
     "engine": ("engine", "serial"),
     "mode": ("mode", "independent"),
+    "generator": ("generator", "serial"),
 }
 
 
@@ -161,6 +164,7 @@ class ExecutionContext:
     backend: str = "frozen"
     engine: str = "serial"
     mode: str = "independent"
+    generator: str = "serial"
 
     def run_trials(self, specs: Sequence[TrialSpec]) -> list:
         """Dispatch trial specs through the runner with this context's
@@ -168,17 +172,20 @@ class ExecutionContext:
         return run_trials(specs, jobs=self.jobs, store=self.store)
 
     def trial_params_extra(self) -> Dict[str, Any]:
-        """The non-default backend/engine entries for trial params.
+        """The non-default backend/engine/generator trial-param entries.
 
-        The backend/engine cache-key policy (defaults stay out of trial
-        params so pre-existing cache entries keep replaying; only a
-        forced non-default choice gets its own entries) spelled once.
+        The backend/engine/generator cache-key policy (defaults stay
+        out of trial params so pre-existing cache entries keep
+        replaying; only a forced non-default choice gets its own
+        entries) spelled once.
         """
         extra: Dict[str, Any] = {}
         if self.backend != "frozen":
             extra["backend"] = self.backend
         if self.engine != "serial":
             extra["engine"] = self.engine
+        if self.generator != "serial":
+            extra["generator"] = self.generator
         return extra
 
     def measure_scaling(self, family, sizes, factories, **kwargs):
@@ -201,6 +208,7 @@ class ExecutionContext:
             experiment_id=self.experiment_id,
             backend=self.backend,
             engine=self.engine,
+            generator=self.generator,
             **kwargs,
         )
 
@@ -217,6 +225,7 @@ class ExecutionContext:
             experiment_id=self.experiment_id,
             backend=self.backend,
             engine=self.engine,
+            generator=self.generator,
             **kwargs,
         )
 
@@ -250,9 +259,10 @@ def _validated_context_values(
 
 
 def _validate_axis_values(resolved: Dict[str, Any]) -> None:
-    """Check backend/engine/mode values against their axis vocabularies."""
+    """Check backend/engine/mode/generator values against their axis
+    vocabularies."""
     from repro.core.searchability import MODES
-    from repro.core.trials import BACKENDS, ENGINES
+    from repro.core.trials import BACKENDS, ENGINES, GENERATORS
 
     backend = resolved.get("backend")
     if backend is not None and backend not in BACKENDS:
@@ -265,6 +275,12 @@ def _validate_axis_values(resolved: Dict[str, Any]) -> None:
         raise ExperimentError(
             f"unknown search engine {engine!r}; valid: "
             f"{', '.join(ENGINES)}"
+        )
+    generator = resolved.get("generator")
+    if generator is not None and generator not in GENERATORS:
+        raise ExperimentError(
+            f"unknown graph generator {generator!r}; valid: "
+            f"{', '.join(GENERATORS)}"
         )
     mode = resolved.get("mode")
     if mode is not None and mode not in MODES:
@@ -319,6 +335,7 @@ class ExperimentSpec:
         backend: Optional[str] = None,
         engine: Optional[str] = None,
         mode: Optional[str] = None,
+        generator: Optional[str] = None,
     ) -> ExecutionContext:
         """Resolve execution-axis overrides into an :class:`ExecutionContext`.
 
@@ -335,6 +352,7 @@ class ExperimentSpec:
                 "backend": backend,
                 "engine": engine,
                 "mode": mode,
+                "generator": generator,
             },
         )
         _validate_axis_values(resolved)
@@ -343,7 +361,7 @@ class ExperimentSpec:
             kwargs["jobs"] = resolved["jobs"]
         if "cache" in resolved:
             kwargs["store"] = store_for(resolved["cache"])
-        for axis in ("backend", "engine", "mode"):
+        for axis in ("backend", "engine", "mode", "generator"):
             if axis in resolved:
                 kwargs[axis] = resolved[axis]
         return ExecutionContext(**kwargs)
@@ -367,6 +385,7 @@ class ExperimentSpec:
         backend: Optional[str] = None,
         engine: Optional[str] = None,
         mode: Optional[str] = None,
+        generator: Optional[str] = None,
     ):
         """Execute the experiment body with resolved params + context."""
         params = self.resolve_params(overrides)
@@ -376,6 +395,7 @@ class ExperimentSpec:
             backend=backend,
             engine=engine,
             mode=mode,
+            generator=generator,
         )
         return self.body(context, **params)
 

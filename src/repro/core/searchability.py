@@ -138,6 +138,7 @@ def _build_cell_specs(
     start_rule: str,
     backend: str,
     engine: str = "serial",
+    generator: str = "serial",
 ) -> List[TrialSpec]:
     """One :class:`TrialSpec` per graph realisation of a (size, seed) cell."""
     from repro.core.trials import family_spec, search_cost_graph_trial
@@ -152,14 +153,16 @@ def _build_cell_specs(
         "neighbor_success": neighbor_success,
         "start_rule": start_rule,
     }
-    # Neither backend nor engine ever changes a trial's value (the
-    # equivalence batteries pin this), so the defaults stay out of the
-    # params — keeping cache keys identical to earlier runs; only a
-    # forced non-default choice gets its own cache entries.
+    # Neither backend, engine nor generator ever changes a trial's
+    # value (the equivalence batteries pin this), so the defaults stay
+    # out of the params — keeping cache keys identical to earlier runs;
+    # only a forced non-default choice gets its own cache entries.
     if backend != "frozen":
         params["backend"] = backend
     if engine != "serial":
         params["engine"] = engine
+    if generator != "serial":
+        params["generator"] = generator
     return [
         TrialSpec(
             experiment_id=experiment_id,
@@ -248,6 +251,7 @@ def measure_search_cost(
     experiment_id: str = "adhoc",
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> CostMeasurement:
     """Estimate expected request counts on ``family`` at ``size``.
 
@@ -279,8 +283,12 @@ def measure_search_cost(
     picks the cell execution strategy: ``"serial"`` (default) steps
     runs one at a time, ``"ensemble"`` advances all runs of each
     walk-family cell through the lock-step numpy kernel (see
-    :data:`repro.core.trials.ENGINES`; requires numpy).  Like
-    ``jobs``/``store`` neither changes a number, only wall-clock time.
+    :data:`repro.core.trials.ENGINES`; requires numpy).  ``generator``
+    picks the graph construction strategy: ``"serial"`` (default) uses
+    the reference builders, ``"vectorized"`` the batched fastgen
+    kernels (see :data:`repro.core.trials.GENERATORS`; requires
+    numpy).  Like ``jobs``/``store`` none of them changes a number,
+    only wall-clock time.
     """
     if num_graphs < 1 or runs_per_graph < 1:
         raise ExperimentError(
@@ -306,6 +314,7 @@ def measure_search_cost(
             start_rule,
             backend,
             engine,
+            generator,
         )
         outcomes = run_trials(specs, jobs=jobs, store=store)
         return _fold_cell(
@@ -319,7 +328,7 @@ def measure_search_cost(
             "portfolio name from repro.core.trials.PORTFOLIOS"
         )
 
-    from repro.core.trials import snapshot_graph
+    from repro.core.trials import build_graph_snapshot
 
     measurement = CostMeasurement(family_name=family.name, size=size)
     collected: Dict[str, List[SearchResult]] = {
@@ -328,8 +337,8 @@ def measure_search_cost(
 
     for graph_index in range(num_graphs):
         graph_seed = substream(seed, graph_index)
-        graph = snapshot_graph(
-            family.build(size, seed=graph_seed), backend
+        graph = build_graph_snapshot(
+            family, size, graph_seed, backend, generator
         )
         target = family.theorem_target(graph)
         start = _choose_start(
@@ -443,6 +452,7 @@ def measure_scaling(
     backend: str = "frozen",
     mode: str = "independent",
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ScalingMeasurement:
     """Run :func:`measure_search_cost` across a size grid.
 
@@ -511,6 +521,7 @@ def measure_scaling(
             experiment_id,
             backend,
             engine,
+            generator,
         )
 
     if isinstance(factories, str):
@@ -530,6 +541,7 @@ def measure_scaling(
                 start_rule,
                 backend,
                 engine,
+                generator,
             )
             offsets.append((size, len(grid_specs), len(cell_specs)))
             grid_specs.extend(cell_specs)
@@ -557,6 +569,7 @@ def measure_scaling(
             experiment_id=experiment_id,
             backend=backend,
             engine=engine,
+            generator=generator,
         )
     return measurement
 
@@ -576,6 +589,7 @@ def _measure_scaling_trajectory(
     experiment_id: str,
     backend: str,
     engine: str = "serial",
+    generator: str = "serial",
 ) -> ScalingMeasurement:
     """The ``mode='trajectory'`` body of :func:`measure_scaling`.
 
@@ -605,12 +619,14 @@ def _measure_scaling_trajectory(
             "start_rule": start_rule,
         }
         # Same cache-key policy as the independent cells: only forced
-        # non-default choices enter the params (values are backend- and
-        # engine-independent).
+        # non-default choices enter the params (values are backend-,
+        # engine- and generator-independent).
         if backend != "frozen":
             params["backend"] = backend
         if engine != "serial":
             params["engine"] = engine
+        if generator != "serial":
+            params["generator"] = generator
         specs = trajectory_specs(
             experiment_id,
             trial_ref(trajectory_scaling_trial),
@@ -640,7 +656,7 @@ def _measure_scaling_trajectory(
     }
     for graph_seed in graph_seeds:
         full_graph, marks = family.build_trajectory(
-            ordered, seed=graph_seed
+            ordered, seed=graph_seed, generator=generator
         )
         for size, graph in trajectory_snapshots(
             full_graph, marks, ordered, backend

@@ -74,6 +74,7 @@ __all__ = [
     "portfolio_factories",
     "choose_start",
     "snapshot_graph",
+    "build_graph_snapshot",
     "trajectory_snapshots",
     "search_cost_graph_trial",
     "batched_search_trial",
@@ -98,6 +99,17 @@ BACKENDS = ("frozen", "multigraph")
 #: (``tests/test_search_ensemble.py``) — only wall-clock time.
 ENGINES = ("serial", "ensemble")
 
+#: Valid values of the ``generator`` trial parameter.  ``"serial"``
+#: (the default) grows graphs one edge at a time through the reference
+#: builders; ``"vectorized"`` builds the same realisation through the
+#: batched kernels in :mod:`repro.graphs.fastgen`, which consume the
+#: RNG in exactly the serial draw order (families without a kernel
+#: build serially).  Like ``backend`` and ``engine``, the generator
+#: never changes a number — edge lists, edge ids, and snapshot hashes
+#: are bit-identical (``tests/test_fastgen_equivalence.py``) — only
+#: wall-clock time.
+GENERATORS = ("serial", "vectorized")
+
 
 def snapshot_graph(graph: MultiGraph, backend: str) -> GraphBackend:
     """Apply a backend choice to a freshly built graph.
@@ -117,7 +129,7 @@ def snapshot_graph(graph: MultiGraph, backend: str) -> GraphBackend:
 
 
 def trajectory_snapshots(
-    graph: MultiGraph,
+    graph: GraphBackend,
     marks: Dict[int, int],
     sizes,
     backend: str,
@@ -125,8 +137,10 @@ def trajectory_snapshots(
     """Per-checkpoint snapshots of one evolved realisation.
 
     ``graph``/``marks`` come from
-    :meth:`~repro.core.families.GraphFamily.build_trajectory`.  Returns
-    a list of ``(size, snapshot)`` in ascending size order; each snapshot
+    :meth:`~repro.core.families.GraphFamily.build_trajectory` (either
+    backend: the vectorized generator hands over a
+    :class:`~repro.graphs.frozen.FrozenGraph` directly).  Returns a
+    list of ``(size, snapshot)`` in ascending size order; each snapshot
     is bit-identical to what :func:`snapshot_graph` would return for an
     independent same-seed build of that size.  On the ``"frozen"``
     backend the whole grid shares one full CSR freeze, each checkpoint
@@ -137,11 +151,79 @@ def trajectory_snapshots(
         full = freeze(graph)
         return [(n, full.prefix(n, marks[n])) for n in ordered]
     if backend == "multigraph":
+        from repro.graphs.frozen import FrozenGraph
+
+        if isinstance(graph, FrozenGraph):
+            graph = graph.thaw()
         return [(n, graph.prefix(n, marks[n])) for n in ordered]
     raise ExperimentError(
         f"unknown graph backend {backend!r}; valid: "
         f"{', '.join(BACKENDS)}"
     )
+
+
+def build_graph_snapshot(
+    family_obj: GraphFamily,
+    size: int,
+    seed: int,
+    backend: str = "frozen",
+    generator: str = "serial",
+) -> GraphBackend:
+    """Build one family instance and snapshot it per ``backend``.
+
+    The one place independent-build trials obtain their graph, so the
+    ``generator`` axis and the on-disk corpus compose uniformly:
+
+    * ``generator="vectorized"`` builds through
+      :meth:`~repro.core.families.GraphFamily.build_frozen` (the
+      fastgen kernels where the family has one — bit-identical to the
+      serial builder), then thaws if ``backend="multigraph"`` asks for
+      the mutable form.
+    * When ``REPRO_CORPUS_DIR`` names a corpus (see
+      :func:`repro.graphs.corpus.active_corpus`), the backend is
+      ``"frozen"`` and the family builds exact-size graphs (the
+      configuration family's giant component does not), the snapshot
+      is served from / persisted to the memory-mapped store keyed by
+      ``(family spec, n, seed)``.  The
+      stored bytes are generator-independent, so a corpus built
+      serially also serves vectorized runs (and vice versa) — the
+      determinism contract makes them the same graph.
+
+    Numbers never depend on any of this — only wall-clock time.
+    """
+    if generator not in GENERATORS:
+        raise ExperimentError(
+            f"unknown graph generator {generator!r}; valid: "
+            f"{', '.join(GENERATORS)}"
+        )
+
+    def _build() -> GraphBackend:
+        if generator == "vectorized":
+            return family_obj.build_frozen(
+                size, seed=seed, generator=generator
+            )
+        return family_obj.build(size, seed=seed)
+
+    if backend == "frozen" and family_obj.exact_size:
+        from repro.graphs.corpus import active_corpus
+
+        corpus = active_corpus()
+        if corpus is not None:
+            try:
+                spec = family_spec(family_obj)
+            except ExperimentError:
+                spec = None
+            if spec is not None:
+                return corpus.get_or_build(
+                    spec, size, seed, _build, generator=generator
+                )
+    built = _build()
+    if backend == "multigraph":
+        from repro.graphs.frozen import FrozenGraph
+
+        if isinstance(built, FrozenGraph):
+            return built.thaw()
+    return snapshot_graph(built, backend)
 
 
 # ----------------------------------------------------------------------
@@ -493,6 +575,7 @@ def search_cost_graph_trial(
     start_rule: str = "default",
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
     seed: int = 0,
 ) -> Dict[str, List[Dict[str, Any]]]:
     """One graph realisation searched by a whole portfolio.
@@ -502,13 +585,15 @@ def search_cost_graph_trial(
     from it exactly as in the original serial loop, so the decomposed
     grid is draw-for-draw identical to the monolithic one.  ``backend``
     selects the graph form the searches run on (see
-    :func:`snapshot_graph`) and ``engine`` the cell execution strategy
-    (see :data:`ENGINES`); both change wall-clock time, never numbers.
+    :func:`snapshot_graph`), ``engine`` the cell execution strategy
+    (see :data:`ENGINES`) and ``generator`` the construction strategy
+    (see :data:`GENERATORS`); all three change wall-clock time, never
+    numbers.
     """
     family_obj = build_family(family)
     factories = portfolio_factories(portfolio)
-    graph = snapshot_graph(
-        family_obj.build(size, seed=seed), backend
+    graph = build_graph_snapshot(
+        family_obj, size, seed, backend, generator
     )
     target = family_obj.theorem_target(graph)
     start = choose_start(family_obj, graph, target, start_rule, seed)
@@ -545,6 +630,7 @@ def batched_search_trial(
     start_rule: str = "default",
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
     seed: int = 0,
 ) -> List[Dict[str, Any]]:
     """One generated graph snapshot serving an explicit batch of cells.
@@ -568,12 +654,13 @@ def batched_search_trial(
     grid reproduces :func:`search_cost_graph_trial` bit-for-bit.
     ``engine="ensemble"`` advances each walk-family (algorithm, start,
     target) group of the batch in one lock-step kernel call — same
-    seeds, same numbers, same traces (see :data:`ENGINES`).
+    seeds, same numbers, same traces (see :data:`ENGINES`); the graph
+    itself is built per ``generator`` (see :data:`GENERATORS`).
     """
     family_obj = build_family(family)
     factories = portfolio_factories(portfolio)
-    graph = snapshot_graph(
-        family_obj.build(size, seed=seed), backend
+    graph = build_graph_snapshot(
+        family_obj, size, seed, backend, generator
     )
     target = family_obj.theorem_target(graph)
     start = choose_start(family_obj, graph, target, start_rule, seed)
@@ -601,6 +688,7 @@ def trajectory_scaling_trial(
     start_rule: str = "default",
     backend: str = "frozen",
     engine: str = "serial",
+    generator: str = "serial",
     seed: int = 0,
 ) -> Dict[str, Dict[str, List[Dict[str, Any]]]]:
     """One growth trajectory serving a whole scaling grid of cells.
@@ -615,9 +703,16 @@ def trajectory_scaling_trial(
     regression pins enforce it).  Keys are strings so the value
     round-trips unchanged through the JSON result store.
     """
+    if generator not in GENERATORS:
+        raise ExperimentError(
+            f"unknown graph generator {generator!r}; valid: "
+            f"{', '.join(GENERATORS)}"
+        )
     family_obj = build_family(family)
     factories = portfolio_factories(portfolio)
-    full_graph, marks = family_obj.build_trajectory(sizes, seed=seed)
+    full_graph, marks = family_obj.build_trajectory(
+        sizes, seed=seed, generator=generator
+    )
     values: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
     for size, graph in trajectory_snapshots(
         full_graph, marks, sizes, backend
@@ -654,6 +749,7 @@ def trajectory_slowdown_trial(
     family: Dict[str, Any],
     sizes: List[int],
     backend: str = "frozen",
+    generator: str = "serial",
     seed: int = 0,
 ) -> Dict[str, Dict[str, int]]:
     """E17's simulation-slowdown cells along one growth trajectory.
@@ -665,8 +761,15 @@ def trajectory_slowdown_trial(
     """
     from repro.core.families import theorem_target_for_size
 
+    if generator not in GENERATORS:
+        raise ExperimentError(
+            f"unknown graph generator {generator!r}; valid: "
+            f"{', '.join(GENERATORS)}"
+        )
     family_obj = build_family(family)
-    full_graph, marks = family_obj.build_trajectory(sizes, seed=seed)
+    full_graph, marks = family_obj.build_trajectory(
+        sizes, seed=seed, generator=generator
+    )
     values: Dict[str, Dict[str, int]] = {}
     for size, graph in trajectory_snapshots(
         full_graph, marks, sizes, backend
@@ -714,6 +817,7 @@ def simulation_slowdown_trial(
     family: Dict[str, Any],
     size: int,
     backend: str = "frozen",
+    generator: str = "serial",
     seed: int = 0,
 ) -> Dict[str, Any]:
     """One E17 instance: strong vs simulated-weak cost and max degree.
@@ -724,8 +828,8 @@ def simulation_slowdown_trial(
     from repro.core.families import theorem_target_for_size
 
     family_obj = build_family(family)
-    graph = snapshot_graph(
-        family_obj.build(size, seed=seed), backend
+    graph = build_graph_snapshot(
+        family_obj, size, seed, backend, generator
     )
     target = theorem_target_for_size(size)
     strong_result = run_search(

@@ -12,6 +12,17 @@ Writing in edge-id order makes the file a faithful serialisation of the
 *labeled multigraph with edge identities* — loading reproduces exactly
 the same object (an equality-tested invariant), so long experiment runs
 can checkpoint their graphs.
+
+Faithful means bit-faithful, not merely isomorphic: parallel edges each
+get their own line (the file's line order IS the edge-id order, and
+``load_edge_list`` re-adds them in that order, so every edge keeps its
+id), self-loops keep their multiplicity, and endpoint orientation
+(tail, head) survives.  ``tests/test_graphs_utils.py`` pins this on an
+adversarial graph — loops, parallel bundles, both orientations — by
+comparing full labeled edge lists and frozen-snapshot hashes, because
+the walk oracles read incidence slots by edge id: an id-permuting
+round-trip would satisfy graph equality of simple graphs yet diverge
+mid-search.
 """
 
 from __future__ import annotations

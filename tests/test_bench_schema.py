@@ -4,16 +4,19 @@ Each PR appends one point to the bench trajectory: ``BENCH_PR2.json``
 (FrozenGraph cell batching, regenerable with
 ``PYTHONPATH=src python benchmarks/bench_smoke.py --pr2``),
 ``BENCH_PR3.json`` (growth-trajectory checkpoint engine, ``--pr3``),
-``BENCH_PR4.json`` (vectorized walker-ensemble engine, ``--pr4``) and
-``BENCH_PR5.json`` (declarative experiment registry, written by
-``make bench-smoke``).  These tests never run the benchmarks (that
-takes minutes) but pin the committed artifacts: the schema the
-trajectory tooling consumes and each PR's recorded acceptance claim
-(>= 3x on the PR2 flooding/BFS cell batch; >= 2x on the PR3
-grid-realisation workload; >= 3x on the PR4 ensemble-vs-serial walk
-cell, frozen backend with numpy; the PR5 registry-enumeration smoke
-must match the *live* registry, so re-declaring an experiment without
-regenerating the artifact fails here).
+``BENCH_PR4.json`` (vectorized walker-ensemble engine, ``--pr4``),
+``BENCH_PR5.json`` (declarative experiment registry, ``--pr5``) and
+``BENCH_PR6.json`` (vectorized generation engine + corpus store,
+written by ``make bench-smoke``).  These tests never run the
+benchmarks (that takes minutes) but pin the committed artifacts: the
+schema the trajectory tooling consumes and each PR's recorded
+acceptance claim (>= 3x on the PR2 flooding/BFS cell batch; >= 2x on
+the PR3 grid-realisation workload; >= 3x on the PR4
+ensemble-vs-serial walk cell, frozen backend with numpy; the PR5
+registry-enumeration smoke must match the *live* registry, so
+re-declaring an experiment without regenerating the artifact fails
+here; >= 5x on the PR6 vectorized-vs-serial Móri generation at
+n=10^6, with the bench-built corpus passing ``verify``).
 """
 
 from __future__ import annotations
@@ -28,10 +31,12 @@ BENCH_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
 BENCH_PR3_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 BENCH_PR4_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 BENCH_PR5_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
+BENCH_PR6_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
 
 VALID_BACKENDS = {"frozen", "multigraph"}
 VALID_MODES = {"independent", "trajectory"}
 VALID_ENGINES = {"serial", "ensemble"}
+VALID_GENERATORS = {"serial", "vectorized"}
 
 
 @pytest.fixture(scope="module")
@@ -250,7 +255,8 @@ class TestBenchPR4Schema:
 @pytest.fixture(scope="module")
 def pr5_payload():
     assert os.path.exists(BENCH_PR5_PATH), (
-        "BENCH_PR5.json missing; run `make bench-smoke`"
+        "BENCH_PR5.json missing; run "
+        "`PYTHONPATH=src python benchmarks/bench_smoke.py --pr5`"
     )
     with open(BENCH_PR5_PATH, encoding="utf-8") as handle:
         return json.load(handle)
@@ -294,7 +300,7 @@ class TestBenchPR5Schema:
         matrix = registry["capability_matrix"]
         assert set(matrix) == set(registry["experiments"])
         valid_capabilities = {"jobs", "cache", "backend", "engine",
-                              "mode"}
+                              "mode", "generator"}
         for capabilities in matrix.values():
             assert set(capabilities) <= valid_capabilities
 
@@ -311,3 +317,82 @@ class TestBenchPR5Schema:
             for experiment_id, capabilities in
             REGISTRY.capability_matrix().items()
         }
+
+
+@pytest.fixture(scope="module")
+def pr6_payload():
+    assert os.path.exists(BENCH_PR6_PATH), (
+        "BENCH_PR6.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PR6_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchPR6Schema:
+    """The vectorized generation engine + corpus store point."""
+
+    def test_schema_version(self, pr6_payload):
+        assert pr6_payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, pr6_payload):
+        records = pr6_payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+            assert record["generator"] in VALID_GENERATORS
+
+    def test_e17_timed_per_generator(self, pr6_payload):
+        generators = {
+            record["generator"]
+            for record in pr6_payload["records"]
+            if record["experiment"] == "E17"
+        }
+        assert generators == VALID_GENERATORS, (
+            "E17 must be timed under both generators"
+        )
+
+    def test_generation_speedup_block(self, pr6_payload):
+        speedup = pr6_payload["generation_speedup"]
+        assert speedup["workload"] == "graph-generation"
+        assert speedup["backend"] == "frozen"
+        per_model = speedup["per_model"]
+        # The whole kernel family is measured, not a favourable subset.
+        assert set(per_model) == {"mori", "ba", "cooper-frieze"}
+        for numbers in per_model.values():
+            assert numbers["n"] >= 100_000
+            assert numbers["serial_seconds"] > 0
+            assert numbers["vectorized_seconds"] > 0
+            expected = (
+                numbers["serial_seconds"]
+                / numbers["vectorized_seconds"]
+            )
+            assert numbers["speedup"] == pytest.approx(
+                expected, abs=0.01
+            )
+
+    def test_recorded_acceptance_speedup(self, pr6_payload):
+        """The committed run met the PR's >= 5x acceptance bar on the
+        gate model, and the vectorized engine wins on every kernel."""
+        speedup = pr6_payload["generation_speedup"]
+        gate = speedup["per_model"][speedup["acceptance_model"]]
+        assert gate["speedup"] >= 5.0
+        for numbers in speedup["per_model"].values():
+            assert numbers["speedup"] >= 1.0
+
+    def test_corpus_block(self, pr6_payload):
+        corpus = pr6_payload["corpus"]
+        assert corpus["family"].startswith("mori")
+        assert len(corpus["sizes"]) >= 2
+        assert corpus["entries"] == len(corpus["sizes"])
+        assert corpus["cold_seconds"] > 0
+        assert corpus["warm_seconds"] > 0
+        expected = corpus["cold_seconds"] / corpus["warm_seconds"]
+        assert corpus["speedup"] == pytest.approx(expected, abs=0.01)
+        # The bench run verified every entry it wrote.
+        assert corpus["verify_ok"] is True
+        assert corpus["verified_entries"] == corpus["entries"]

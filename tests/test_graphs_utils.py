@@ -157,6 +157,50 @@ class TestIO:
         save_edge_list(graph, path)
         assert load_edge_list(path) == graph
 
+    def test_roundtrip_preserves_edge_ids_loops_and_parallels(
+        self, tmp_path
+    ):
+        """The adversarial pin: ids, loop counts, parallel bundles.
+
+        The format writes one line per edge in edge-id order and the
+        loader re-adds in line order, so the round-trip must preserve
+        the *labeled* edge list — a permutation of the parallel bundle
+        would pass plain isomorphism yet break the incidence-slot
+        order the walk oracles read.
+        """
+        from repro.graphs.frozen import freeze
+
+        graph = MultiGraph(4)
+        graph.add_edge(1, 1)  # self-loop first, id 0
+        graph.add_edge(2, 1)
+        graph.add_edge(2, 1)  # parallel bundle, ids 1-2
+        graph.add_edge(1, 2)  # reverse orientation, id 3
+        graph.add_edge(3, 3)
+        graph.add_edge(3, 3)  # doubled self-loop, ids 4-5
+        graph.add_edge(4, 3)
+        path = tmp_path / "adversarial.edges"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded == graph
+        assert list(loaded.edges()) == list(graph.edges())
+        assert loaded.num_self_loops() == 3
+        assert loaded.incident_edges(1) == graph.incident_edges(1)
+        assert loaded.incident_edges(3) == graph.incident_edges(3)
+        assert hash(freeze(loaded)) == hash(freeze(graph))
+
+    def test_roundtrip_matches_vectorized_snapshot(self, tmp_path):
+        """A thawed fastgen snapshot survives the text round-trip."""
+        pytest.importorskip("numpy")
+        from repro.graphs.fastgen import fast_merged_mori_frozen
+        from repro.graphs.frozen import freeze
+
+        snapshot = fast_merged_mori_frozen(60, 2, 0.5, seed=0)
+        path = tmp_path / "fast.edges"
+        save_edge_list(snapshot.thaw(), path)
+        loaded = load_edge_list(path)
+        assert freeze(loaded) == snapshot
+        assert list(loaded.edges()) == list(snapshot.edges())
+
     def test_bad_header_rejected(self, tmp_path):
         path = tmp_path / "bad.edges"
         path.write_text("nonsense\n")

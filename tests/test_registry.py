@@ -196,13 +196,15 @@ class TestAuditedAxes:
 
     def test_matrix_rows(self):
         matrix = REGISTRY.capability_matrix()
-        assert matrix["E9"] == ("jobs", "cache", "backend", "engine")
+        assert matrix["E9"] == (
+            "jobs", "cache", "backend", "engine", "generator",
+        )
         assert matrix["E12"] == ("backend",)
         assert matrix["E18"] == (
-            "jobs", "cache", "backend", "engine", "mode",
+            "jobs", "cache", "backend", "engine", "mode", "generator",
         )
         assert matrix["E19"] == (
-            "jobs", "cache", "backend", "engine", "mode",
+            "jobs", "cache", "backend", "engine", "mode", "generator",
         )
         # E8 stays axis-free on purpose: greedy routing navigates by
         # lattice coordinates, not through the oracle machinery.
