@@ -18,7 +18,10 @@ verify-full:
 # numpy, then the registry CLI smoke (the capability matrix plus one
 # downsized registry-driven experiment through the real CLI, both
 # engines), then the corpus-cache smoke (cold fill, warm replay with
-# identical output, verify), then the suite plus the generator
+# identical output, verify), then the trial-store smoke (sqlite
+# cold fill, warm replay with identical output and a nonzero hit
+# tally, stat, a verified migration back to json-files), then the
+# suite plus the generator
 # fallback with numpy import-blocked (a shim module shadows it) to
 # exercise the stdlib fallbacks and the clean "unavailable" error
 # paths of the ensemble engine and the vectorized generator.
@@ -37,6 +40,17 @@ ci:
 	diff .ci-corpus-cold.trimmed .ci-corpus-warm.trimmed
 	PYTHONPATH=src python -m repro corpus verify .ci-corpus
 	rm -rf .ci-corpus .ci-corpus-cold.log .ci-corpus-warm.log .ci-corpus-cold.trimmed .ci-corpus-warm.trimmed
+	rm -rf .ci-store
+	PYTHONPATH=src python -m repro run E17 --quick --set sizes=60,120 --set num_graphs=2 --cache-dir .ci-store --store-backend sqlite | tee .ci-store-cold.log
+	grep -q "store: 0 hits" .ci-store-cold.log
+	PYTHONPATH=src python -m repro run E17 --quick --set sizes=60,120 --set num_graphs=2 --cache-dir .ci-store --store-backend sqlite | tee .ci-store-warm.log
+	grep -Eq "store: [1-9][0-9]* hits, 0 misses" .ci-store-warm.log
+	grep -v "^store:" .ci-store-cold.log > .ci-store-cold.trimmed
+	grep -v "^store:" .ci-store-warm.log > .ci-store-warm.trimmed
+	diff .ci-store-cold.trimmed .ci-store-warm.trimmed
+	PYTHONPATH=src python -m repro store stat .ci-store
+	PYTHONPATH=src python -m repro store migrate .ci-store --from sqlite --to json-files
+	rm -rf .ci-store .ci-store-cold.log .ci-store-warm.log .ci-store-cold.trimmed .ci-store-warm.trimmed
 	@mkdir -p .ci-no-numpy && printf 'raise ImportError("numpy disabled for the no-numpy CI leg")\n' > .ci-no-numpy/numpy.py
 	! PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator vectorized 2> .ci-no-numpy/err.log
 	grep -q "requires numpy" .ci-no-numpy/err.log
@@ -44,13 +58,15 @@ ci:
 	PYTHONPATH=.ci-no-numpy:src python -m pytest -x -q; \
 		status=$$?; rm -rf .ci-no-numpy; exit $$status
 
-# Minutes-scale bench point: serial-vs-vectorized generation at paper
-# scale (bit-identical fingerprints enforced), the corpus cold/warm
-# timing with a full verify pass, and downsized E17 per generator.
-# Writes BENCH_PR6.json (pinned by tests/test_bench_schema.py);
-# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr5` regenerates
-# BENCH_PR5.json, `--pr4` BENCH_PR4.json, `--pr3` BENCH_PR3.json and
-# `--pr2` BENCH_PR2.json.
+# Minutes-scale bench point: 10^5 trial records filled and
+# warm-replayed through each store backend (keys precomputed; gates
+# >= 2x warm replay and >= 5x fewer inodes for sqlite), an in-bench
+# verified json-files -> sqlite migration, and downsized E17
+# cold/warm per store backend.  Writes BENCH_PR7.json (pinned by
+# tests/test_bench_schema.py); `PYTHONPATH=src python
+# benchmarks/bench_smoke.py --pr6` regenerates BENCH_PR6.json,
+# `--pr5` BENCH_PR5.json, `--pr4` BENCH_PR4.json, `--pr3`
+# BENCH_PR3.json and `--pr2` BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 

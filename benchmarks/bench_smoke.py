@@ -1,42 +1,49 @@
-"""Bench-trajectory smoke run: the vectorized-generation point.
+"""Bench-trajectory smoke run: the pluggable trial-store point.
 
 ``make bench-smoke`` runs this script.  It records the PR's point in
-``BENCH_PR6.json`` at the repository root:
+``BENCH_PR7.json`` at the repository root:
 
-1. a **generation-speedup block**: one frozen snapshot of each
-   kernel-backed model built serially and through the batched
-   :mod:`repro.graphs.fastgen` kernels, timed — Móri at n=10^6 is the
-   acceptance gate (>= 5x).  The bench asserts the two snapshots are
-   bit-identical (a real ``SystemExit``, so ``python -O`` cannot
-   strip it) before trusting either timing;
-2. a **corpus block**: cold (build + persist) vs warm (memory-mapped
-   replay) timings of :meth:`GraphCorpus.get_or_build` over a small
-   size grid, with :meth:`GraphCorpus.verify` run on the bench-built
-   corpus — the acceptance requires every entry to digest-check;
-3. downsized end-to-end timings of **E17** per generator, run
-   *through the registry* exactly as ``repro run E17 --generator ...``
-   would, with the derived scalars asserted equal first.
+1. a **store-speedup block**: 10^5 trial records with realistic
+   parameter payloads written through, then warm-replayed from, each
+   store backend.  ``spec.key()`` is precomputed outside the timed
+   regions (the sha256 params hash is backend-independent work), so
+   the timings compare the backends themselves.  The acceptance gates
+   are warm replay >= 2x faster and >= 5x fewer inodes for ``sqlite``
+   vs the ``json-files`` baseline;
+2. a **migrate block** inside the same run: the populated
+   ``json-files`` store converted with
+   :func:`repro.runner.migrate_store` (verify on, every replayed
+   value compared bit-for-bit) — the acceptance requires zero verify
+   failures across all 10^5 records;
+3. downsized end-to-end timings of **E17** cold/warm per store
+   backend, run *through the registry* exactly as ``repro run E17
+   --cache-dir ... --store-backend ...`` would, with the derived
+   scalars asserted equal and the warm pass required to be all hits.
 
 Record schema (validated by ``tests/test_bench_schema.py``)::
 
     {"schema": "repro-bench/v1",
      "records": [{"experiment": "E17", "n": 2000, "wall_seconds": ...,
-                  "backend": "frozen", "generator": "serial"}, ...],
-     "generation_speedup": {
-         "workload": "graph-generation", "backend": "frozen",
-         "per_model": {"mori": {"n": 1000000, "serial_seconds": ...,
-                                "vectorized_seconds": ...,
-                                "speedup": ...}, ...},
-         "acceptance_model": "mori"},
-     "corpus": {"entries": 2, "cold_seconds": ..., "warm_seconds": ...,
-                "speedup": ..., "verify_ok": true, ...}}
+                  "backend": "frozen", "store_backend": "sqlite",
+                  "phase": "warm"}, ...],
+     "store_speedup": {
+         "workload": "trial-replay", "entries": 100000,
+         "per_backend": {"json-files": {"put_seconds": ...,
+                                        "warm_get_seconds": ...,
+                                        "inodes": ..., "bytes": ...},
+                         "sqlite": {...}},
+         "warm_replay_speedup": ..., "inode_ratio": ...,
+         "acceptance_baseline": "json-files",
+         "migrate": {"source": "json-files", "destination": "sqlite",
+                     "migrated": 100000, "verify_failed": 0, ...}}}
 
 Wall-clock numbers vary with the machine; the committed file records
 the run that accompanied the PR.  Earlier trajectory points
 regenerate with ``PYTHONPATH=src python benchmarks/bench_smoke.py
---pr5`` (declarative registry, ``BENCH_PR5.json``), ``--pr4``
-(walker-ensemble engine), ``--pr3`` (growth-trajectory checkpoint
-engine) and ``--pr2`` (FrozenGraph cell batching).
+--pr6`` (vectorized generation + graph corpus, ``BENCH_PR6.json``),
+``--pr5`` (declarative registry), ``--pr4`` (walker-ensemble
+engine), ``--pr3`` (growth-trajectory checkpoint engine) and
+``--pr2`` (FrozenGraph cell batching).
 """
 
 from __future__ import annotations
@@ -74,11 +81,266 @@ from repro.search.process import run_search
 
 SCHEMA = "repro-bench/v1"
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
-OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
+OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
+PR6_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
 PR5_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
 PR4_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 PR3_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 PR2_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
+
+
+# ----------------------------------------------------------------------
+# PR7: pluggable trial store (json-files baseline vs sqlite)
+# ----------------------------------------------------------------------
+
+#: Store-speedup block size: enough entries that the json tree costs
+#: 10^5 inodes and the replay scan is I/O-bound, small enough to run
+#: in about a minute.
+PR7_STORE_ENTRIES = 100_000
+PR7_STORE_BACKENDS = ("json-files", "sqlite")
+
+#: Base of the bench specs' seed range — substream-scale (beyond 64
+#: bits), like the seeds :func:`repro.rng.substream` actually derives.
+PR7_STORE_SEED_BASE = 123_456_789_012_345_678_901_234_567_890
+
+#: E17's downsized grid for the cold/warm per-store-backend timing
+#: (run through the registry, exactly as ``repro run E17 --cache-dir
+#: ... --store-backend ...``).
+PR7_E17_OVERRIDES = {"sizes": (500, 1000, 2000), "num_graphs": 2}
+
+
+def _pr7_specs() -> list:
+    """10^5 specs shaped like a real search-cost sweep.
+
+    Realistic payloads matter: the params dict is echoed into every
+    json record, so a toy two-key dict would understate the baseline's
+    parse cost, while the sqlite replay only ever decodes the small
+    value column.
+    """
+    from repro.runner import TrialSpec
+
+    trial = "repro.core.trials:search_cost_graph_trial"
+    return [
+        TrialSpec(
+            experiment_id="E17",
+            trial=trial,
+            params={
+                "family": "mori", "n": 4096, "m": 2, "p": 0.5,
+                "algorithm": "high-degree-weak", "oracle": "weak",
+                "max_requests": 16_384, "backend": "frozen",
+                "generator": "vectorized", "targets": "theorem",
+                "start": "uniform", "graph_index": index % 64,
+            },
+            seed=PR7_STORE_SEED_BASE + index,
+        )
+        for index in range(PR7_STORE_ENTRIES)
+    ]
+
+
+def pr7_measure_store_speedup() -> dict:
+    """Per-backend fill + warm-replay wall clock, plus a verified
+    in-bench migration of the populated json tree.
+
+    ``spec.key()`` is warmed outside every timed region: the sha256
+    params hash costs the same through either backend, and leaving it
+    in would dilute the comparison the gate is about.  Raises (a real
+    ``SystemExit``, so ``python -O`` cannot strip it) if any backend
+    misses on replay or the migration verify finds a non-identical
+    value.
+    """
+    from repro.runner import MISS, migrate_store, open_store
+
+    value = {"requests": 42, "found": True, "path_length": 7}
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    per_backend = {}
+    try:
+        for backend in PR7_STORE_BACKENDS:
+            directory = os.path.join(root, backend)
+            specs = _pr7_specs()
+            for spec in specs:
+                spec.key()
+            store = open_store(directory, backend)
+            began = time.perf_counter()
+            for index, spec in enumerate(specs):
+                store.put(spec, dict(value, requests=index))
+            put_seconds = time.perf_counter() - began
+
+            # Fresh store object *and* fresh spec objects: the warm
+            # pass must pay real deserialization, not object reuse.
+            specs = _pr7_specs()
+            for spec in specs:
+                spec.key()
+            store = open_store(directory, backend)
+            began = time.perf_counter()
+            replayed = store.get_many(specs)
+            warm_get_seconds = time.perf_counter() - began
+
+            misses = sum(1 for entry in replayed if entry is MISS)
+            if misses or len(replayed) != PR7_STORE_ENTRIES:
+                raise SystemExit(
+                    f"{backend}: warm replay missed {misses}/"
+                    f"{PR7_STORE_ENTRIES} entries"
+                )
+            if replayed[17] != dict(value, requests=17):
+                raise SystemExit(
+                    f"{backend}: warm replay returned wrong value"
+                )
+            report = store.stat()
+            per_backend[backend] = {
+                "entries": report["entries"],
+                "put_seconds": round(put_seconds, 4),
+                "warm_get_seconds": round(warm_get_seconds, 4),
+                "inodes": report["inodes"],
+                "bytes": report["bytes"],
+            }
+            print(
+                f"  {backend:<10} put {put_seconds:6.2f}s | warm "
+                f"replay {warm_get_seconds:6.2f}s | "
+                f"{report['inodes']:,} inodes, "
+                f"{report['bytes'] / 1e6:.1f} MB"
+            )
+
+        began = time.perf_counter()
+        counts = migrate_store(
+            open_store(os.path.join(root, "json-files"), "json-files"),
+            open_store(os.path.join(root, "migrated"), "sqlite"),
+            verify=True,
+        )
+        migrate_seconds = time.perf_counter() - began
+        if (
+            counts["verify_failed"]
+            or counts["migrated"] != PR7_STORE_ENTRIES
+        ):
+            raise SystemExit(f"migration not bit-identical: {counts}")
+        print(
+            f"  migrate json-files -> sqlite {migrate_seconds:6.2f}s"
+            f" | {counts['migrated']:,} records verified identical"
+        )
+
+        baseline = per_backend["json-files"]
+        candidate = per_backend["sqlite"]
+        return {
+            "workload": "trial-replay",
+            "entries": PR7_STORE_ENTRIES,
+            "per_backend": per_backend,
+            "warm_replay_speedup": round(
+                baseline["warm_get_seconds"]
+                / candidate["warm_get_seconds"],
+                2,
+            ),
+            "inode_ratio": round(
+                baseline["inodes"] / candidate["inodes"], 2
+            ),
+            "acceptance_baseline": "json-files",
+            "migrate": {
+                "source": "json-files",
+                "destination": "sqlite",
+                "migrated": counts["migrated"],
+                "skipped_stale": counts["skipped_stale"],
+                "verify_failed": counts["verify_failed"],
+                "seconds": round(migrate_seconds, 4),
+                "verified_identical": True,
+            },
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def pr7_time_e17_per_store_backend() -> list:
+    """Downsized E17 cold/warm per store backend, via the registry.
+
+    Raises if the backends (or the cold/warm passes) disagree on any
+    derived scalar, or if a warm pass is not replayed entirely from
+    the store.
+    """
+    from repro.core.registry import REGISTRY
+    from repro.runner import reset_store_stats, store_stats
+
+    spec = REGISTRY.get("E17")
+    records = []
+    derived = {}
+    n = max(PR7_E17_OVERRIDES["sizes"])
+    root = tempfile.mkdtemp(prefix="bench-store-e17-")
+    try:
+        for backend in PR7_STORE_BACKENDS:
+            cache_dir = os.path.join(root, backend)
+            for phase in ("cold", "warm"):
+                reset_store_stats()
+                began = time.perf_counter()
+                result = spec.run(
+                    PR7_E17_OVERRIDES,
+                    backend="frozen",
+                    cache_dir=cache_dir,
+                    store_backend=backend,
+                )
+                elapsed = time.perf_counter() - began
+                derived[(backend, phase)] = result.derived
+                tally = store_stats()
+                if phase == "warm" and (
+                    not tally["hits"] or tally["misses"]
+                ):
+                    raise SystemExit(
+                        f"E17 warm pass not fully replayed from the "
+                        f"{backend} store: {tally}"
+                    )
+                records.append(
+                    {
+                        "experiment": "E17",
+                        "n": n,
+                        "wall_seconds": round(elapsed, 4),
+                        "backend": "frozen",
+                        "store_backend": backend,
+                        "phase": phase,
+                    }
+                )
+                print(
+                    f"   E17 store={backend:<10} phase={phase:<4} "
+                    f"{elapsed:7.2f}s ({tally['hits']} hits, "
+                    f"{tally['misses']} misses)"
+                )
+        reference = derived[("json-files", "cold")]
+        if any(value != reference for value in derived.values()):
+            raise SystemExit(
+                "E17: store backends diverged at bench scale"
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return records
+
+
+def main() -> int:
+    """Write BENCH_PR7.json (the pluggable trial-store point)."""
+    print(
+        "bench-smoke: trial-store fill/replay, "
+        f"{PR7_STORE_ENTRIES:,} entries per backend"
+    )
+    store_block = pr7_measure_store_speedup()
+    print(
+        "bench-smoke: downsized E17 cold/warm per store backend, "
+        "via the registry"
+    )
+    records = pr7_time_e17_per_store_backend()
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "store_speedup": store_block,
+    }
+    path = os.path.normpath(OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    replay_ok = store_block["warm_replay_speedup"] >= 2.0
+    inode_ok = store_block["inode_ratio"] >= 5.0
+    print(
+        "acceptance: sqlite warm replay "
+        f"{store_block['warm_replay_speedup']:.1f}x "
+        f"({'>= 2x ok' if replay_ok else 'BELOW 2x'}), inode ratio "
+        f"{store_block['inode_ratio']:.0f}x "
+        f"({'>= 5x ok' if inode_ok else 'BELOW 5x'}), migrate "
+        f"{store_block['migrate']['migrated']:,} records verified"
+    )
+    return 0 if replay_ok and inode_ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -291,16 +553,19 @@ def pr6_time_e17_per_generator() -> list:
     return records
 
 
-def main() -> int:
-    """Write BENCH_PR6.json (the vectorized-generation point)."""
-    print("bench-smoke: serial vs vectorized generation (frozen)")
+def pr6_main() -> int:
+    """Regenerate BENCH_PR6.json (the vectorized-generation point)."""
+    print("bench-smoke --pr6: serial vs vectorized generation (frozen)")
     generation = pr6_measure_generation_speedup()
     print(
-        "bench-smoke: corpus cold/warm passes, sizes "
+        "bench-smoke --pr6: corpus cold/warm passes, sizes "
         f"{PR6_CORPUS_SIZES[0]:,}..{PR6_CORPUS_SIZES[-1]:,}"
     )
     corpus_block = pr6_time_corpus()
-    print("bench-smoke: downsized E17 per generator, via the registry")
+    print(
+        "bench-smoke --pr6: downsized E17 per generator, "
+        "via the registry"
+    )
     records = pr6_time_e17_per_generator()
     payload = {
         "schema": SCHEMA,
@@ -308,7 +573,7 @@ def main() -> int:
         "generation_speedup": generation,
         "corpus": corpus_block,
     }
-    path = os.path.normpath(OUTPUT_PATH)
+    path = os.path.normpath(PR6_OUTPUT_PATH)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -815,4 +1080,6 @@ if __name__ == "__main__":
         sys.exit(pr4_main())
     if "--pr5" in sys.argv[1:]:
         sys.exit(pr5_main())
+    if "--pr6" in sys.argv[1:]:
+        sys.exit(pr6_main())
     sys.exit(main())

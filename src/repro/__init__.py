@@ -68,7 +68,11 @@ from repro.equivalence import (
 )
 from repro.runner import (
     ResultStore,
+    SqliteResultStore,
     TrialSpec,
+    TrialStore,
+    migrate_store,
+    open_store,
     run_trials,
 )
 from repro.core.registry import (
@@ -116,7 +120,11 @@ __all__ = [
     "verify_lemma2",
     # runner
     "TrialSpec",
+    "TrialStore",
     "ResultStore",
+    "SqliteResultStore",
+    "open_store",
+    "migrate_store",
     "run_trials",
     # experiment registry
     "ExperimentSpec",

@@ -5,6 +5,7 @@ Usage::
     repro list [--markdown]
     repro run E1 [--seed 7] [--json out.json] [--quick] [--plot]
     repro run E1 --jobs 8 --cache-dir .repro-cache
+    repro run E1 --cache-dir .repro-cache --store-backend sqlite
     repro run E20 --set sizes=200,400 --set num_graphs=2
     repro run E1,E3,E20 --quick
     repro run all --json-dir results/ [--quick]
@@ -12,6 +13,9 @@ Usage::
     repro corpus build corpus/ --model mori --sizes 1000,2000
     repro corpus list corpus/
     repro corpus verify corpus/
+    repro store stat .repro-cache
+    repro store migrate .repro-cache --to sqlite
+    repro store compact .repro-cache
     repro compare old.json new.json [--rtol 0.25]
 
 (Equivalently ``python -m repro ...``.)  The CLI is a thin shell over
@@ -32,6 +36,14 @@ experiment needs bespoke CLI flags.
 processes and ``--cache-dir`` replays completed trials from a
 persistent store; neither changes any printed number (trial seeds are
 substream-derived, so parallel output is bit-identical to serial).
+``--store-backend`` picks the store's persistence layout —
+``json-files`` (one file per trial, the default) or ``sqlite`` (one
+WAL-mode database per cache directory; same values, a fraction of the
+inodes) — equivalently the ``REPRO_STORE_BACKEND`` environment
+variable; cached runs report their hit/miss tally afterwards.
+``repro store stat/migrate/compact`` inspect a cache directory,
+convert it between backends, and drop entries stale under the current
+code (see :mod:`repro.runner.store`).
 ``--mode trajectory`` serves scaling sweeps from checkpoint snapshots
 of shared growth trajectories (one construction pass per sweep).
 ``--engine ensemble`` advances all runs of each walk-family search
@@ -113,6 +125,7 @@ _CAPABILITY_FLAGS = {
     "engine": "--engine",
     "mode": "--mode",
     "generator": "--generator",
+    "store": "--store-backend",
 }
 
 
@@ -297,6 +310,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--store-backend",
+        choices=("json-files", "sqlite"),
+        default=None,
+        help=(
+            "persistence layout of the --cache-dir store: "
+            "'json-files' (default; one file per trial) or 'sqlite' "
+            "(one WAL-mode database per cache directory); values are "
+            "identical either way (equivalent to setting "
+            "REPRO_STORE_BACKEND)"
+        ),
+    )
+    run.add_argument(
         "--corpus-dir",
         default=None,
         help=(
@@ -378,6 +403,63 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     corpus_verify.add_argument("dir", help="corpus directory")
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect, convert, or compact a trial-result cache",
+    )
+    store_commands = store.add_subparsers(
+        dest="store_command", required=True
+    )
+    store_stat = store_commands.add_parser(
+        "stat",
+        help=(
+            "entry/staleness/size/inode counts per backend present "
+            "in a cache directory"
+        ),
+    )
+    store_stat.add_argument("dir", help="cache directory")
+    store_migrate = store_commands.add_parser(
+        "migrate",
+        help=(
+            "copy a cache directory's entries into another backend "
+            "(in place by default), verifying replayed values "
+            "bit-identical; legacy unversioned entries are stamped "
+            "with the current code fingerprint"
+        ),
+    )
+    store_migrate.add_argument("dir", help="source cache directory")
+    store_migrate.add_argument(
+        "--from",
+        dest="source_backend",
+        choices=("json-files", "sqlite"),
+        default="json-files",
+        help="backend to read entries from (default json-files)",
+    )
+    store_migrate.add_argument(
+        "--to",
+        dest="dest_backend",
+        choices=("json-files", "sqlite"),
+        default="sqlite",
+        help="backend to write entries into (default sqlite)",
+    )
+    store_migrate.add_argument(
+        "--dest",
+        default=None,
+        help=(
+            "destination cache directory (default: the source "
+            "directory — both backends coexist in one directory)"
+        ),
+    )
+    store_compact = store_commands.add_parser(
+        "compact",
+        help=(
+            "drop entries stale under the current code (plus "
+            "corrupt/debris files) from every backend present, and "
+            "reclaim space"
+        ),
+    )
+    store_compact.add_argument("dir", help="cache directory")
 
     compare = subparsers.add_parser(
         "compare",
@@ -489,6 +571,7 @@ def _context_kwargs(spec: ExperimentSpec, args) -> Dict[str, Any]:
         "engine": args.engine,
         "mode": args.mode,
         "generator": args.generator,
+        "store": args.store_backend,
     }
     kwargs: Dict[str, Any] = {}
     for capability, value in requested.items():
@@ -597,6 +680,68 @@ def _print_corpus_stats() -> None:
     )
 
 
+def _print_store_stats(args) -> None:
+    """Report this run's store hit/miss tally (if a store is active).
+
+    Same contract as the corpus tally: process-local, so with
+    ``--jobs`` > 1 only the parent's replay scan is counted (which is
+    where all lookups happen — workers only execute misses).
+    """
+    from repro.runner import store_stats
+
+    if not args.cache_dir:
+        return
+    stats = store_stats()
+    print(f"store: {stats['hits']} hits, {stats['misses']} misses")
+
+
+def _store_main(args) -> int:
+    """The ``repro store stat/migrate/compact`` commands."""
+    from repro.runner import detect_backends, migrate_store, open_store
+
+    if args.store_command == "stat":
+        backends = detect_backends(args.dir)
+        if not backends:
+            print(f"no store backends found in {args.dir}")
+            return 0
+        for backend in backends:
+            stats = open_store(args.dir, backend).stat()
+            print(
+                f"{backend}: {stats['entries']} entries, "
+                f"{stats['stale']} stale, {stats['corrupt']} corrupt, "
+                f"{stats['debris']} debris, {stats['bytes']} bytes, "
+                f"{stats['inodes']} inodes"
+            )
+        return 0
+
+    if args.store_command == "migrate":
+        source = open_store(args.dir, args.source_backend)
+        destination = open_store(
+            args.dest or args.dir, args.dest_backend
+        )
+        report = migrate_store(source, destination)
+        print(
+            f"store migrate: {report['migrated']} migrated "
+            f"({args.source_backend} -> {args.dest_backend}), "
+            f"{report['skipped_stale']} stale skipped, "
+            f"{report['verify_failed']} verify failures"
+        )
+        return 1 if report["verify_failed"] else 0
+
+    backends = detect_backends(args.dir)
+    if not backends:
+        print(f"no store backends found in {args.dir}")
+        return 0
+    for backend in backends:
+        report = open_store(args.dir, backend).compact()
+        print(
+            f"{backend}: {report['removed_stale']} stale, "
+            f"{report['removed_corrupt']} corrupt, "
+            f"{report['removed_debris']} debris removed"
+        )
+    return 0
+
+
 def _corpus_family(args):
     """The graph family a ``repro corpus build`` grid generates."""
     from repro.core.families import (
@@ -702,6 +847,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "corpus":
         return _corpus_main(args)
 
+    if args.command == "store":
+        try:
+            return _store_main(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
     if args.command == "run":
         if not args.corpus_dir:
             return _run_main(args)
@@ -739,8 +891,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _run_main(args) -> int:
     """The ``repro run`` branch (corpus activation handled by main)."""
     from repro.graphs.corpus import reset_corpus_stats
+    from repro.runner import reset_store_stats
 
     reset_corpus_stats()
+    reset_store_stats()
     ids = _requested_ids(args.experiment)
     if ids is None:
         print(
@@ -759,6 +913,7 @@ def _run_main(args) -> int:
                 file=sys.stderr,
             )
             return 1
+        _print_store_stats(args)
         _print_corpus_stats()
         return 0
     if args.json:
@@ -790,6 +945,7 @@ def _run_main(args) -> int:
                 f"error: {experiment_id} failed: {error}",
                 file=sys.stderr,
             )
+    _print_store_stats(args)
     _print_corpus_stats()
     return 1 if failures else 0
 

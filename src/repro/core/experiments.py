@@ -178,7 +178,8 @@ def _exponent_table(measurement, algorithms: Sequence[str]) -> Table:
 @REGISTRY.register(
     "E1",
     title="Weak-model search cost on merged Mori graphs (Theorem 1)",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -250,6 +251,7 @@ def e1_mori_weak(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E1: every weak-model algorithm respects the Ω(√n) floor on Móri graphs.
 
@@ -270,6 +272,7 @@ def e1_mori_weak(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -281,7 +284,8 @@ def e1_mori_weak(
 @REGISTRY.register(
     "E2",
     title="Strong-model search cost on Mori graphs (Theorem 1, p<1/2)",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.25),
@@ -356,6 +360,7 @@ def e2_mori_strong(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E2: strong-model algorithms respect Ω(n^{1/2-p-eps}) for p < 1/2."""
     return run_experiment(
@@ -372,6 +377,7 @@ def e2_mori_strong(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -383,7 +389,8 @@ def e2_mori_strong(
 @REGISTRY.register(
     "E3",
     title="Weak-model search cost on Cooper-Frieze graphs (Theorem 2)",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("alpha", FLOAT, 0.75),
@@ -450,6 +457,7 @@ def e3_cooper_frieze(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E3: the Ω(√n) floor holds in the Cooper–Frieze model (Theorem 2)."""
     return run_experiment(
@@ -464,6 +472,7 @@ def e3_cooper_frieze(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -640,7 +649,7 @@ def _geometric_checkpoints(first: int, last: int) -> list:
 @REGISTRY.register(
     "E6",
     title="Degree distributions: scale-free models vs Kleinberg lattice",
-    capabilities=("jobs", "cache", "backend"),
+    capabilities=("jobs", "cache", "backend", "store"),
     params=(
         Param("n", INT, 20000),
         Param("seed", INT, 6),
@@ -723,6 +732,7 @@ def e6_degree_distribution(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E6: evolving models are power-law; Kleinberg's lattice is not."""
     return run_experiment(
@@ -732,6 +742,7 @@ def e6_degree_distribution(
         jobs=jobs,
         cache_dir=cache_dir,
         backend=backend,
+        store_backend=store_backend,
     )
 
 
@@ -743,7 +754,7 @@ def e6_degree_distribution(
 @REGISTRY.register(
     "E7",
     title="Adamic et al. search on power-law configuration graphs",
-    capabilities=("jobs", "cache", "backend", "engine"),
+    capabilities=("jobs", "cache", "backend", "engine", "store"),
     params=(
         Param("sizes", INT_TUPLE, (400, 800, 1600, 3200)),
         Param("exponent", FLOAT, 2.5),
@@ -843,6 +854,7 @@ def e7_adamic(
     cache_dir: Optional[str] = None,
     backend: str = "frozen",
     engine: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E7: high-degree search beats the random walk on power-law graphs.
 
@@ -866,6 +878,7 @@ def e7_adamic(
         cache_dir=cache_dir,
         backend=backend,
         engine=engine,
+        store_backend=store_backend,
     )
 
 
@@ -953,7 +966,8 @@ def e8_kleinberg(
 @REGISTRY.register(
     "E9",
     title="Diameter vs search cost on merged Mori graphs",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -1040,6 +1054,7 @@ def e9_diameter_vs_search(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E9: O(log n) diameter yet polynomial search cost (the headline).
 
@@ -1059,6 +1074,7 @@ def e9_diameter_vs_search(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -1131,7 +1147,8 @@ def e10_equivalence_exact(
 @REGISTRY.register(
     "E11",
     title="Lemma 1 floor vs measured costs; tightness via omniscient",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -1202,6 +1219,7 @@ def e11_lemma1_floor(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E11: measured costs sit above the Lemma-1 floor; omniscient ~ Θ(√n)."""
     return run_experiment(
@@ -1216,6 +1234,7 @@ def e11_lemma1_floor(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -1352,7 +1371,8 @@ def e12_percolation(
 @REGISTRY.register(
     "E13",
     title="Ablation: attachment mixture p vs searchability",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800)),
         Param("p_values", FLOAT_TUPLE, (0.0, 0.25, 0.5, 0.75, 1.0)),
@@ -1414,6 +1434,7 @@ def e13_ablation_p(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E13: the √n floor is insensitive to the attachment mixture p."""
     return run_experiment(
@@ -1427,13 +1448,15 @@ def e13_ablation_p(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
 @REGISTRY.register(
     "E14",
     title="Ablation: merge arity m vs searchability",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800)),
         Param("m_values", INT_TUPLE, (1, 2, 4, 8)),
@@ -1494,6 +1517,7 @@ def e14_ablation_m(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E14: the √n floor holds for every merge arity m (Theorem 1)."""
     return run_experiment(
@@ -1508,6 +1532,7 @@ def e14_ablation_m(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -1713,7 +1738,8 @@ def e16_neighbor_dependence(
 @REGISTRY.register(
     "E17",
     title="Strong-to-weak simulation slowdown (Theorem 1, strong case)",
-    capabilities=("jobs", "cache", "backend", "mode", "generator"),
+    capabilities=("jobs", "cache", "backend", "mode", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.25),
@@ -1830,6 +1856,7 @@ def e17_simulation_slowdown(
     backend: str = "frozen",
     mode: str = "independent",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E17: weak simulation of a strong algorithm pays <= max-degree slowdown.
 
@@ -1866,6 +1893,7 @@ def e17_simulation_slowdown(
         backend=backend,
         mode=mode,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -1878,7 +1906,7 @@ def e17_simulation_slowdown(
     "E18",
     title="Ablation: start-vertex rule vs searchability",
     capabilities=("jobs", "cache", "backend", "engine", "mode",
-                  "generator"),
+                  "generator", "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
         Param("p", FLOAT, 0.5),
@@ -1948,6 +1976,7 @@ def e18_start_rule(
     engine: str = "serial",
     mode: str = "independent",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E18: the Ω(√n) floor is start-vertex independent.
 
@@ -1975,6 +2004,7 @@ def e18_start_rule(
         engine=engine,
         mode=mode,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -1993,6 +2023,7 @@ def e18_start_rule(
         "engine",
         ("mode", "trajectory"),
         "generator",
+        "store",
     ),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800, 1600)),
@@ -2112,6 +2143,7 @@ def e19_trajectory_scaling(
     engine: str = "serial",
     mode: str = "trajectory",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E19: request cost vs n measured *along* single evolving networks.
 
@@ -2148,6 +2180,7 @@ def e19_trajectory_scaling(
         engine=engine,
         mode=mode,
         generator=generator,
+        store_backend=store_backend,
     )
 
 
@@ -2159,7 +2192,8 @@ def e19_trajectory_scaling(
 @REGISTRY.register(
     "E20",
     title="Cross-model search-cost grid (weak + strong portfolios)",
-    capabilities=("jobs", "cache", "backend", "engine", "generator"),
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
     params=(
         Param("sizes", INT_TUPLE, (200, 400, 800)),
         Param("p", FLOAT, 0.5),
@@ -2285,6 +2319,7 @@ def e20_cross_model(
     backend: str = "frozen",
     engine: str = "serial",
     generator: str = "serial",
+    store_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """E20: one harness, three models, both knowledge models.
 
@@ -2316,6 +2351,7 @@ def e20_cross_model(
         backend=backend,
         engine=engine,
         generator=generator,
+        store_backend=store_backend,
     )
 
 

@@ -16,7 +16,8 @@ The registry replaces that with three declarative pieces:
 * :class:`ExperimentSpec` — one experiment: id, title, its param
   schema, and the **capabilities** it declares from
   :data:`CAPABILITIES` (``jobs``, ``cache``, ``backend``, ``engine``,
-  ``mode``, ``generator``).  Capabilities are data, not signatures:
+  ``mode``, ``generator``, ``store``).  Capabilities are data, not
+  signatures:
   the CLI derives
   its capability matrix and its "flag has no effect" warnings from
   them, and a new axis lands in exactly one place.
@@ -53,7 +54,13 @@ from typing import (
 )
 
 from repro.errors import ExperimentError
-from repro.runner import ResultStore, TrialSpec, run_trials, store_for
+from repro.runner import (
+    STORE_BACKENDS,
+    TrialSpec,
+    TrialStore,
+    run_trials,
+    store_for,
+)
 
 __all__ = [
     "CAPABILITIES",
@@ -75,11 +82,15 @@ __all__ = [
 #: The execution axes an experiment may declare, in canonical order
 #: (also the order their keyword parameters appear in public wrappers).
 CAPABILITIES = ("jobs", "cache", "backend", "engine", "mode",
-                "generator")
+                "generator", "store")
 
 #: Capability -> (public keyword parameter, default value).  ``cache``
 #: surfaces as ``cache_dir`` because the public unit is a directory;
-#: the context resolves it to a :class:`ResultStore` exactly once.
+#: the context resolves it to a :class:`TrialStore` exactly once.
+#: ``store`` surfaces as ``store_backend``; its ``None`` default means
+#: "auto" (the ``REPRO_STORE_BACKEND`` environment variable, else
+#: ``json-files``) so a whole run — or a whole CI leg — can be
+#: switched without threading the choice through every call.
 CAPABILITY_PARAMS = {
     "jobs": ("jobs", 1),
     "cache": ("cache_dir", None),
@@ -87,6 +98,7 @@ CAPABILITY_PARAMS = {
     "engine": ("engine", "serial"),
     "mode": ("mode", "independent"),
     "generator": ("generator", "serial"),
+    "store": ("store_backend", None),
 }
 
 
@@ -160,11 +172,12 @@ class ExecutionContext:
 
     experiment_id: str = "adhoc"
     jobs: int = 1
-    store: Optional[ResultStore] = None
+    store: Optional[TrialStore] = None
     backend: str = "frozen"
     engine: str = "serial"
     mode: str = "independent"
     generator: str = "serial"
+    store_backend: Optional[str] = None
 
     def run_trials(self, specs: Sequence[TrialSpec]) -> list:
         """Dispatch trial specs through the runner with this context's
@@ -177,7 +190,8 @@ class ExecutionContext:
         The backend/engine/generator cache-key policy (defaults stay
         out of trial params so pre-existing cache entries keep
         replaying; only a forced non-default choice gets its own
-        entries) spelled once.
+        entries) spelled once.  ``store_backend`` never enters: where
+        a value is stored cannot change what the value is.
         """
         extra: Dict[str, Any] = {}
         if self.backend != "frozen":
@@ -287,6 +301,15 @@ def _validate_axis_values(resolved: Dict[str, Any]) -> None:
         raise ExperimentError(
             f"unknown mode {mode!r}; valid: {', '.join(MODES)}"
         )
+    store_backend = resolved.get("store")
+    if (
+        store_backend is not None
+        and store_backend not in STORE_BACKENDS
+    ):
+        raise ExperimentError(
+            f"unknown store backend {store_backend!r}; valid: "
+            f"{', '.join(STORE_BACKENDS)}"
+        )
     jobs = resolved.get("jobs")
     if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
         raise ExperimentError(f"jobs must be an int >= 1, got {jobs!r}")
@@ -336,6 +359,7 @@ class ExperimentSpec:
         engine: Optional[str] = None,
         mode: Optional[str] = None,
         generator: Optional[str] = None,
+        store_backend: Optional[str] = None,
     ) -> ExecutionContext:
         """Resolve execution-axis overrides into an :class:`ExecutionContext`.
 
@@ -353,6 +377,7 @@ class ExperimentSpec:
                 "engine": engine,
                 "mode": mode,
                 "generator": generator,
+                "store": store_backend,
             },
         )
         _validate_axis_values(resolved)
@@ -360,10 +385,14 @@ class ExperimentSpec:
         if "jobs" in resolved:
             kwargs["jobs"] = resolved["jobs"]
         if "cache" in resolved:
-            kwargs["store"] = store_for(resolved["cache"])
+            kwargs["store"] = store_for(
+                resolved["cache"], resolved.get("store")
+            )
         for axis in ("backend", "engine", "mode", "generator"):
             if axis in resolved:
                 kwargs[axis] = resolved[axis]
+        if "store" in resolved:
+            kwargs["store_backend"] = resolved["store"]
         return ExecutionContext(**kwargs)
 
     def resolve_params(
@@ -386,6 +415,7 @@ class ExperimentSpec:
         engine: Optional[str] = None,
         mode: Optional[str] = None,
         generator: Optional[str] = None,
+        store_backend: Optional[str] = None,
     ):
         """Execute the experiment body with resolved params + context."""
         params = self.resolve_params(overrides)
@@ -396,6 +426,7 @@ class ExperimentSpec:
             engine=engine,
             mode=mode,
             generator=generator,
+            store_backend=store_backend,
         )
         return self.body(context, **params)
 
@@ -557,8 +588,9 @@ def run_experiment(experiment_id: str, **kwargs):
     The convenience entry the public ``e<n>_...`` wrappers delegate
     through: ``kwargs`` may mix declared experiment parameters with
     the capability parameters the spec declares (``jobs``,
-    ``cache_dir``, ``backend``, ``engine``, ``mode``); they are split
-    per the spec and dispatched via :meth:`ExperimentSpec.run`.
+    ``cache_dir``, ``backend``, ``engine``, ``mode``,
+    ``store_backend``); they are split per the spec and dispatched via
+    :meth:`ExperimentSpec.run`.
     """
     spec = REGISTRY.get(experiment_id)
     context_kwargs: Dict[str, Any] = {}

@@ -7,9 +7,10 @@ completion order.  Because every trial is a pure function of its spec
 drawn from shared state), ``jobs=8`` output is bit-identical to
 ``jobs=1`` — the scheduler affects wall-clock time only.
 
-With a :class:`~repro.runner.store.ResultStore`, completed cells are
-replayed from disk and only the misses are dispatched; fresh values are
-written back so the next invocation skips them.
+With a :class:`~repro.runner.store.TrialStore`, completed cells are
+replayed from disk (one batched ``get_many`` scan, so the backend can
+amortize lookup cost) and only the misses are dispatched; fresh values
+are written back so the next invocation skips them.
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, List, Optional, Sequence
 
 from repro.errors import ExperimentError
-from repro.runner.store import MISS, ResultStore
+from repro.runner.store import MISS, TrialStore
 from repro.runner.trial import (
     TrialExecutionError,
     TrialResult,
@@ -36,7 +37,7 @@ def _execute_spec(spec: TrialSpec) -> Any:
 def run_trials(
     specs: Sequence[TrialSpec],
     jobs: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[TrialStore] = None,
 ) -> List[TrialResult]:
     """Execute ``specs`` and return results in spec order.
 
@@ -61,15 +62,17 @@ def run_trials(
 
     results: List[Optional[TrialResult]] = [None] * len(specs)
     pending: List[int] = []
-    for index, spec in enumerate(specs):
-        if store is not None:
-            cached = store.get(spec)
-            if cached is not MISS:
-                results[index] = TrialResult(
-                    spec=spec, value=cached, from_cache=True
-                )
-                continue
-        pending.append(index)
+    cached_values = (
+        store.get_many(specs) if store is not None
+        else [MISS] * len(specs)
+    )
+    for index, (spec, cached) in enumerate(zip(specs, cached_values)):
+        if cached is not MISS:
+            results[index] = TrialResult(
+                spec=spec, value=cached, from_cache=True
+            )
+        else:
+            pending.append(index)
 
     if pending:
         if jobs == 1 or len(pending) == 1:

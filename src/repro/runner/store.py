@@ -1,40 +1,107 @@
-"""On-disk JSON result store for completed trials.
+"""Pluggable on-disk result stores for completed trials.
 
-One file per trial, addressed by the spec's
-``(experiment_id, params_hash, seed)`` key::
+Every backend implements one contract, keyed by the spec's
+``(experiment_id, params_hash, seed)`` triple:
 
-    <cache_dir>/<experiment_id>/<params_hash>/<seed>.json
+* ``get(spec)`` — the stored value, or :data:`MISS`;
+* ``put(spec, value)`` — persist atomically (a killed run never
+  leaves a torn entry);
+* ``spec in store`` — a *cheap probe* (no value deserialization);
+* ``get_many(specs)`` — the replay scan the executor uses, letting a
+  backend amortize per-entry lookup cost.
 
-Re-running an experiment (or a benchmark) with the same cache directory
-replays every completed cell instead of recomputing it; changing any
-parameter changes the hash, so a different *configuration* can never
-replay the wrong entry.  The key does not capture the code version,
-though: after editing a trial function (or anything it calls), delete
-the cache directory — entries computed by the old code would otherwise
-be replayed verbatim.
+Two backends ship (:data:`STORE_BACKENDS`):
 
-The store is deliberately forgiving: a corrupted or half-written file
-is treated as a miss (and removed), never as an error — a crashed run
-must not poison later ones.  Writes are atomic (temp file + rename) so
-a parallel run that is killed mid-flight leaves no torn entries.  The
-directory may be shared by parallel *processes*: a reader that sees
-garbage re-reads once before declaring a miss (a concurrent atomic
-rewrite may have landed in between) and tolerates the entry vanishing
-or being locked while it cleans up.  A vanishingly small window
-remains in which recovery can unlink a peer's just-landed value — the
-cost is only a later cache miss, never a wrong result.
+``json-files``
+    :class:`ResultStore`, the original layout — one file per trial at
+    ``<cache_dir>/<experiment_id>/<params_hash>/<seed>.json``.  Fully
+    compatible with pre-existing cache trees and the default.
+
+``sqlite``
+    :class:`SqliteResultStore` — a single WAL-mode SQLite database per
+    cache directory, one row per key.  Writes are transactions, so the
+    torn-file/unlink-race class of defects is impossible by
+    construction, and a million-trial sweep costs a handful of inodes
+    instead of a million.  ``repro store migrate`` converts a legacy
+    file tree into this form.
+
+Pick a backend with :func:`store_for`/:func:`open_store` (explicitly,
+or via the ``REPRO_STORE_BACKEND`` environment variable; the default
+is ``json-files``).
+
+**Versioned records.**  Every stored record carries a
+``format`` (:data:`RECORD_FORMAT`) and a code ``fingerprint`` —
+package version plus the trial-function reference, from
+:func:`record_fingerprint`.  A record whose version or fingerprint
+does not match the running code is reported as :data:`MISS` (and
+overwritten by the next ``put``), never replayed: entries computed by
+*old code* can no longer leak into new results.  ``repro store
+migrate`` stamps legacy (unversioned) entries with the current
+fingerprint — the explicit statement that the old cache is trusted —
+while ``repro store compact`` deletes whatever is stale.
+
+**Shared directories.**  Both backends tolerate a cache directory
+shared by parallel processes.  The store is deliberately forgiving: a
+corrupted or half-written entry is treated as a miss, never an error —
+a crashed run must not poison later ones.  For ``json-files``,
+recovery *quarantines* an unreadable file (an atomic rename to a
+private name) before deleting it, and re-checks the quarantined bytes:
+if a concurrent writer's fresh atomic replacement raced the corrupt
+reads, it is restored and its value returned.  Recovery can therefore
+never unlink a peer's just-landed value — the defect the previous
+remove-in-place implementation documented as a "vanishingly small
+window".  (Restoring may overwrite an even newer replacement, which is
+harmless: trials are pure, so every valid record for a key holds the
+same value.)
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import sqlite3
 import tempfile
-from typing import Any, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.errors import ExperimentError
 from repro.runner.trial import TrialSpec
 
-__all__ = ["ResultStore", "MISS", "store_for"]
+__all__ = [
+    "MISS",
+    "RECORD_FORMAT",
+    "STORE_BACKENDS",
+    "STORE_BACKEND_VARIABLE",
+    "TrialStore",
+    "ResultStore",
+    "SqliteResultStore",
+    "detect_backends",
+    "migrate_store",
+    "open_store",
+    "record_fingerprint",
+    "reset_store_stats",
+    "resolve_store_backend",
+    "store_for",
+    "store_stats",
+]
+
+#: Record format written by this code.  Version 1 is the legacy
+#: unversioned one-file-per-trial record (no ``format`` key at all);
+#: bumping this invalidates every existing entry at once.
+RECORD_FORMAT = 2
+
+#: Environment variable naming the default backend when none is
+#: requested explicitly (``repro run --store-backend`` beats it).
+STORE_BACKEND_VARIABLE = "REPRO_STORE_BACKEND"
 
 
 class _Miss:
@@ -44,29 +111,246 @@ class _Miss:
         return "MISS"
 
 
-#: Returned by :meth:`ResultStore.get` when no usable entry exists.
+#: Returned by :meth:`TrialStore.get` when no usable entry exists.
 MISS = _Miss()
+
+#: Process-local replay tally, mirroring the corpus hit/miss counters:
+#: ``repro run`` reports it after a cached run.  Workers spawned with
+#: ``--jobs`` are not counted (the replay scan happens in the parent).
+_STATS = {"hits": 0, "misses": 0}
+
+#: Uniquifies quarantine/corrupt-sidecar names within one process.
+_QUARANTINE_IDS = itertools.count(1)
+
+_PACKAGE_VERSION: Optional[str] = None
+
+
+def store_stats() -> Dict[str, int]:
+    """This process's store replay tally: ``{"hits": ..., "misses": ...}``."""
+    return dict(_STATS)
+
+
+def reset_store_stats() -> None:
+    """Zero the tally (``repro run`` calls this before each invocation)."""
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports this module during its
+    # own initialisation, before __version__ is bound.
+    global _PACKAGE_VERSION
+    if _PACKAGE_VERSION is None:
+        from repro import __version__
+
+        _PACKAGE_VERSION = __version__
+    return _PACKAGE_VERSION
+
+
+def record_fingerprint(trial: str) -> str:
+    """The code fingerprint stamped into (and demanded of) records.
+
+    Package version plus the trial-function reference
+    (``module:qualname``): editing a trial function across a release,
+    or renaming it, changes the fingerprint and turns every old entry
+    into a MISS instead of replaying stale values verbatim.
+    """
+    return f"{_package_version()}/{trial}"
+
+
+def resolve_store_backend(backend: Optional[str] = None) -> str:
+    """The effective backend name: explicit arg, else environment,
+    else ``json-files``; unknown names raise."""
+    chosen = (
+        backend
+        or os.environ.get(STORE_BACKEND_VARIABLE)
+        or "json-files"
+    )
+    if chosen not in STORE_BACKENDS:
+        raise ExperimentError(
+            f"unknown store backend {chosen!r}; valid: "
+            f"{', '.join(STORE_BACKENDS)}"
+        )
+    return chosen
+
+
+def open_store(
+    cache_dir: Union[str, os.PathLike],
+    backend: Optional[str] = None,
+) -> "TrialStore":
+    """A :class:`TrialStore` of the requested backend at ``cache_dir``."""
+    return STORE_BACKENDS[resolve_store_backend(backend)](cache_dir)
 
 
 def store_for(
-    cache_dir: Optional[Union[str, os.PathLike]]
-) -> Optional["ResultStore"]:
-    """A :class:`ResultStore` rooted at ``cache_dir``, or ``None``.
+    cache_dir: Optional[Union[str, os.PathLike]],
+    backend: Optional[str] = None,
+) -> Optional["TrialStore"]:
+    """A store rooted at ``cache_dir``, or ``None``.
 
-    The canonical resolution of the ``cache_dir`` execution axis: every
-    layer that accepts a directory-or-nothing cache knob (the
-    experiment registry's :class:`~repro.core.registry.ExecutionContext`,
-    benchmarks honouring ``REPRO_BENCH_CACHE_DIR``) funnels through
-    this helper instead of re-spelling the conditional.
+    The canonical resolution of the ``cache_dir``/``store_backend``
+    execution axes: every layer that accepts a directory-or-nothing
+    cache knob (the experiment registry's
+    :class:`~repro.core.registry.ExecutionContext`, benchmarks
+    honouring ``REPRO_BENCH_CACHE_DIR``) funnels through this helper
+    instead of re-spelling the conditional.
     """
-    return ResultStore(cache_dir) if cache_dir else None
+    return open_store(cache_dir, backend) if cache_dir else None
 
 
-class ResultStore:
-    """A persistent trial-result cache rooted at ``cache_dir``."""
+def detect_backends(
+    cache_dir: Union[str, os.PathLike]
+) -> List[str]:
+    """Backend names with data present under ``cache_dir``.
+
+    ``json-files`` is detected by experiment subdirectories, ``sqlite``
+    by its database file; ``repro store stat/compact`` report every
+    backend found rather than guessing one.
+    """
+    root = os.fspath(cache_dir)
+    present = []
+    try:
+        has_tree = any(
+            entry.is_dir() for entry in os.scandir(root)
+        )
+    except OSError:
+        has_tree = False
+    if has_tree:
+        present.append("json-files")
+    if os.path.exists(
+        os.path.join(root, SqliteResultStore.DB_FILENAME)
+    ):
+        present.append("sqlite")
+    return present
+
+
+def _process_umask() -> int:
+    # There is no read-only query for the umask; set-and-restore is
+    # the standard idiom (the window only matters to other threads
+    # creating files, and both values are this process's own).
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
+
+
+class TrialStore:
+    """Contract + shared record logic of every store backend.
+
+    Subclasses provide the persistence (:meth:`get`, :meth:`put`,
+    :meth:`__contains__`, :meth:`records`, :meth:`put_record`,
+    :meth:`stat`, :meth:`compact`); the record schema, fingerprint
+    policy and replay tally live here so the backends cannot drift.
+    """
+
+    #: Backend name as spelled on ``--store-backend``.
+    kind = "abstract"
 
     def __init__(self, cache_dir: Union[str, os.PathLike]):
         self.cache_dir = os.fspath(cache_dir)
+
+    # -- the runner-facing contract -----------------------------------
+
+    def get(self, spec: TrialSpec) -> Any:
+        """The stored value for ``spec``, or :data:`MISS`."""
+        raise NotImplementedError
+
+    def put(self, spec: TrialSpec, value: Any) -> None:
+        """Persist ``value`` for ``spec`` atomically."""
+        raise NotImplementedError
+
+    def __contains__(self, spec: TrialSpec) -> bool:
+        """Cheap existence probe — no value deserialization.
+
+        A probe, not a promise: a ``True`` may still ``get`` to MISS
+        (e.g. a stale-fingerprint entry awaiting overwrite); a
+        ``False`` is always a miss.
+        """
+        raise NotImplementedError
+
+    def get_many(self, specs: Sequence[TrialSpec]) -> List[Any]:
+        """Values (or :data:`MISS`) for ``specs``, in order.
+
+        The executor's replay scan; backends override to amortize
+        per-entry lookup cost (the sqlite backend batches keys into
+        single SELECTs).
+        """
+        return [self.get(spec) for spec in specs]
+
+    # -- maintenance surface (migrate/compact/stat) --------------------
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Every parseable stored record, as plain dicts."""
+        raise NotImplementedError
+
+    def put_record(self, record: Dict[str, Any]) -> None:
+        """Persist a full record verbatim (the migration primitive)."""
+        raise NotImplementedError
+
+    def stat(self) -> Dict[str, Any]:
+        """Entry/staleness/size/inode counts for ``repro store stat``."""
+        raise NotImplementedError
+
+    def compact(self) -> Dict[str, int]:
+        """Drop stale entries and reclaim space; returns counts."""
+        raise NotImplementedError
+
+    # -- shared record logic -------------------------------------------
+
+    def _make_record(
+        self, spec: TrialSpec, value: Any
+    ) -> Dict[str, Any]:
+        return {
+            "experiment_id": spec.experiment_id,
+            "trial": spec.trial,
+            "params": dict(spec.params),
+            "seed": spec.seed,
+            "value": value,
+            "format": RECORD_FORMAT,
+            "fingerprint": record_fingerprint(spec.trial),
+        }
+
+    @staticmethod
+    def _usable(record: Any) -> bool:
+        """Structurally a record (regardless of code version)."""
+        return isinstance(record, dict) and "value" in record
+
+    @staticmethod
+    def _current_for(record: Dict[str, Any], trial: str) -> bool:
+        """Record written by *this* code for ``trial``?"""
+        return (
+            record.get("format") == RECORD_FORMAT
+            and record.get("fingerprint") == record_fingerprint(trial)
+        )
+
+    @classmethod
+    def _current(cls, record: Dict[str, Any]) -> bool:
+        """Self-consistency form of :meth:`_current_for` (for walks
+        over stored records, where no spec is in hand)."""
+        return cls._current_for(record, record.get("trial", ""))
+
+    @staticmethod
+    def _tally(hit: bool) -> None:
+        _STATS["hits" if hit else "misses"] += 1
+
+    @staticmethod
+    def _spec_of(record: Dict[str, Any]) -> TrialSpec:
+        return TrialSpec(
+            experiment_id=record["experiment_id"],
+            trial=record["trial"],
+            params=record["params"],
+            seed=record["seed"],
+        )
+
+
+class ResultStore(TrialStore):
+    """The ``json-files`` backend: one file per trial.
+
+    The original (and default) layout — fully compatible with cache
+    trees written before backends existed, except that unversioned
+    entries now read as MISS (see the module docstring).
+    """
+
+    kind = "json-files"
 
     def path_for(self, spec: TrialSpec) -> str:
         """Filesystem location of ``spec``'s entry."""
@@ -78,22 +362,28 @@ class ResultStore:
     def get(self, spec: TrialSpec) -> Any:
         """The stored value for ``spec``, or :data:`MISS`.
 
-        A file that exists but does not parse as the expected record is
-        discarded and reported as a miss (corruption recovery).
+        A file that exists but does not parse is quarantined and
+        reported as a miss (corruption recovery); a file that parses
+        but was written by different code is left in place and
+        reported as a miss (stale-code protection) — the next ``put``
+        overwrites it.
 
         With a cache directory shared by parallel processes, a read
         that sees garbage may be racing another process's atomic
         rewrite of the same entry: by the time we react, the path may
         already hold that writer's fresh, valid record.  So a corrupt
-        read is retried once before the entry is declared dead — if
-        the re-read parses, the concurrent writer won the race and its
-        value is returned instead of unlinking it; only a *repeatedly*
-        unreadable file is removed (and removal itself tolerates the
-        file disappearing or being locked under another process's
-        rewrite).
+        read is retried once, and recovery renames the entry to a
+        quarantine name *before* judging it — a fresh peer record
+        found under quarantine is restored and returned, so recovery
+        can never unlink a concurrent writer's just-landed value.
         """
+        value = self._lookup(spec)
+        self._tally(value is not MISS)
+        return value
+
+    def _lookup(self, spec: TrialSpec) -> Any:
         path = self.path_for(spec)
-        for attempt in range(2):
+        for _attempt in range(2):
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     record = json.load(handle)
@@ -101,9 +391,46 @@ class ResultStore:
                 return MISS
             except (json.JSONDecodeError, OSError, UnicodeDecodeError):
                 continue
-            if isinstance(record, dict) and "value" in record:
+            if self._usable(record):
+                if self._current_for(record, spec.trial):
+                    return record["value"]
+                return MISS  # well-formed but stale: keep for migrate
+        return self._recover(path, spec)
+
+    def _recover(self, path: str, spec: TrialSpec) -> Any:
+        """Quarantine a repeatedly unreadable entry, then judge it.
+
+        The rename is atomic, so whatever bytes sat at ``path`` move
+        to a name no other process will ever touch.  If they turn out
+        to be a *valid* record, a peer's atomic replacement raced our
+        corrupt reads: restore it and return its value (any valid
+        record for a key holds the same pure-trial value, so clobbering
+        an even newer replacement is harmless).  Only verified garbage
+        is ever deleted — and only under the quarantine name.
+        """
+        quarantine = (
+            f"{path}.quarantine-{os.getpid()}-{next(_QUARANTINE_IDS)}"
+        )
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            # Vanished (a peer recovered first) or locked (a Windows
+            # peer mid-rewrite): either way it is not ours to clean.
+            return MISS
+        try:
+            with open(quarantine, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            record = None
+        if self._usable(record):
+            try:
+                os.replace(quarantine, path)
+            except OSError:
+                pass
+            if self._current_for(record, spec.trial):
                 return record["value"]
-        self._discard(path)
+            return MISS
+        self._discard(quarantine)
         return MISS
 
     def put(self, spec: TrialSpec, value: Any) -> None:
@@ -111,17 +438,19 @@ class ResultStore:
         path = self.path_for(spec)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
-        record = {
-            "experiment_id": spec.experiment_id,
-            "trial": spec.trial,
-            "params": dict(spec.params),
-            "seed": spec.seed,
-            "value": value,
-        }
+        self._write_record(path, self._make_record(spec, value))
+
+    def _write_record(
+        self, path: str, record: Dict[str, Any]
+    ) -> None:
         descriptor, temp_path = tempfile.mkstemp(
-            prefix=".trial-", suffix=".tmp", dir=directory
+            prefix=".trial-", suffix=".tmp", dir=os.path.dirname(path)
         )
         try:
+            # mkstemp creates 0600 files; honour the process umask so
+            # a cache directory shared across users/CI stages stays
+            # readable (satisfying whatever policy the umask states).
+            os.fchmod(descriptor, 0o666 & ~_process_umask())
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(record, handle, sort_keys=True)
             os.replace(temp_path, path)
@@ -130,7 +459,127 @@ class ResultStore:
             raise
 
     def __contains__(self, spec: TrialSpec) -> bool:
-        return self.get(spec) is not MISS
+        """Existence/validity probe: a non-empty file at the key's
+        path, without parsing the record."""
+        try:
+            return os.path.getsize(self.path_for(spec)) > 0
+        except OSError:
+            return False
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        for path in self._entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if self._usable(record):
+                yield record
+
+    def put_record(self, record: Dict[str, Any]) -> None:
+        path = self.path_for(self._spec_of(record))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._write_record(path, record)
+
+    def stat(self) -> Dict[str, Any]:
+        entries = stale = corrupt = debris = 0
+        total_bytes = 0
+        inodes = 0
+        for directory, subdirs, files in os.walk(self.cache_dir):
+            inodes += len(subdirs)
+            for name in files:
+                if name.endswith(
+                    (".sqlite", ".sqlite-wal", ".sqlite-shm")
+                ) or ".sqlite.corrupt-" in name:
+                    continue  # the sqlite backend's files, not ours
+                inodes += 1
+                path = os.path.join(directory, name)
+                try:
+                    total_bytes += os.path.getsize(path)
+                except OSError:
+                    continue
+                if not name.endswith(".json"):
+                    debris += 1
+                    continue
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        record = json.load(handle)
+                except (
+                    OSError,
+                    json.JSONDecodeError,
+                    UnicodeDecodeError,
+                ):
+                    corrupt += 1
+                    continue
+                if not self._usable(record):
+                    corrupt += 1
+                elif not self._current(record):
+                    stale += 1
+                else:
+                    entries += 1
+        return {
+            "backend": self.kind,
+            "entries": entries,
+            "stale": stale,
+            "corrupt": corrupt,
+            "debris": debris,
+            "bytes": total_bytes,
+            "inodes": inodes,
+        }
+
+    def compact(self) -> Dict[str, int]:
+        """Delete stale/corrupt entries, leftover temp and quarantine
+        files, and any directories emptied by doing so."""
+        removed_stale = removed_corrupt = removed_debris = 0
+        for directory, _subdirs, files in os.walk(self.cache_dir):
+            for name in files:
+                path = os.path.join(directory, name)
+                if name.endswith(
+                    (".sqlite", ".sqlite-wal", ".sqlite-shm")
+                ) or ".sqlite.corrupt-" in name:
+                    continue
+                if not name.endswith(".json"):
+                    self._discard(path)
+                    removed_debris += 1
+                    continue
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        record = json.load(handle)
+                except (
+                    OSError,
+                    json.JSONDecodeError,
+                    UnicodeDecodeError,
+                ):
+                    self._discard(path)
+                    removed_corrupt += 1
+                    continue
+                if not self._usable(record):
+                    self._discard(path)
+                    removed_corrupt += 1
+                elif not self._current(record):
+                    self._discard(path)
+                    removed_stale += 1
+        for directory, subdirs, files in os.walk(
+            self.cache_dir, topdown=False
+        ):
+            if directory == self.cache_dir:
+                continue
+            if not subdirs and not files:
+                try:
+                    os.rmdir(directory)
+                except OSError:
+                    pass
+        return {
+            "removed_stale": removed_stale,
+            "removed_corrupt": removed_corrupt,
+            "removed_debris": removed_debris,
+        }
+
+    def _entry_paths(self) -> Iterator[str]:
+        for directory, _subdirs, files in os.walk(self.cache_dir):
+            for name in sorted(files):
+                if name.endswith(".json"):
+                    yield os.path.join(directory, name)
 
     @staticmethod
     def _discard(path: str) -> None:
@@ -143,3 +592,457 @@ class ResultStore:
             os.remove(path)
         except OSError:
             pass
+
+
+class SqliteResultStore(TrialStore):
+    """The ``sqlite`` backend: one WAL-mode database per cache dir.
+
+    One row per ``(experiment_id, params_hash, seed)``; every write is
+    a transaction, so a killed run leaves either the old row or the
+    new one — never a torn entry — and readers never race a cleanup
+    path because there is none.  A corrupted database file is
+    quarantined (sidecar-renamed) and recreated rather than raised.
+    """
+
+    kind = "sqlite"
+
+    #: Database filename inside the cache directory.  The json tree
+    #: and the database coexist in one directory, which is what lets
+    #: ``repro store migrate`` convert in place.
+    DB_FILENAME = "trials.sqlite"
+
+    # Seeds are stored as TEXT: substream-derived trial seeds are
+    # arbitrary-precision ints, far beyond SQLite's signed 64-bit
+    # INTEGER.
+    _SCHEMA_SQL = """
+        CREATE TABLE IF NOT EXISTS trials (
+            experiment_id TEXT    NOT NULL,
+            params_hash   TEXT    NOT NULL,
+            seed          TEXT    NOT NULL,
+            trial         TEXT    NOT NULL,
+            params        TEXT    NOT NULL,
+            value         TEXT    NOT NULL,
+            format        INTEGER NOT NULL,
+            fingerprint   TEXT    NOT NULL,
+            PRIMARY KEY (experiment_id, params_hash, seed)
+        )
+    """
+
+    #: Keys per batched replay SELECT: 3 bound variables each, kept
+    #: well under SQLite's default 999-variable limit.
+    _SCAN_CHUNK = 300
+
+    def __init__(self, cache_dir: Union[str, os.PathLike]):
+        super().__init__(cache_dir)
+        self.db_path = os.path.join(self.cache_dir, self.DB_FILENAME)
+        self._connection: Optional[sqlite3.Connection] = None
+
+    # -- connection management -----------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._connection is not None:
+            return self._connection
+        os.makedirs(self.cache_dir, exist_ok=True)
+        last_error: Optional[BaseException] = None
+        for attempt in range(2):
+            connection = sqlite3.connect(self.db_path, timeout=30.0)
+            try:
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+                connection.execute(self._SCHEMA_SQL)
+                connection.commit()
+            except sqlite3.DatabaseError as error:
+                # Not a database (truncated, bit-flipped, or foreign
+                # bytes): quarantine the file and start fresh — a
+                # corrupted cache must read as misses, not exceptions.
+                last_error = error
+                connection.close()
+                if attempt == 0:
+                    self._quarantine_database()
+                    continue
+                raise ExperimentError(
+                    f"cannot open result store {self.db_path!r}: "
+                    f"{error}"
+                ) from error
+            self._connection = connection
+            return connection
+        raise ExperimentError(  # pragma: no cover - loop always returns
+            f"cannot open result store {self.db_path!r}: {last_error}"
+        )
+
+    def _reset_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except sqlite3.Error:  # pragma: no cover - close is lenient
+                pass
+            self._connection = None
+
+    def _quarantine_database(self) -> None:
+        sidecar = (
+            f"{self.db_path}.corrupt-{os.getpid()}"
+            f"-{next(_QUARANTINE_IDS)}"
+        )
+        try:
+            os.replace(self.db_path, sidecar)
+        except OSError:
+            pass
+        for suffix in ("-wal", "-shm"):
+            try:
+                os.remove(self.db_path + suffix)
+            except OSError:
+                pass
+
+    # -- the runner-facing contract ------------------------------------
+
+    def get(self, spec: TrialSpec) -> Any:
+        value = self._lookup(spec)
+        self._tally(value is not MISS)
+        return value
+
+    def _lookup(self, spec: TrialSpec) -> Any:
+        experiment_id, digest, seed = spec.key()
+        try:
+            row = self._connect().execute(
+                "SELECT value, format, fingerprint FROM trials "
+                "WHERE experiment_id = ? AND params_hash = ? "
+                "AND seed = ?",
+                (experiment_id, digest, str(seed)),
+            ).fetchone()
+        except (sqlite3.DatabaseError, ExperimentError):
+            self._reset_connection()
+            return MISS
+        if row is None:
+            return MISS
+        return self._row_value(row, spec.trial)
+
+    def _row_value(
+        self, row: Tuple[Any, Any, Any], trial: str
+    ) -> Any:
+        value_text, record_format, fingerprint = row
+        if (
+            record_format != RECORD_FORMAT
+            or fingerprint != record_fingerprint(trial)
+        ):
+            return MISS
+        try:
+            return json.loads(value_text)
+        except (TypeError, ValueError):
+            return MISS
+
+    def put(self, spec: TrialSpec, value: Any) -> None:
+        record = self._make_record(spec, value)
+        self._insert(record)
+
+    def _insert(self, record: Dict[str, Any]) -> None:
+        experiment_id, digest, seed = self._spec_of(record).key()
+        connection = self._connect()
+        with connection:  # one transaction: atomic by construction
+            connection.execute(
+                "INSERT OR REPLACE INTO trials (experiment_id, "
+                "params_hash, seed, trial, params, value, format, "
+                "fingerprint) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    experiment_id,
+                    digest,
+                    str(seed),
+                    record["trial"],
+                    json.dumps(record["params"], sort_keys=True),
+                    json.dumps(record["value"], sort_keys=True),
+                    record["format"],
+                    record["fingerprint"],
+                ),
+            )
+
+    def __contains__(self, spec: TrialSpec) -> bool:
+        experiment_id, digest, seed = spec.key()
+        try:
+            row = self._connect().execute(
+                "SELECT 1 FROM trials WHERE experiment_id = ? "
+                "AND params_hash = ? AND seed = ?",
+                (experiment_id, digest, str(seed)),
+            ).fetchone()
+        except (sqlite3.DatabaseError, ExperimentError):
+            self._reset_connection()
+            return False
+        return row is not None
+
+    def get_many(self, specs: Sequence[TrialSpec]) -> List[Any]:
+        """Batched replay scan.
+
+        Two plans, chosen by how much of the table the batch covers.
+        A warm full replay asks for (nearly) every row, so one
+        sequential scan per fingerprint — filtered down to current
+        records inside SQL — beats thousands of primary-key probes.
+        Sparse batches (a sweep sharing a directory with much larger
+        runs) fall back to chunked keyed lookups: one SELECT per
+        :data:`_SCAN_CHUNK` keys instead of one per spec.
+        """
+        if not specs:
+            return []
+        bound = []
+        trials = set()
+        for spec in specs:
+            experiment_id, digest, seed = spec.key()
+            bound.append((experiment_id, digest, str(seed)))
+            trials.add(spec.trial)
+        fingerprints = sorted(record_fingerprint(t) for t in trials)
+        found: Dict[Tuple[str, str, str], str] = {}
+        try:
+            connection = self._connect()
+            total = connection.execute(
+                "SELECT COUNT(*) FROM trials"
+            ).fetchone()[0]
+            scan_sql = (
+                "SELECT experiment_id, params_hash, seed, value "
+                "FROM trials WHERE format = ? AND fingerprint = ?"
+            )
+            if len(bound) * 4 >= total:
+                if len(fingerprints) == 1:
+                    # Rows outside the batch land in ``found`` too;
+                    # they are simply never looked up below.
+                    found = {
+                        (row[0], row[1], row[2]): row[3]
+                        for row in connection.execute(
+                            scan_sql,
+                            (RECORD_FORMAT, fingerprints[0]),
+                        )
+                    }
+                else:
+                    expected = {
+                        key: record_fingerprint(spec.trial)
+                        for spec, key in zip(specs, bound)
+                    }
+                    for fingerprint in fingerprints:
+                        for row in connection.execute(
+                            scan_sql, (RECORD_FORMAT, fingerprint)
+                        ):
+                            key = (row[0], row[1], row[2])
+                            if expected.get(key) == fingerprint:
+                                found[key] = row[3]
+            else:
+                expected = {
+                    key: record_fingerprint(spec.trial)
+                    for spec, key in zip(specs, bound)
+                }
+                for start in range(0, len(bound), self._SCAN_CHUNK):
+                    chunk = bound[start:start + self._SCAN_CHUNK]
+                    placeholders = ",".join("(?,?,?)" for _ in chunk)
+                    cursor = connection.execute(
+                        "SELECT experiment_id, params_hash, seed, "
+                        "value, fingerprint FROM trials WHERE "
+                        "format = ? AND "
+                        "(experiment_id, params_hash, seed) IN "
+                        f"(VALUES {placeholders})",
+                        [RECORD_FORMAT]
+                        + [part for key in chunk for part in key],
+                    )
+                    for row in cursor:
+                        key = (row[0], row[1], row[2])
+                        if expected.get(key) == row[4]:
+                            found[key] = row[3]
+        except (sqlite3.DatabaseError, ExperimentError):
+            self._reset_connection()
+            found = {}
+        found_get = found.get
+        texts = [found_get(key) for key in bound]
+        values = self._decode_values(texts)
+        hits = sum(value is not MISS for value in values)
+        _STATS["hits"] += hits
+        _STATS["misses"] += len(bound) - hits
+        return values
+
+    @staticmethod
+    def _decode_values(texts: List[Optional[str]]) -> List[Any]:
+        """Decode fetched value columns, ``None`` becoming ``MISS``.
+
+        The hot path parses every hit in one ``json.loads`` call on a
+        synthesized array — an order of magnitude cheaper than 1e5
+        separate calls during a full warm replay.  If the combined
+        parse fails or misaligns (foreign bytes in a value column),
+        fall back to one-by-one decoding so only the bad rows read as
+        misses.
+        """
+        present = [text for text in texts if text is not None]
+        decoded: Optional[List[Any]] = None
+        if present:
+            try:
+                decoded = json.loads("[%s]" % ",".join(present))
+            except (TypeError, ValueError):
+                decoded = None
+        if decoded is not None and len(decoded) == len(present):
+            replay = iter(decoded)
+            return [
+                MISS if text is None else next(replay)
+                for text in texts
+            ]
+        values: List[Any] = []
+        for text in texts:
+            if text is None:
+                values.append(MISS)
+                continue
+            try:
+                values.append(json.loads(text))
+            except (TypeError, ValueError):
+                values.append(MISS)
+        return values
+
+    # -- maintenance surface -------------------------------------------
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        try:
+            cursor = self._connect().execute(
+                "SELECT experiment_id, seed, trial, params, value, "
+                "format, fingerprint FROM trials "
+                "ORDER BY experiment_id, params_hash, seed"
+            )
+            rows = cursor.fetchall()
+        except (sqlite3.DatabaseError, ExperimentError):
+            self._reset_connection()
+            return
+        for row in rows:
+            try:
+                params = json.loads(row[3])
+                value = json.loads(row[4])
+            except (TypeError, ValueError):
+                continue
+            yield {
+                "experiment_id": row[0],
+                "seed": int(row[1]),
+                "trial": row[2],
+                "params": params,
+                "value": value,
+                "format": row[5],
+                "fingerprint": row[6],
+            }
+
+    def put_record(self, record: Dict[str, Any]) -> None:
+        self._insert(record)
+
+    def stat(self) -> Dict[str, Any]:
+        entries = stale = 0
+        try:
+            cursor = self._connect().execute(
+                "SELECT trial, format, fingerprint FROM trials"
+            )
+            for trial, record_format, fingerprint in cursor:
+                if (
+                    record_format == RECORD_FORMAT
+                    and fingerprint == record_fingerprint(trial)
+                ):
+                    entries += 1
+                else:
+                    stale += 1
+        except (sqlite3.DatabaseError, ExperimentError):
+            self._reset_connection()
+        total_bytes = 0
+        inodes = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total_bytes += os.path.getsize(self.db_path + suffix)
+                inodes += 1
+            except OSError:
+                continue
+        return {
+            "backend": self.kind,
+            "entries": entries,
+            "stale": stale,
+            "corrupt": 0,
+            "debris": 0,
+            "bytes": total_bytes,
+            "inodes": inodes,
+        }
+
+    def compact(self) -> Dict[str, int]:
+        """Delete stale rows, checkpoint the WAL and VACUUM."""
+        removed_stale = 0
+        try:
+            connection = self._connect()
+            with connection:
+                for trial, record_format, fingerprint in (
+                    connection.execute(
+                        "SELECT DISTINCT trial, format, fingerprint "
+                        "FROM trials"
+                    ).fetchall()
+                ):
+                    if (
+                        record_format == RECORD_FORMAT
+                        and fingerprint == record_fingerprint(trial)
+                    ):
+                        continue
+                    cursor = connection.execute(
+                        "DELETE FROM trials WHERE trial = ? "
+                        "AND format = ? AND fingerprint = ?",
+                        (trial, record_format, fingerprint),
+                    )
+                    removed_stale += cursor.rowcount
+            connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            connection.execute("VACUUM")
+        except (sqlite3.DatabaseError, ExperimentError):
+            self._reset_connection()
+        return {
+            "removed_stale": removed_stale,
+            "removed_corrupt": 0,
+            "removed_debris": 0,
+        }
+
+
+#: Backend name -> class, as spelled on ``--store-backend`` and in
+#: ``REPRO_STORE_BACKEND``.
+STORE_BACKENDS: Dict[str, type] = {
+    "json-files": ResultStore,
+    "sqlite": SqliteResultStore,
+}
+
+
+def migrate_store(
+    source: TrialStore,
+    destination: TrialStore,
+    verify: bool = True,
+) -> Dict[str, int]:
+    """Copy ``source``'s entries into ``destination``.
+
+    Policy per record:
+
+    * written by the current code — copied verbatim;
+    * legacy (unversioned, pre-backend) — stamped with the current
+      format and fingerprint.  Migrating *is* the explicit statement
+      that the old cache matches the running code (the checked
+      replacement for the old "delete the cache directory after
+      editing code" advice);
+    * stale (versioned, but by *other* code) — skipped and counted;
+      ``repro store compact`` deletes them at the source.
+
+    With ``verify`` (the default), every migrated value is read back
+    through the destination's ``get`` and compared bit-identically
+    (canonical JSON); mismatches are counted in ``"verify_failed"``.
+    """
+    migrated = skipped_stale = verify_failed = 0
+    for record in source.records():
+        if "fingerprint" not in record and "format" not in record:
+            record = dict(record)
+            record["format"] = RECORD_FORMAT
+            record["fingerprint"] = record_fingerprint(
+                record["trial"]
+            )
+        elif not TrialStore._current(record):
+            skipped_stale += 1
+            continue
+        destination.put_record(record)
+        migrated += 1
+        if verify:
+            replayed = destination.get(
+                TrialStore._spec_of(record)
+            )
+            original = json.dumps(record["value"], sort_keys=True)
+            copied = (
+                MISS if replayed is MISS
+                else json.dumps(replayed, sort_keys=True)
+            )
+            if copied != original:
+                verify_failed += 1
+    return {
+        "migrated": migrated,
+        "skipped_stale": skipped_stale,
+        "verify_failed": verify_failed,
+    }

@@ -7,16 +7,19 @@ Each PR appends one point to the bench trajectory: ``BENCH_PR2.json``
 ``BENCH_PR4.json`` (vectorized walker-ensemble engine, ``--pr4``),
 ``BENCH_PR5.json`` (declarative experiment registry, ``--pr5``) and
 ``BENCH_PR6.json`` (vectorized generation engine + corpus store,
-written by ``make bench-smoke``).  These tests never run the
-benchmarks (that takes minutes) but pin the committed artifacts: the
-schema the trajectory tooling consumes and each PR's recorded
-acceptance claim (>= 3x on the PR2 flooding/BFS cell batch; >= 2x on
-the PR3 grid-realisation workload; >= 3x on the PR4
-ensemble-vs-serial walk cell, frozen backend with numpy; the PR5
-registry-enumeration smoke must match the *live* registry, so
-re-declaring an experiment without regenerating the artifact fails
-here; >= 5x on the PR6 vectorized-vs-serial Móri generation at
-n=10^6, with the bench-built corpus passing ``verify``).
+``--pr6``) and ``BENCH_PR7.json`` (pluggable trial store, written by
+``make bench-smoke``).  These tests never run the benchmarks (that
+takes minutes) but pin the committed artifacts: the schema the
+trajectory tooling consumes and each PR's recorded acceptance claim
+(>= 3x on the PR2 flooding/BFS cell batch; >= 2x on the PR3
+grid-realisation workload; >= 3x on the PR4 ensemble-vs-serial walk
+cell, frozen backend with numpy; the PR5 registry-enumeration smoke
+must match the *live* registry, so re-declaring an experiment
+without regenerating the artifact fails here; >= 5x on the PR6
+vectorized-vs-serial Móri generation at n=10^6, with the bench-built
+corpus passing ``verify``; >= 2x warm trial replay and >= 5x fewer
+inodes for the PR7 sqlite store vs the json-files baseline, with the
+in-bench migration verifying every record bit-identical).
 """
 
 from __future__ import annotations
@@ -32,11 +35,13 @@ BENCH_PR3_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 BENCH_PR4_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 BENCH_PR5_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
 BENCH_PR6_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
+BENCH_PR7_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
 
 VALID_BACKENDS = {"frozen", "multigraph"}
 VALID_MODES = {"independent", "trajectory"}
 VALID_ENGINES = {"serial", "ensemble"}
 VALID_GENERATORS = {"serial", "vectorized"}
+VALID_STORE_BACKENDS = {"json-files", "sqlite"}
 
 
 @pytest.fixture(scope="module")
@@ -300,7 +305,7 @@ class TestBenchPR5Schema:
         matrix = registry["capability_matrix"]
         assert set(matrix) == set(registry["experiments"])
         valid_capabilities = {"jobs", "cache", "backend", "engine",
-                              "mode", "generator"}
+                              "mode", "generator", "store"}
         for capabilities in matrix.values():
             assert set(capabilities) <= valid_capabilities
 
@@ -396,3 +401,93 @@ class TestBenchPR6Schema:
         # The bench run verified every entry it wrote.
         assert corpus["verify_ok"] is True
         assert corpus["verified_entries"] == corpus["entries"]
+
+
+@pytest.fixture(scope="module")
+def pr7_payload():
+    assert os.path.exists(BENCH_PR7_PATH), (
+        "BENCH_PR7.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PR7_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchPR7Schema:
+    """The pluggable trial-store point."""
+
+    def test_schema_version(self, pr7_payload):
+        assert pr7_payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, pr7_payload):
+        records = pr7_payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+            assert record["store_backend"] in VALID_STORE_BACKENDS
+            assert record["phase"] in {"cold", "warm"}
+
+    def test_e17_timed_cold_and_warm_per_store_backend(
+        self, pr7_payload
+    ):
+        seen: dict = {}
+        for record in pr7_payload["records"]:
+            if record["experiment"] == "E17":
+                seen.setdefault(record["store_backend"], set()).add(
+                    record["phase"]
+                )
+        assert set(seen) == VALID_STORE_BACKENDS
+        for backend, phases in seen.items():
+            assert phases == {"cold", "warm"}, (
+                f"E17 must be timed cold and warm on {backend}"
+            )
+
+    def test_store_speedup_block(self, pr7_payload):
+        speedup = pr7_payload["store_speedup"]
+        assert speedup["workload"] == "trial-replay"
+        assert speedup["entries"] >= 100_000
+        per_backend = speedup["per_backend"]
+        # Both backends are measured, not a favourable subset.
+        assert set(per_backend) == VALID_STORE_BACKENDS
+        for numbers in per_backend.values():
+            assert numbers["entries"] == speedup["entries"]
+            assert numbers["put_seconds"] > 0
+            assert numbers["warm_get_seconds"] > 0
+            assert numbers["inodes"] >= 1
+            assert numbers["bytes"] > 0
+        baseline = per_backend[speedup["acceptance_baseline"]]
+        candidate = per_backend["sqlite"]
+        assert speedup["warm_replay_speedup"] == pytest.approx(
+            baseline["warm_get_seconds"]
+            / candidate["warm_get_seconds"],
+            abs=0.01,
+        )
+        assert speedup["inode_ratio"] == pytest.approx(
+            baseline["inodes"] / candidate["inodes"], abs=0.01
+        )
+
+    def test_recorded_acceptance_gates(self, pr7_payload):
+        """The committed run met both acceptance bars: warm replay
+        >= 2x faster and >= 5x fewer inodes than json-files."""
+        speedup = pr7_payload["store_speedup"]
+        assert speedup["acceptance_baseline"] == "json-files"
+        assert speedup["warm_replay_speedup"] >= 2.0
+        assert speedup["inode_ratio"] >= 5.0
+
+    def test_migrate_block(self, pr7_payload):
+        """The bench migrated the populated json tree and verified
+        every replayed value bit-identical."""
+        migrate = pr7_payload["store_speedup"]["migrate"]
+        assert migrate["source"] == "json-files"
+        assert migrate["destination"] == "sqlite"
+        assert migrate["migrated"] == (
+            pr7_payload["store_speedup"]["entries"]
+        )
+        assert migrate["skipped_stale"] == 0
+        assert migrate["verify_failed"] == 0
+        assert migrate["seconds"] > 0
+        assert migrate["verified_identical"] is True

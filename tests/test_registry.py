@@ -178,6 +178,7 @@ class TestRegistrySemantics:
         assert context.backend == CAPABILITY_PARAMS["backend"][1]
         assert context.engine == CAPABILITY_PARAMS["engine"][1]
         assert context.mode == CAPABILITY_PARAMS["mode"][1]
+        assert context.store_backend is CAPABILITY_PARAMS["store"][1]
 
     def test_trial_params_extra_policy(self):
         # Defaults stay out of trial params (cache-key stability);
@@ -198,13 +199,16 @@ class TestAuditedAxes:
         matrix = REGISTRY.capability_matrix()
         assert matrix["E9"] == (
             "jobs", "cache", "backend", "engine", "generator",
+            "store",
         )
         assert matrix["E12"] == ("backend",)
         assert matrix["E18"] == (
             "jobs", "cache", "backend", "engine", "mode", "generator",
+            "store",
         )
         assert matrix["E19"] == (
             "jobs", "cache", "backend", "engine", "mode", "generator",
+            "store",
         )
         # E8 stays axis-free on purpose: greedy routing navigates by
         # lattice coordinates, not through the oracle machinery.
@@ -327,6 +331,7 @@ class TestE20:
             "run", "E20", "--quick", "--jobs", "2",
             "--backend", "frozen",
             "--cache-dir", str(tmp_path / "cache"),
+            "--store-backend", "sqlite",
         ]
         if HAVE_NUMPY:
             argv += ["--engine", "ensemble"]
@@ -334,6 +339,8 @@ class TestE20:
         captured = capsys.readouterr()
         assert "warning:" not in captured.err
         assert "E20" in captured.out
+        assert "store: 0 hits," in captured.out
+        assert (tmp_path / "cache" / "trials.sqlite").exists()
 
 
 class TestCLIListing:

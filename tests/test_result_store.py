@@ -222,6 +222,107 @@ class TestSharedCacheRaces:
         store.put(spec, 42)
         assert store.get(spec) == 42
 
+    def test_put_landing_during_recovery_is_returned_not_unlinked(
+        self, tmp_path, monkeypatch
+    ):
+        """Writer B's atomic put lands *after* both of A's failed
+        reads — the exact window the old implementation documented:
+        its ``os.remove`` would unlink B's fresh record.  Recovery now
+        quarantine-renames first and re-checks: B's record is found
+        valid under the quarantine name, restored, and returned.
+        """
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"value": {"ok": tr')  # torn write
+
+        real_load = json.load
+        state = {"loads": 0}
+
+        def racing_load(handle):
+            state["loads"] += 1
+            if state["loads"] <= 2:
+                # Both of A's reads see the torn bytes; B's atomic
+                # put lands just after the second one, before A
+                # reacts.
+                if state["loads"] == 2:
+                    ResultStore(tmp_path).put(
+                        spec, {"from": "writer-b"}
+                    )
+                return real_load(handle)  # raises JSONDecodeError
+            return real_load(handle)  # the quarantine re-check
+
+        monkeypatch.setattr(json, "load", racing_load)
+        assert store.get(spec) == {"from": "writer-b"}
+        assert state["loads"] == 3
+        # B's entry survives at its path; no quarantine debris.
+        monkeypatch.undo()
+        assert store.get(spec) == {"from": "writer-b"}
+        directory = os.path.dirname(path)
+        assert [
+            name
+            for name in os.listdir(directory)
+            if "quarantine" in name
+        ] == []
+
+    def test_two_process_churn_never_loses_a_committed_put(
+        self, tmp_path
+    ):
+        """The real two-process regression: process B keeps atomically
+        rewriting one entry while A's reader keeps hitting it with
+        corruption recovery.  A must only ever see MISS or a valid
+        value (never an exception), and B's final committed put must
+        still be on disk afterwards — pre-fix, A's recovery could
+        unlink it.
+        """
+        import subprocess
+        import sys
+        import textwrap
+
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        script = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")!r})
+            sys.path.insert(0, {os.path.dirname(os.path.abspath(__file__))!r})
+            from test_result_store import _spec
+            from repro.runner import ResultStore
+            store = ResultStore({str(tmp_path)!r})
+            spec = _spec()
+            for round in range(300):
+                store.put(spec, {{"round": round}})
+            """
+        )
+        writer = subprocess.Popen([sys.executable, "-c", script])
+        try:
+            observed = []
+            while writer.poll() is None:
+                # Keep shoving torn bytes at the entry so A's reads
+                # exercise the recovery path against B's rewrites.
+                try:
+                    with open(path, "a", encoding="utf-8") as handle:
+                        handle.write("}{torn")
+                except OSError:
+                    pass
+                observed.append(store.get(spec))
+        finally:
+            assert writer.wait(timeout=120) == 0
+        for value in observed:
+            assert value is MISS or (
+                isinstance(value, dict) and "round" in value
+            )
+        # B's last committed put: recovery may classify it torn (A's
+        # appends corrupt it), but never unlinks a *valid* record —
+        # so after one clean rewrite the entry must stick.
+        store.put(spec, {"round": "final"})
+        assert store.get(spec) == {"round": "final"}
+        assert os.path.exists(path)
+
     def test_persistently_corrupt_entry_still_removed(self, tmp_path):
         """The re-read is one retry, not a corruption leak: a file that
         stays garbage is discarded exactly as before."""

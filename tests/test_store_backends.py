@@ -1,0 +1,566 @@
+"""Tests for the pluggable trial-store backends (`repro.runner.store`).
+
+Four batteries:
+
+* the backend contract, parametrized over both backends — round trip,
+  key partitioning, the cheap ``__contains__`` probe, ``get_many``
+  order (including past the sqlite batching chunk);
+* versioned-record semantics — legacy/stale entries are MISS, never
+  replayed, and a fresh ``put`` overwrites them;
+* crash consistency — kill-mid-write torn entries (truncated JSON,
+  a half-committed sqlite transaction from a died process, flipped
+  bytes) are always MISS and never an exception, over both backends;
+* migration — ``migrate_store`` round-trips values bit-identically in
+  both directions, stamps legacy entries, skips stale ones, and the
+  ``repro store stat/migrate/compact`` CLI drives it end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import stat as stat_module
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.runner import (
+    MISS,
+    RECORD_FORMAT,
+    STORE_BACKENDS,
+    STORE_BACKEND_VARIABLE,
+    ResultStore,
+    SqliteResultStore,
+    TrialSpec,
+    detect_backends,
+    migrate_store,
+    open_store,
+    record_fingerprint,
+    resolve_store_backend,
+    run_trials,
+    store_for,
+    store_stats,
+    reset_store_stats,
+    trial_ref,
+)
+
+BACKENDS = sorted(STORE_BACKENDS)
+
+
+def sample_trial(*, label: str, seed: int = 0) -> dict:
+    return {"label": label, "seed": seed, "value": seed * 3 + 1}
+
+
+SAMPLE = trial_ref(sample_trial)
+
+
+def _spec(seed: int = 1, label: str = "x") -> TrialSpec:
+    return TrialSpec(
+        experiment_id="T",
+        trial=SAMPLE,
+        params={"label": label},
+        seed=seed,
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    return open_store(tmp_path, request.param)
+
+
+class TestBackendContract:
+    """Both backends honour the same get/put/contains/get_many contract."""
+
+    def test_round_trip(self, store):
+        spec = _spec()
+        assert store.get(spec) is MISS
+        store.put(spec, {"a": 1, "b": [1, 2.5, "s", None]})
+        assert store.get(spec) == {"a": 1, "b": [1, 2.5, "s", None]}
+        assert spec in store
+
+    def test_none_is_a_valid_cached_value(self, store):
+        spec = _spec()
+        store.put(spec, None)
+        assert store.get(spec) is None
+        assert spec in store
+
+    def test_keys_partition(self, store):
+        store.put(_spec(seed=1, label="x"), "base")
+        assert store.get(_spec(seed=2, label="x")) is MISS
+        assert store.get(_spec(seed=1, label="y")) is MISS
+        assert (
+            store.get(TrialSpec("U", SAMPLE, {"label": "x"}, 1))
+            is MISS
+        )
+
+    def test_put_overwrites(self, store):
+        spec = _spec()
+        store.put(spec, "first")
+        store.put(spec, "second")
+        assert store.get(spec) == "second"
+
+    def test_huge_seeds_round_trip(self, store):
+        # Substream-derived trial seeds are arbitrary-precision ints,
+        # far beyond a signed 64-bit column.
+        spec = _spec(seed=2**96 + 17)
+        store.put(spec, "wide")
+        assert store.get(spec) == "wide"
+        assert spec in store
+
+    def test_get_many_preserves_order_past_chunking(self, store):
+        # 2x the sqlite batching chunk plus change, half of them
+        # missing, in interleaved order.
+        present = [_spec(seed=s) for s in range(0, 1300, 2)]
+        absent = [_spec(seed=s) for s in range(1, 1300, 2)]
+        for index, spec in enumerate(present):
+            store.put(spec, index)
+        interleaved = [
+            spec
+            for pair in zip(present, absent)
+            for spec in pair
+        ]
+        values = store.get_many(interleaved)
+        assert values[0::2] == list(range(len(present)))
+        assert all(value is MISS for value in values[1::2])
+
+    def test_get_many_feeds_the_runner_tally(self, store):
+        for seed in range(3):
+            store.put(_spec(seed=seed), seed)
+        reset_store_stats()
+        results = run_trials(
+            [_spec(seed=s) for s in range(4)], store=store
+        )
+        assert [r.from_cache for r in results] == [
+            True, True, True, False,
+        ]
+        assert store_stats() == {"hits": 3, "misses": 1}
+
+    def test_contains_is_a_probe_not_a_parse(self, store):
+        # A stale entry may probe True; get() still refuses it.  The
+        # probe's promise is only that False means miss.
+        spec = _spec()
+        record = dict(
+            store._make_record(spec, "old"),
+            fingerprint="0.0.0/elsewhere:fn",
+        )
+        store.put_record(record)
+        assert spec in store
+        assert store.get(spec) is MISS
+        assert _spec(seed=999) not in store
+
+    def test_stat_counts_entries(self, store):
+        for seed in range(4):
+            store.put(_spec(seed=seed), seed)
+        stats = store.stat()
+        assert stats["backend"] == store.kind
+        assert stats["entries"] == 4
+        assert stats["stale"] == 0
+        assert stats["bytes"] > 0
+        assert stats["inodes"] >= 1
+
+
+class TestVersionedRecords:
+    """Records carry format + code fingerprint; a mismatch is a MISS."""
+
+    def test_fingerprint_is_version_plus_trial(self):
+        assert record_fingerprint(SAMPLE) == (
+            f"{repro.__version__}/{SAMPLE}"
+        )
+
+    def test_legacy_unversioned_entry_is_a_miss(self, tmp_path):
+        # A pre-backend cache tree: structurally fine, but unversioned
+        # — exactly the stale-code replay hazard, so never replayed.
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "experiment_id": "T",
+                    "trial": SAMPLE,
+                    "params": {"label": "x"},
+                    "seed": 1,
+                    "value": 42,
+                },
+                handle,
+            )
+        assert store.get(spec) is MISS
+        # ...but the well-formed file is kept (migrate can stamp it).
+        assert os.path.exists(path)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stale_fingerprint_is_a_miss_until_overwritten(
+        self, tmp_path, backend
+    ):
+        store = open_store(tmp_path, backend)
+        spec = _spec()
+        store.put_record(
+            dict(
+                store._make_record(spec, "stale"),
+                fingerprint="0.0.0/old_module:old_fn",
+            )
+        )
+        assert store.get(spec) is MISS
+        store.put(spec, "fresh")
+        assert store.get(spec) == "fresh"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_format_bump_is_a_miss(self, tmp_path, backend):
+        store = open_store(tmp_path, backend)
+        spec = _spec()
+        store.put_record(
+            dict(store._make_record(spec, "v1"), format=RECORD_FORMAT - 1)
+        )
+        assert store.get(spec) is MISS
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stat_and_compact_report_stale(self, tmp_path, backend):
+        store = open_store(tmp_path, backend)
+        store.put(_spec(seed=1), "current")
+        store.put_record(
+            dict(
+                store._make_record(_spec(seed=2), "old"),
+                fingerprint="0.0.0/old:fn",
+            )
+        )
+        stats = store.stat()
+        assert (stats["entries"], stats["stale"]) == (1, 1)
+        assert store.compact()["removed_stale"] == 1
+        after = store.stat()
+        assert (after["entries"], after["stale"]) == (1, 0)
+        assert store.get(_spec(seed=1)) == "current"
+
+
+class TestBackendSelection:
+    def test_resolve_prefers_explicit_over_environment(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(STORE_BACKEND_VARIABLE, "sqlite")
+        assert resolve_store_backend("json-files") == "json-files"
+        assert resolve_store_backend(None) == "sqlite"
+        monkeypatch.delenv(STORE_BACKEND_VARIABLE)
+        assert resolve_store_backend(None) == "json-files"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown store"):
+            resolve_store_backend("oracle")
+
+    def test_store_for_environment_default(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(STORE_BACKEND_VARIABLE, "sqlite")
+        store = store_for(tmp_path)
+        assert isinstance(store, SqliteResultStore)
+        assert store_for(None) is None
+
+    def test_detect_backends(self, tmp_path):
+        assert detect_backends(tmp_path) == []
+        open_store(tmp_path, "sqlite").put(_spec(), 1)
+        assert detect_backends(tmp_path) == ["sqlite"]
+        open_store(tmp_path, "json-files").put(_spec(), 1)
+        assert detect_backends(tmp_path) == ["json-files", "sqlite"]
+
+
+@pytest.mark.skipif(os.name != "posix", reason="umask is POSIX")
+class TestPutPermissions:
+    def test_put_honours_process_umask(self, tmp_path):
+        # mkstemp creates 0600 files; pre-fix the entry kept that
+        # mode, making a shared cache dir unreadable to other users.
+        previous = os.umask(0o022)
+        try:
+            store = ResultStore(tmp_path)
+            spec = _spec()
+            store.put(spec, 1)
+            mode = stat_module.S_IMODE(
+                os.stat(store.path_for(spec)).st_mode
+            )
+            assert mode == 0o644
+        finally:
+            os.umask(previous)
+
+
+class TestCrashConsistency:
+    """Every torn entry is a MISS, never an exception."""
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"value": {"ok": tr')
+        assert store.get(spec) is MISS
+
+    def test_flipped_byte_in_json_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        store.put(spec, {"ok": True})
+        path = store.path_for(spec)
+        with open(path, "r+b") as handle:
+            handle.seek(2)
+            byte = handle.read(1)
+            handle.seek(2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert store.get(spec) is MISS
+
+    def test_json_writer_killed_mid_write_leaves_a_miss(
+        self, tmp_path
+    ):
+        # A crashed legacy writer (no atomic replace) dies mid-write:
+        # the torn bytes at the entry path read as a MISS, and the
+        # killed atomic writer's orphan temp file is invisible to
+        # reads and swept by compact.
+        store = ResultStore(tmp_path)
+        spec = _spec()
+        path = store.path_for(spec)
+        script = textwrap.dedent(
+            f"""
+            import json, os
+            path = {path!r}
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w") as handle:
+                handle.write(json.dumps({{"value": 1}})[:9])
+                handle.flush()
+                with open(os.path.join(os.path.dirname(path),
+                                       ".trial-dead.tmp"), "w") as t:
+                    t.write("{{")
+                    t.flush()
+                    os._exit(1)
+            """
+        )
+        process = subprocess.run(
+            [sys.executable, "-c", script], timeout=60
+        )
+        assert process.returncode == 1
+        assert store.get(spec) is MISS
+        assert store.compact()["removed_debris"] == 1
+
+    def test_sqlite_writer_killed_before_commit_leaves_a_miss(
+        self, tmp_path
+    ):
+        # The half-committed transaction: a process INSERTs and dies
+        # without COMMIT.  WAL atomicity makes the row simply not
+        # exist; the database stays healthy.
+        store = SqliteResultStore(tmp_path)
+        spec = _spec()
+        store.put(_spec(seed=99), "committed")  # create the schema
+        experiment_id, digest, seed = spec.key()
+        script = textwrap.dedent(
+            f"""
+            import os, sqlite3
+            connection = sqlite3.connect({store.db_path!r})
+            connection.execute("BEGIN")
+            connection.execute(
+                "INSERT INTO trials (experiment_id, params_hash, "
+                "seed, trial, params, value, format, fingerprint) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                ({experiment_id!r}, {digest!r}, {str(seed)!r},
+                 {SAMPLE!r}, '{{}}', '"torn"', 2, 'x/y'),
+            )
+            os._exit(1)
+            """
+        )
+        process = subprocess.run(
+            [sys.executable, "-c", script], timeout=60
+        )
+        assert process.returncode == 1
+        assert store.get(spec) is MISS
+        assert store.get(_spec(seed=99)) == "committed"
+
+    def test_flipped_byte_in_database_never_raises(self, tmp_path):
+        store = SqliteResultStore(tmp_path)
+        specs = [_spec(seed=s) for s in range(20)]
+        for index, spec in enumerate(specs):
+            store.put(spec, index)
+        store._reset_connection()
+        size = os.path.getsize(store.db_path)
+        with open(store.db_path, "r+b") as handle:
+            for offset in (16, size // 2, size - 7):
+                handle.seek(offset)
+                byte = handle.read(1)
+                handle.seek(offset)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+        fresh = SqliteResultStore(tmp_path)
+        values = fresh.get_many(specs)  # MISS or value, never a raise
+        assert all(v is MISS or v in range(20) for v in values)
+        fresh.put(specs[0], "recovered")
+        assert fresh.get(specs[0]) == "recovered"
+
+    def test_garbage_database_file_quarantined_and_rebuilt(
+        self, tmp_path
+    ):
+        db_path = os.path.join(
+            tmp_path, SqliteResultStore.DB_FILENAME
+        )
+        with open(db_path, "wb") as handle:
+            handle.write(b"this is not a sqlite database at all")
+        store = SqliteResultStore(tmp_path)
+        spec = _spec()
+        assert store.get(spec) is MISS
+        store.put(spec, "fresh")
+        assert store.get(spec) == "fresh"
+        sidecars = [
+            name
+            for name in os.listdir(tmp_path)
+            if ".corrupt-" in name
+        ]
+        assert len(sidecars) == 1  # the garbage is kept for autopsy
+
+
+class TestMigration:
+    def _populate(self, store, count=6):
+        values = {}
+        for seed in range(count):
+            value = {"seed": seed, "grid": [seed, seed + 0.5, None]}
+            store.put(_spec(seed=seed), value)
+            values[seed] = value
+        return values
+
+    @pytest.mark.parametrize(
+        "source_backend,dest_backend",
+        [("json-files", "sqlite"), ("sqlite", "json-files")],
+    )
+    def test_round_trip_bit_identical(
+        self, tmp_path, source_backend, dest_backend
+    ):
+        source = open_store(tmp_path / "src", source_backend)
+        destination = open_store(tmp_path / "dst", dest_backend)
+        values = self._populate(source)
+        report = migrate_store(source, destination)
+        assert report == {
+            "migrated": 6, "skipped_stale": 0, "verify_failed": 0,
+        }
+        for seed, value in values.items():
+            replayed = destination.get(_spec(seed=seed))
+            assert json.dumps(replayed, sort_keys=True) == json.dumps(
+                value, sort_keys=True
+            )
+
+    def test_legacy_entries_stamped_with_current_fingerprint(
+        self, tmp_path
+    ):
+        source = ResultStore(tmp_path / "legacy")
+        spec = _spec()
+        path = source.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "experiment_id": "T",
+                    "trial": SAMPLE,
+                    "params": {"label": "x"},
+                    "seed": 1,
+                    "value": {"pinned": [1, 2, 3]},
+                },
+                handle,
+            )
+        assert source.get(spec) is MISS  # unversioned: not replayed
+        destination = SqliteResultStore(tmp_path / "migrated")
+        report = migrate_store(source, destination)
+        assert report["migrated"] == 1
+        # Migration is the explicit trust statement: stamped entries
+        # replay under the current code.
+        assert destination.get(spec) == {"pinned": [1, 2, 3]}
+
+    def test_stale_entries_skipped(self, tmp_path):
+        source = ResultStore(tmp_path / "src")
+        source.put(_spec(seed=1), "current")
+        source.put_record(
+            dict(
+                source._make_record(_spec(seed=2), "old"),
+                fingerprint="0.0.0/old:fn",
+            )
+        )
+        destination = SqliteResultStore(tmp_path / "dst")
+        report = migrate_store(source, destination)
+        assert report["migrated"] == 1
+        assert report["skipped_stale"] == 1
+        assert destination.get(_spec(seed=2)) is MISS
+
+    def test_in_place_migration_shares_the_directory(self, tmp_path):
+        # Both backends coexist in one cache dir, which is what the
+        # CLI's default (no --dest) relies on.
+        source = ResultStore(tmp_path)
+        self._populate(source, count=3)
+        destination = SqliteResultStore(tmp_path)
+        assert migrate_store(source, destination)["migrated"] == 3
+        assert detect_backends(tmp_path) == ["json-files", "sqlite"]
+        assert destination.get(_spec(seed=0)) == {
+            "seed": 0, "grid": [0, 0.5, None],
+        }
+
+
+class TestStoreCLI:
+    def _fill(self, cache_dir, count=4):
+        store = ResultStore(cache_dir)
+        for seed in range(count):
+            store.put(_spec(seed=seed), seed)
+        return store
+
+    def test_stat_reports_backends(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert main(["store", "stat", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "json-files: 4 entries, 0 stale" in out
+
+    def test_stat_empty_dir(self, tmp_path, capsys):
+        assert main(["store", "stat", str(tmp_path)]) == 0
+        assert "no store backends" in capsys.readouterr().out
+
+    def test_migrate_then_replay(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert main(["store", "migrate", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 migrated (json-files -> sqlite)" in out
+        assert "0 verify failures" in out
+        migrated = SqliteResultStore(tmp_path)
+        assert migrated.get(_spec(seed=2)) == 2
+
+    def test_compact_sweeps_stale(self, tmp_path, capsys):
+        store = self._fill(tmp_path)
+        store.put_record(
+            dict(
+                store._make_record(_spec(seed=9), "old"),
+                fingerprint="0.0.0/old:fn",
+            )
+        )
+        assert main(["store", "compact", str(tmp_path)]) == 0
+        assert "1 stale" in capsys.readouterr().out
+        assert store.stat()["stale"] == 0
+
+    def test_run_reports_store_tally(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        arguments = [
+            "run", "E6", "--quick", "--cache-dir", cache,
+            "--store-backend", "sqlite",
+        ]
+        assert main(arguments) == 0
+        cold = capsys.readouterr().out
+        assert "store: 0 hits, " in cold
+        assert main(arguments) == 0
+        warm = capsys.readouterr().out
+        assert " hits, 0 misses" in warm
+        assert "store: 0 hits" not in warm
+
+    def test_store_backend_warns_when_undeclared(
+        self, tmp_path, capsys
+    ):
+        # E12 declares no cache/store capability.
+        arguments = [
+            "run", "E12", "--quick",
+            "--store-backend", "sqlite",
+        ]
+        assert main(arguments) == 0
+        err = capsys.readouterr().err
+        assert "--store-backend sqlite has no effect on E12" in err
+
+    def test_no_tally_without_cache_dir(self, tmp_path, capsys):
+        assert main(["run", "E6", "--quick"]) == 0
+        assert "store:" not in capsys.readouterr().out
