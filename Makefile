@@ -21,7 +21,8 @@ verify-full:
 # identical output, verify), then the trial-store smoke (sqlite
 # cold fill, warm replay with identical output and a nonzero hit
 # tally, stat, a verified migration back to json-files), then the
-# suite plus the generator
+# churn smoke (a downsized E21 through the dynamic-graph flags, both
+# engines), then the suite plus the generator
 # fallback with numpy import-blocked (a shim module shadows it) to
 # exercise the stdlib fallbacks and the clean "unavailable" error
 # paths of the ensemble engine and the vectorized generator.
@@ -51,6 +52,8 @@ ci:
 	PYTHONPATH=src python -m repro store stat .ci-store
 	PYTHONPATH=src python -m repro store migrate .ci-store --from sqlite --to json-files
 	rm -rf .ci-store .ci-store-cold.log .ci-store-warm.log .ci-store-cold.trimmed .ci-store-warm.trimmed
+	PYTHONPATH=src python -m repro run E21 --quick --churn-rate 0.1 --churn-bias degree --resnapshot-every 5
+	PYTHONPATH=src python -m repro run E21 --quick --engine ensemble --backend frozen
 	@mkdir -p .ci-no-numpy && printf 'raise ImportError("numpy disabled for the no-numpy CI leg")\n' > .ci-no-numpy/numpy.py
 	! PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator vectorized 2> .ci-no-numpy/err.log
 	grep -q "requires numpy" .ci-no-numpy/err.log
@@ -58,15 +61,14 @@ ci:
 	PYTHONPATH=.ci-no-numpy:src python -m pytest -x -q; \
 		status=$$?; rm -rf .ci-no-numpy; exit $$status
 
-# Minutes-scale bench point: 10^5 trial records filled and
-# warm-replayed through each store backend (keys precomputed; gates
-# >= 2x warm replay and >= 5x fewer inodes for sqlite), an in-bench
-# verified json-files -> sqlite migration, and downsized E17
-# cold/warm per store backend.  Writes BENCH_PR7.json (pinned by
+# Bench point: the E21 churn+search workload at n=10^5 with the
+# DeltaGraph overlay vs a full snapshot rebuild per churn step (gate
+# >= 3x on digest- and request-identical outputs), plus downsized E21
+# per engine through the registry.  Writes BENCH_PR8.json (pinned by
 # tests/test_bench_schema.py); `PYTHONPATH=src python
-# benchmarks/bench_smoke.py --pr6` regenerates BENCH_PR6.json,
-# `--pr5` BENCH_PR5.json, `--pr4` BENCH_PR4.json, `--pr3`
-# BENCH_PR3.json and `--pr2` BENCH_PR2.json.
+# benchmarks/bench_smoke.py --pr7` regenerates BENCH_PR7.json,
+# `--pr6` BENCH_PR6.json, `--pr5` BENCH_PR5.json, `--pr4`
+# BENCH_PR4.json, `--pr3` BENCH_PR3.json and `--pr2` BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 

@@ -1,49 +1,49 @@
-"""Bench-trajectory smoke run: the pluggable trial-store point.
+"""Bench-trajectory smoke run: the dynamic-graph overlay point.
 
 ``make bench-smoke`` runs this script.  It records the PR's point in
-``BENCH_PR7.json`` at the repository root:
+``BENCH_PR8.json`` at the repository root:
 
-1. a **store-speedup block**: 10^5 trial records with realistic
-   parameter payloads written through, then warm-replayed from, each
-   store backend.  ``spec.key()`` is precomputed outside the timed
-   regions (the sha256 params hash is backend-independent work), so
-   the timings compare the backends themselves.  The acceptance gates
-   are warm replay >= 2x faster and >= 5x fewer inodes for ``sqlite``
-   vs the ``json-files`` baseline;
-2. a **migrate block** inside the same run: the populated
-   ``json-files`` store converted with
-   :func:`repro.runner.migrate_store` (verify on, every replayed
-   value compared bit-for-bit) — the acceptance requires zero verify
-   failures across all 10^5 records;
-3. downsized end-to-end timings of **E17** cold/warm per store
-   backend, run *through the registry* exactly as ``repro run E17
-   --cache-dir ... --store-backend ...`` would, with the derived
-   scalars asserted equal and the warm pass required to be all hits.
+1. an **overlay-speedup block**: the E21 workload at n = 10^5 — a
+   population-preserving churn phase followed by a walk-search phase
+   on the churned graph — run two ways.  The *overlay* strategy
+   maintains a :class:`~repro.graphs.delta.DeltaGraph` across churn
+   (O(log n) per step); the *rebuild-per-step* baseline is the same
+   churn trajectory with a full compaction into a fresh
+   :class:`~repro.graphs.frozen.FrozenGraph` after every step — what
+   a system without the overlay layer pays to keep a searchable
+   snapshot current.  Both strategies must end on digest-identical
+   graphs and spend identical search requests (the rank-based churn
+   sampler makes trajectories compaction-invariant); the acceptance
+   gate is overlay >= 3x faster end to end;
+2. downsized end-to-end timings of **E21** per declared engine, run
+   *through the registry* exactly as ``repro run E21 --engine ...``
+   would, with the derived scalars asserted equal across engines.
 
 Record schema (validated by ``tests/test_bench_schema.py``)::
 
     {"schema": "repro-bench/v1",
-     "records": [{"experiment": "E17", "n": 2000, "wall_seconds": ...,
-                  "backend": "frozen", "store_backend": "sqlite",
-                  "phase": "warm"}, ...],
-     "store_speedup": {
-         "workload": "trial-replay", "entries": 100000,
-         "per_backend": {"json-files": {"put_seconds": ...,
-                                        "warm_get_seconds": ...,
-                                        "inodes": ..., "bytes": ...},
-                         "sqlite": {...}},
-         "warm_replay_speedup": ..., "inode_ratio": ...,
-         "acceptance_baseline": "json-files",
-         "migrate": {"source": "json-files", "destination": "sqlite",
-                     "migrated": 100000, "verify_failed": 0, ...}}}
+     "records": [{"experiment": "E21", "n": 100000,
+                  "wall_seconds": ..., "backend": "frozen",
+                  "strategy": "overlay"}, ...],
+     "overlay_speedup": {
+         "workload": "churn-then-search", "n": 100000,
+         "churn_steps": ..., "churn_bias": "uniform",
+         "per_strategy": {
+             "overlay": {"churn_seconds": ..., "search_seconds": ...,
+                         "total_seconds": ..., "search_requests": ...},
+             "rebuild-per-step": {...}},
+         "speedup_vs_rebuild": ..., "graph_digest": "...",
+         "digests_equal": true, "requests_equal": true,
+         "acceptance_baseline": "rebuild-per-step"}}
 
 Wall-clock numbers vary with the machine; the committed file records
 the run that accompanied the PR.  Earlier trajectory points
-regenerate with ``PYTHONPATH=src python benchmarks/bench_smoke.py
---pr6`` (vectorized generation + graph corpus, ``BENCH_PR6.json``),
-``--pr5`` (declarative registry), ``--pr4`` (walker-ensemble
-engine), ``--pr3`` (growth-trajectory checkpoint engine) and
-``--pr2`` (FrozenGraph cell batching).
+regenerate with the per-PR flags (table-driven in ``_PR_FLAGS``):
+``--pr7`` (pluggable trial store, ``BENCH_PR7.json``), ``--pr6``
+(vectorized generation + graph corpus), ``--pr5`` (declarative
+registry), ``--pr4`` (walker-ensemble engine), ``--pr3``
+(growth-trajectory checkpoint engine) and ``--pr2`` (FrozenGraph
+cell batching).
 """
 
 from __future__ import annotations
@@ -61,6 +61,7 @@ from repro.core.experiments import (
     e3_cooper_frieze,
     e17_simulation_slowdown,
     e19_trajectory_scaling,
+    e21_churn_search,
 )
 from repro.core.families import (
     BarabasiAlbertFamily,
@@ -69,6 +70,8 @@ from repro.core.families import (
 )
 from repro.core.trials import snapshot_graph, trajectory_snapshots
 from repro.graphs import freeze
+from repro.graphs.churn import ChurnProcess
+from repro.graphs.delta import graph_digest
 from repro.rng import make_rng, run_substream, substream
 from repro.search.algorithms import (
     FloodingSearch,
@@ -81,12 +84,216 @@ from repro.search.process import run_search
 
 SCHEMA = "repro-bench/v1"
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
-OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
+PR8_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR8.json")
+PR7_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
 PR6_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
 PR5_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
 PR4_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 PR3_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 PR2_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
+
+
+# ----------------------------------------------------------------------
+# PR8: dynamic-graph overlay (churn, deletion, search under change)
+# ----------------------------------------------------------------------
+
+#: The overlay-speedup workload: a Móri graph at search scale (the
+#: same family/size as the PR4 gate cell), churned for a fixed number
+#: of population-preserving steps, then searched by the whole walk
+#: family.  The step count is set by the *baseline*: each
+#: rebuild-per-step pays a full O(n + m) compaction, so a handful of
+#: steps already dominates its wall clock, while the overlay's
+#: O(log n) steps stay essentially free at any count.
+PR8_FAMILY = MoriFamily(p=0.5, m=2)
+PR8_N = 100_000
+PR8_CHURN_STEPS = 25
+PR8_CHURN_BIAS = "uniform"
+PR8_SEED = 88
+PR8_SEARCH_BUDGET = 2_000
+PR8_SEARCH_RUNS = 4
+PR8_SEARCH_ALGORITHMS = (
+    RandomWalkSearch(),
+    SelfAvoidingWalkSearch(),
+    RestartingWalkSearch(restart_prob=0.1),
+)
+
+#: E21's downsized grid for the per-engine end-to-end timing (run
+#: through the registry, exactly as ``repro run E21 --engine ...``).
+PR8_E21_OVERRIDES = {
+    "size": 2_000,
+    "churn_rates": (0.0, 0.1),
+    "num_graphs": 2,
+    "runs_per_graph": 2,
+}
+
+
+def _pr8_searches(graph, seed: int) -> int:
+    """The search phase; returns total oracle requests spent.
+
+    Start and target are picked by *rank* among the live vertices, so
+    they name the same physical vertex on the overlay and on any
+    order-preserving compaction of it; walk decisions only consume
+    neighbor lists (whose relative order compaction preserves) and
+    the per-run rng, so the request counts of the two strategies must
+    agree exactly — checked by the caller.
+    """
+    live = list(graph.vertices())
+    start = live[len(live) // 2]
+    target = live[-1]
+    requests = 0
+    for index, algorithm in enumerate(PR8_SEARCH_ALGORITHMS):
+        for run in range(PR8_SEARCH_RUNS):
+            outcome = run_search(
+                algorithm,
+                graph,
+                start,
+                target,
+                budget=PR8_SEARCH_BUDGET,
+                seed=substream(
+                    PR8_SEED, index * PR8_SEARCH_RUNS + run
+                ),
+            )
+            requests += outcome.requests
+    return requests
+
+
+def pr8_measure_overlay_speedup() -> dict:
+    """Churn + search, overlay vs rebuild-per-step, identical output.
+
+    Both strategies replay the *same* churn trajectory (the rank-based
+    sampler makes it compaction-invariant) and run the same searches;
+    the baseline additionally compacts into a fresh FrozenGraph after
+    every step (``resnapshot_every=1``) — the cost a system without
+    the overlay layer pays to keep a searchable snapshot current.
+    Raises if the two final graphs differ by digest or the searches
+    differ in spent requests: the speedup claim is only worth
+    recording for identical results.
+    """
+    base = PR8_FAMILY.build_frozen(PR8_N, seed=PR8_SEED)
+    per_strategy = {}
+    digests = {}
+    for strategy, every in (("overlay", 0), ("rebuild-per-step", 1)):
+        process = ChurnProcess(
+            PR8_FAMILY,
+            base,
+            churn_bias=PR8_CHURN_BIAS,
+            resnapshot_every=every,
+            seed=PR8_SEED,
+        )
+        began = time.perf_counter()
+        graph = process.run(PR8_CHURN_STEPS)
+        churn_seconds = time.perf_counter() - began
+
+        began = time.perf_counter()
+        requests = _pr8_searches(graph, PR8_SEED)
+        search_seconds = time.perf_counter() - began
+
+        digests[strategy] = graph_digest(graph.resnapshot())
+        per_strategy[strategy] = {
+            "churn_seconds": round(churn_seconds, 4),
+            "search_seconds": round(search_seconds, 4),
+            "total_seconds": round(churn_seconds + search_seconds, 4),
+            "search_requests": requests,
+        }
+    if digests["overlay"] != digests["rebuild-per-step"]:
+        raise SystemExit(
+            "overlay and rebuild-per-step diverged: "
+            f"{digests['overlay']} != {digests['rebuild-per-step']}"
+        )
+    requests_equal = (
+        per_strategy["overlay"]["search_requests"]
+        == per_strategy["rebuild-per-step"]["search_requests"]
+    )
+    if not requests_equal:
+        raise SystemExit(
+            "overlay and rebuild-per-step searches spent different "
+            "request counts"
+        )
+    speedup = (
+        per_strategy["rebuild-per-step"]["total_seconds"]
+        / per_strategy["overlay"]["total_seconds"]
+    )
+    return {
+        "workload": "churn-then-search",
+        "family": f"mori(p={PR8_FAMILY.p}, m={PR8_FAMILY.m})",
+        "n": PR8_N,
+        "churn_steps": PR8_CHURN_STEPS,
+        "churn_bias": PR8_CHURN_BIAS,
+        "search_budget": PR8_SEARCH_BUDGET,
+        "search_runs": PR8_SEARCH_RUNS * len(PR8_SEARCH_ALGORITHMS),
+        "per_strategy": per_strategy,
+        "speedup_vs_rebuild": round(speedup, 2),
+        "graph_digest": digests["overlay"],
+        "digests_equal": True,
+        "requests_equal": True,
+        "acceptance_baseline": "rebuild-per-step",
+    }
+
+
+def pr8_time_e21_per_engine() -> list:
+    """Downsized E21 per declared engine, timed end to end."""
+    records = []
+    derived = {}
+    for engine in ("serial", "ensemble"):
+        began = time.perf_counter()
+        result = e21_churn_search(**PR8_E21_OVERRIDES, engine=engine)
+        elapsed = time.perf_counter() - began
+        derived[engine] = result.derived
+        records.append(
+            {
+                "experiment": "E21",
+                "n": PR8_E21_OVERRIDES["size"],
+                "wall_seconds": round(elapsed, 4),
+                "backend": "frozen",
+                "engine": engine,
+                "strategy": "overlay",
+            }
+        )
+    if derived["serial"] != derived["ensemble"]:
+        raise SystemExit("E21: engines diverged at bench scale")
+    return records
+
+
+def main() -> int:
+    """Write BENCH_PR8.json (the dynamic-graph overlay point)."""
+    print(
+        "bench-smoke: overlay vs rebuild-per-step, "
+        f"n={PR8_N:,}, {PR8_CHURN_STEPS} churn steps"
+    )
+    overlay_block = pr8_measure_overlay_speedup()
+    print(
+        "bench-smoke: downsized E21 per engine, via the registry"
+    )
+    records = pr8_time_e21_per_engine()
+    for strategy, numbers in overlay_block["per_strategy"].items():
+        records.append(
+            {
+                "experiment": "E21",
+                "n": PR8_N,
+                "wall_seconds": numbers["total_seconds"],
+                "backend": "frozen",
+                "engine": "serial",
+                "strategy": strategy,
+            }
+        )
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "overlay_speedup": overlay_block,
+    }
+    path = os.path.normpath(PR8_OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    ok = overlay_block["speedup_vs_rebuild"] >= 3.0
+    print(
+        "acceptance: overlay "
+        f"{overlay_block['speedup_vs_rebuild']:.1f}x vs "
+        f"rebuild-per-step ({'>= 3x ok' if ok else 'BELOW 3x'}), "
+        "digests equal, search requests equal"
+    )
+    return 0 if ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -308,7 +515,7 @@ def pr7_time_e17_per_store_backend() -> list:
     return records
 
 
-def main() -> int:
+def pr7_main() -> int:
     """Write BENCH_PR7.json (the pluggable trial-store point)."""
     print(
         "bench-smoke: trial-store fill/replay, "
@@ -325,7 +532,7 @@ def main() -> int:
         "records": records,
         "store_speedup": store_block,
     }
-    path = os.path.normpath(OUTPUT_PATH)
+    path = os.path.normpath(PR7_OUTPUT_PATH)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -662,8 +869,14 @@ def pr5_time_e20_per_engine() -> list:
 
 
 def pr5_main() -> int:
-    """Regenerate BENCH_PR5.json (the experiment-registry point)."""
-    print("bench-smoke --pr5: registry enumeration (E1..E20)")
+    """Regenerate BENCH_PR5.json (the experiment-registry point).
+
+    The registry block snapshots the *live* registry, so later PRs
+    that add experiments regenerate this artifact; the gate is that
+    the original E1..E20 surface is still fully declared (growth is
+    expected, loss is a regression).
+    """
+    print("bench-smoke --pr5: registry enumeration")
     registry_block = pr5_registry_block()
     print(
         "bench-smoke --pr5: downsized E20 per engine, via the registry"
@@ -679,10 +892,14 @@ def pr5_main() -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {path}")
-    ok = registry_block["count"] == 20
+    original = [f"E{i}" for i in range(1, 21)]
+    ok = all(
+        experiment_id in registry_block["experiments"]
+        for experiment_id in original
+    )
     print(
         f"acceptance: {registry_block['count']} registered "
-        f"experiments ({'== 20 ok' if ok else 'NOT 20'}), "
+        f"experiments ({'E1..E20 all present' if ok else 'E1..E20 INCOMPLETE'}), "
         "E20 engines equal"
     )
     return 0 if ok else 1
@@ -1071,15 +1288,19 @@ def pr2_main() -> int:
     return 0 if ok else 1
 
 
+#: Earlier trajectory points, dispatched by flag; no flag runs the
+#: current PR's point (``main``).  A new PR adds one row, not an arm.
+_PR_FLAGS = {
+    "--pr2": pr2_main,
+    "--pr3": pr3_main,
+    "--pr4": pr4_main,
+    "--pr5": pr5_main,
+    "--pr6": pr6_main,
+    "--pr7": pr7_main,
+}
+
 if __name__ == "__main__":
-    if "--pr2" in sys.argv[1:]:
-        sys.exit(pr2_main())
-    if "--pr3" in sys.argv[1:]:
-        sys.exit(pr3_main())
-    if "--pr4" in sys.argv[1:]:
-        sys.exit(pr4_main())
-    if "--pr5" in sys.argv[1:]:
-        sys.exit(pr5_main())
-    if "--pr6" in sys.argv[1:]:
-        sys.exit(pr6_main())
+    for _flag, _entry in _PR_FLAGS.items():
+        if _flag in sys.argv[1:]:
+            sys.exit(_entry())
     sys.exit(main())

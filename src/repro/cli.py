@@ -73,7 +73,7 @@ import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
-import repro.core.experiments  # noqa: F401 — registers E1..E20
+import repro.core.experiments  # noqa: F401 — registers E1..E22
 from repro.core.registry import (
     CAPABILITY_PARAMS,
     REGISTRY,
@@ -115,6 +115,22 @@ QUICK_OVERRIDES = {
     "E18": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
     "E19": {"sizes": (100, 200), "num_graphs": 2, "runs_per_graph": 1},
     "E20": {"sizes": (60, 120), "num_graphs": 2, "runs_per_graph": 1},
+    "E21": {"size": 120, "churn_rates": (0.0, 0.1), "num_graphs": 2,
+            "runs_per_graph": 1},
+    "E22": {"size": 150, "remove_fractions": (0.2, 0.6),
+            "num_graphs": 2},
+}
+
+#: Churn-axis sugar: flag dest -> candidate declared parameter names
+#: (first declared wins).  The flags are generic — a value rides the
+#: same typed coercion as ``--set`` against whichever churn parameter
+#: the experiment declares, so new churn experiments get the axis for
+#: free and experiments without churn parameters warn, exactly like
+#: an undeclared capability flag.  No experiment-specific CLI code.
+_CHURN_FLAG_PARAMS = {
+    "churn_rate": ("churn_rates", "churn_rate"),
+    "churn_bias": ("churn_bias",),
+    "resnapshot_every": ("resnapshot_every",),
 }
 
 #: Capability -> the CLI flag that requests it (for warnings/help).
@@ -199,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "experiment",
-        help="experiment id (E1..E20), comma-separated ids, or 'all'",
+        help="experiment id (E1..E22), comma-separated ids, or 'all'",
     )
     run.add_argument(
         "--seed",
@@ -319,6 +335,38 @@ def build_parser() -> argparse.ArgumentParser:
             "(one WAL-mode database per cache directory); values are "
             "identical either way (equivalent to setting "
             "REPRO_STORE_BACKEND)"
+        ),
+    )
+    run.add_argument(
+        "--churn-rate",
+        dest="churn_rate",
+        default=None,
+        metavar="RATE[,RATE...]",
+        help=(
+            "churn-axis sugar: override the experiment's declared "
+            "churn-rate parameter (a comma list sweeps several rates; "
+            "experiments without a churn axis warn and ignore it)"
+        ),
+    )
+    run.add_argument(
+        "--churn-bias",
+        dest="churn_bias",
+        choices=("uniform", "degree"),
+        default=None,
+        help=(
+            "leave-selection bias for churn experiments: 'uniform' "
+            "removes random peers, 'degree' removes hubs first"
+        ),
+    )
+    run.add_argument(
+        "--resnapshot-every",
+        dest="resnapshot_every",
+        default=None,
+        metavar="STEPS",
+        help=(
+            "compact the churn overlay into a fresh snapshot every "
+            "this many steps (0 disables; an execution knob of churn "
+            "experiments)"
         ),
     )
     run.add_argument(
@@ -612,6 +660,19 @@ def _resolve_overrides(
         )
     if args.seed is not None and "seed" in spec.param_names:
         overrides["seed"] = args.seed
+    for dest, candidates in _CHURN_FLAG_PARAMS.items():
+        value = getattr(args, dest, None)
+        if value is None:
+            continue
+        flag = "--" + dest.replace("_", "-")
+        declared = next(
+            (name for name in candidates if name in spec.param_names),
+            None,
+        )
+        if declared is None:
+            _warn_ignored(spec.id, f"{flag} {value}", candidates[-1])
+            continue
+        overrides[declared] = spec.param(declared).coerce(str(value))
     for key, text in args.overrides:
         if key not in spec.param_names:
             if strict:

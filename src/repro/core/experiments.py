@@ -56,6 +56,7 @@ from repro.core.registry import (
     FLOAT_TUPLE,
     INT,
     INT_TUPLE,
+    STR,
     Param,
     REGISTRY,
     run_experiment,
@@ -63,8 +64,11 @@ from repro.core.registry import (
 from repro.core.results import ExperimentResult, Table
 from repro.errors import ExperimentError
 from repro.core.trials import (
+    churn_search_trial,
+    churn_survival_trial,
     degree_fit_trial,
     family_spec,
+    result_from_dict,
     simulation_slowdown_trial,
     snapshot_graph,
     trajectory_slowdown_trial,
@@ -91,10 +95,12 @@ from repro.equivalence.lower_bound import (
     theorem2_weak_bound,
 )
 from repro.graphs.barabasi_albert import barabasi_albert_graph
+from repro.graphs.churn import CHURN_BIASES
 from repro.graphs.cooper_frieze import CooperFriezeParams
 from repro.graphs.kleinberg import kleinberg_grid
 from repro.graphs.mori import mori_tree
 from repro.rng import make_rng, substream
+from repro.search.metrics import summarize_results
 from repro.search.algorithms import (
     greedy_route,
     percolation_query,
@@ -122,6 +128,8 @@ __all__ = [
     "e18_start_rule",
     "e19_trajectory_scaling",
     "e20_cross_model",
+    "e21_churn_search",
+    "e22_giant_survival",
     "ALL_EXPERIMENTS",
 ]
 
@@ -2355,6 +2363,350 @@ def e20_cross_model(
     )
 
 
+# ----------------------------------------------------------------------
+# E21: search cost under churn (the dynamic-overlay proof)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.register(
+    "E21",
+    title="Search cost vs churn rate (weak + strong portfolios)",
+    capabilities=("jobs", "cache", "backend", "engine", "generator",
+                  "store"),
+    params=(
+        Param("size", INT, 400),
+        Param("p", FLOAT, 0.5),
+        Param("m", INT, 2),
+        Param("churn_rates", FLOAT_TUPLE, (0.0, 0.05, 0.1, 0.2)),
+        Param("churn_bias", STR, "uniform"),
+        Param("resnapshot_every", INT, 0),
+        Param("num_graphs", INT, 4),
+        Param("runs_per_graph", INT, 2),
+        Param("seed", INT, 21),
+    ),
+)
+def _e21_body(
+    ctx,
+    *,
+    size,
+    p,
+    m,
+    churn_rates,
+    churn_bias,
+    resnapshot_every,
+    num_graphs,
+    runs_per_graph,
+    seed,
+):
+    spec = family_spec(MoriFamily(p=p, m=m))
+    result = ExperimentResult(
+        experiment_id="E21",
+        title="Search cost vs churn rate (weak + strong portfolios)",
+        params={
+            "size": size,
+            "p": p,
+            "m": m,
+            "churn_rates": list(churn_rates),
+            "churn_bias": churn_bias,
+            "resnapshot_every": resnapshot_every,
+            "num_graphs": num_graphs,
+            "runs_per_graph": runs_per_graph,
+            "seed": seed,
+        },
+    )
+    table = Table(
+        title="Mean requests per (portfolio, churn rate, algorithm)",
+        columns=(
+            "portfolio",
+            "churn rate",
+            "algorithm",
+            "mean requests",
+            "ci95 halfwidth",
+            "found rate",
+        ),
+    )
+    reference = trial_ref(churn_search_trial)
+    extra = ctx.trial_params_extra()
+    grid = [
+        (portfolio, rate)
+        for portfolio in ("weak", "strong")
+        for rate in churn_rates
+    ]
+    specs = []
+    for grid_index, (portfolio, rate) in enumerate(grid):
+        cell_seed = substream(seed, grid_index)
+        params = {
+            "family": spec,
+            "size": size,
+            "portfolio": portfolio,
+            "churn_rate": rate,
+            "churn_bias": churn_bias,
+            "runs_per_graph": runs_per_graph,
+            **extra,
+        }
+        if resnapshot_every:
+            params["resnapshot_every"] = resnapshot_every
+        specs.extend(
+            TrialSpec(
+                experiment_id="E21",
+                trial=reference,
+                params=params,
+                seed=substream(cell_seed, graph_index),
+            )
+            for graph_index in range(num_graphs)
+        )
+    outcomes = ctx.run_trials(specs)
+
+    cheapest_by_rate: Dict[str, Dict[float, float]] = {}
+    cursor = 0
+    for portfolio, rate in grid:
+        merged: Dict[str, list] = {}
+        for graph_index in range(num_graphs):
+            value = outcomes[cursor + graph_index].value
+            for name, rows in value["results"].items():
+                merged.setdefault(name, []).extend(
+                    result_from_dict(row) for row in rows
+                )
+        cursor += num_graphs
+        cheapest = float("inf")
+        for name in sorted(merged):
+            summary = summarize_results(merged[name])
+            table.add_row(
+                portfolio,
+                rate,
+                name,
+                summary.mean_requests,
+                summary.ci_halfwidth,
+                summary.success_rate,
+            )
+            cheapest = min(cheapest, summary.mean_requests)
+        cheapest_by_rate.setdefault(portfolio, {})[rate] = cheapest
+        result.derived[f"cheapest/{portfolio}@{rate:g}"] = cheapest
+    for portfolio, by_rate in cheapest_by_rate.items():
+        calm = by_rate[min(by_rate)]
+        stormy = by_rate[max(by_rate)]
+        result.derived[f"churn_penalty/{portfolio}"] = (
+            stormy / calm if calm else float("inf")
+        )
+    table.notes.append(
+        "Each churn step is one biased leave plus one model-faithful "
+        "join (population held), so rows isolate the effect of "
+        "turnover, not of shrinkage."
+    )
+    result.tables.append(table)
+    return result
+
+
+def e21_churn_search(
+    size: int = 400,
+    p: float = 0.5,
+    m: int = 2,
+    churn_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    churn_bias: str = "uniform",
+    resnapshot_every: int = 0,
+    num_graphs: int = 4,
+    runs_per_graph: int = 2,
+    seed: int = 21,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    backend: str = "frozen",
+    engine: str = "serial",
+    generator: str = "serial",
+    store_backend: Optional[str] = None,
+) -> ExperimentResult:
+    """E21: does non-searchability survive live churn?
+
+    Sweeps the churn rate (steps per vertex of population-preserving
+    leave+join turnover on the overlay layer) and re-measures the
+    weak and strong portfolios on the churned graph.  A pure spec per
+    the PR 5 recipe: churn parameters are ordinary registry params
+    (the CLI's ``--churn-rate/--churn-bias/--resnapshot-every`` sugar
+    maps onto them generically), and every cell is one
+    :func:`~repro.core.trials.churn_search_trial` replayable from the
+    store across ``--jobs`` and engines.
+
+    Headline: ``churn_penalty/<portfolio>`` — the cost ratio between
+    the stormiest and calmest rate.  The paper's Ω(√n) floor is about
+    a static snapshot; the dynamic rows show turnover does not open a
+    cheap route (if anything, degree-biased leaves remove exactly the
+    hubs cheap searches lean on).
+    """
+    return run_experiment(
+        "E21",
+        size=size,
+        p=p,
+        m=m,
+        churn_rates=churn_rates,
+        churn_bias=churn_bias,
+        resnapshot_every=resnapshot_every,
+        num_graphs=num_graphs,
+        runs_per_graph=runs_per_graph,
+        seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        backend=backend,
+        engine=engine,
+        generator=generator,
+        store_backend=store_backend,
+    )
+
+
+# ----------------------------------------------------------------------
+# E22: giant-component survival under decay
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.register(
+    "E22",
+    title="Giant-component survival under decay",
+    capabilities=("jobs", "cache", "backend", "generator", "store"),
+    params=(
+        Param("size", INT, 600),
+        Param("p", FLOAT, 0.5),
+        Param("m", INT, 2),
+        Param(
+            "remove_fractions",
+            FLOAT_TUPLE,
+            (0.1, 0.25, 0.5, 0.75, 0.9),
+        ),
+        Param("resnapshot_every", INT, 0),
+        Param("num_graphs", INT, 4),
+        Param("seed", INT, 22),
+    ),
+)
+def _e22_body(
+    ctx, *, size, p, m, remove_fractions, resnapshot_every, num_graphs,
+    seed
+):
+    spec = family_spec(MoriFamily(p=p, m=m))
+    result = ExperimentResult(
+        experiment_id="E22",
+        title="Giant-component survival under decay",
+        params={
+            "size": size,
+            "p": p,
+            "m": m,
+            "remove_fractions": list(remove_fractions),
+            "resnapshot_every": resnapshot_every,
+            "num_graphs": num_graphs,
+            "seed": seed,
+        },
+    )
+    table = Table(
+        title="Surviving giant component under pure decay",
+        columns=(
+            "leave bias",
+            "removed fraction",
+            "mean live n",
+            "mean surviving m",
+            "mean giant fraction",
+        ),
+    )
+    reference = trial_ref(churn_survival_trial)
+    extra = ctx.trial_params_extra()
+    extra.pop("engine", None)  # no searches run; engine is not declared
+    specs = []
+    for bias_index, bias in enumerate(CHURN_BIASES):
+        cell_seed = substream(seed, bias_index)
+        params = {
+            "family": spec,
+            "size": size,
+            "remove_fractions": list(remove_fractions),
+            "churn_bias": bias,
+            **extra,
+        }
+        if resnapshot_every:
+            params["resnapshot_every"] = resnapshot_every
+        specs.extend(
+            TrialSpec(
+                experiment_id="E22",
+                trial=reference,
+                params=params,
+                seed=substream(cell_seed, graph_index),
+            )
+            for graph_index in range(num_graphs)
+        )
+    outcomes = ctx.run_trials(specs)
+
+    gap_inputs: Dict[str, Dict[float, float]] = {}
+    cursor = 0
+    for bias in CHURN_BIASES:
+        values = [
+            outcomes[cursor + graph_index].value
+            for graph_index in range(num_graphs)
+        ]
+        cursor += num_graphs
+        for checkpoint_index, fraction in enumerate(remove_fractions):
+            rows = [
+                value["checkpoints"][checkpoint_index]
+                for value in values
+            ]
+            mean_live = sum(r["live_vertices"] for r in rows) / len(rows)
+            mean_edges = sum(
+                r["surviving_edges"] for r in rows
+            ) / len(rows)
+            mean_giant = sum(
+                r["giant_fraction"] for r in rows
+            ) / len(rows)
+            table.add_row(
+                bias, fraction, mean_live, mean_edges, mean_giant
+            )
+            gap_inputs.setdefault(bias, {})[fraction] = mean_giant
+            result.derived[f"giant/{bias}@{fraction:g}"] = mean_giant
+    reference_fraction = remove_fractions[len(remove_fractions) // 2]
+    result.derived["bias_gap@mid"] = (
+        gap_inputs["uniform"][reference_fraction]
+        - gap_inputs["degree"][reference_fraction]
+    )
+    table.notes.append(
+        "Degree-biased leaves take the hubs first, so the giant "
+        "component collapses at a much smaller removed fraction than "
+        "under uniform decay — the classic scale-free "
+        "robustness/fragility split, measured on the overlay layer."
+    )
+    result.tables.append(table)
+    return result
+
+
+def e22_giant_survival(
+    size: int = 600,
+    p: float = 0.5,
+    m: int = 2,
+    remove_fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    resnapshot_every: int = 0,
+    num_graphs: int = 4,
+    seed: int = 22,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    backend: str = "frozen",
+    generator: str = "serial",
+    store_backend: Optional[str] = None,
+) -> ExperimentResult:
+    """E22: how fast does the searchable substrate itself dissolve?
+
+    Pure decay on the overlay layer (leaves, no joins), uniform vs
+    degree-biased, tracking the giant component of the surviving
+    graph.  Complements E21: before asking how expensive search under
+    churn is, this measures when the network stops having anything to
+    search.  A pure spec with zero experiment-specific CLI code.
+    """
+    return run_experiment(
+        "E22",
+        size=size,
+        p=p,
+        m=m,
+        remove_fractions=remove_fractions,
+        resnapshot_every=resnapshot_every,
+        num_graphs=num_graphs,
+        seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        backend=backend,
+        generator=generator,
+        store_backend=store_backend,
+    )
+
+
 #: Public wrappers by experiment id (one per registered spec), used by
 #: the benchmark harness and kept importable for downstream callers.
 #: The CLI itself runs on the registry (:data:`repro.core.registry.
@@ -2380,4 +2732,6 @@ ALL_EXPERIMENTS = {
     "E18": e18_start_rule,
     "E19": e19_trajectory_scaling,
     "E20": e20_cross_model,
+    "E21": e21_churn_search,
+    "E22": e22_giant_survival,
 }

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.graphs.base import MultiGraph
@@ -27,6 +27,7 @@ from repro.graphs.configuration import power_law_configuration_graph
 from repro.graphs.barabasi_albert import barabasi_albert_graph
 from repro.graphs.cooper_frieze import CooperFriezeParams, cooper_frieze_graph
 from repro.graphs.mori import merged_mori_graph
+from repro.graphs.sampling import discrete_distribution_sampler
 from repro.rng import RandomLike
 
 __all__ = [
@@ -162,6 +163,20 @@ class GraphFamily:
         """
         return 1
 
+    def churn_join_edges(self, sampler, rng) -> List[int]:
+        """Attachment targets for one vertex joining under churn.
+
+        ``sampler`` is the live-population sampler of a
+        :class:`repro.graphs.churn.ChurnProcess` (``uniform_vertex``,
+        ``degree_vertex``, ``indegree_vertex`` draws plus the
+        ``num_live_vertices``/``num_edges`` masses); each family
+        re-expresses its own growth-step attachment rule in those
+        primitives so churn joins follow the model that built the
+        graph.  The default is a single total-degree-preferential
+        edge.
+        """
+        return [sampler.degree_vertex(rng)]
+
 
 @dataclass
 class MoriFamily(GraphFamily):
@@ -215,6 +230,30 @@ class MoriFamily(GraphFamily):
         # vertex 2 .. n*m, and its edges arrive in tree-vertex order,
         # so the mark at checkpoint n is exactly n*m - 1.
         return graph, {n: n * self.m - 1 for n in ordered}
+
+    def churn_join_edges(self, sampler, rng) -> List[int]:
+        """``m`` endpoints with Móri weight ``p·d_in(u) + (1 - p)``.
+
+        The exact-mass mixture of :func:`repro.graphs.mori.mori_tree`:
+        total preferential mass is ``p`` per surviving edge (one
+        indegree unit each), total uniform mass ``1 - p`` per live
+        vertex.
+        """
+        targets = []
+        for _ in range(self.m):
+            preferential_mass = self.p * sampler.num_edges
+            total_mass = (
+                preferential_mass
+                + (1.0 - self.p) * sampler.num_live_vertices
+            )
+            if (
+                total_mass > 0.0
+                and rng.random() * total_mass < preferential_mass
+            ):
+                targets.append(sampler.indegree_vertex(rng))
+            else:
+                targets.append(sampler.uniform_vertex(rng))
+        return targets
 
 
 @dataclass
@@ -279,6 +318,28 @@ class CooperFriezeFamily(GraphFamily):
         )
         return realised.graph, dict(realised.checkpoint_edge_counts)
 
+    def churn_join_edges(self, sampler, rng) -> List[int]:
+        """Procedure NEW applied to the live graph.
+
+        Edge count drawn from the model's ``q`` distribution; each
+        terminal uniform with probability ``beta``, else preferential
+        by the configured degree notion — the rule of
+        ``_procedure_new`` in :mod:`repro.graphs.cooper_frieze`.
+        """
+        count_sampler = discrete_distribution_sampler(
+            self.params.new_edge_distribution
+        )
+        count = count_sampler.sample(rng) + 1
+        targets = []
+        for _ in range(count):
+            if rng.random() < self.params.beta:
+                targets.append(sampler.uniform_vertex(rng))
+            elif self.params.preferential_by == "indegree":
+                targets.append(sampler.indegree_vertex(rng))
+            else:
+                targets.append(sampler.degree_vertex(rng))
+        return targets
+
 
 @dataclass
 class BarabasiAlbertFamily(GraphFamily):
@@ -326,6 +387,10 @@ class BarabasiAlbertFamily(GraphFamily):
         # One seed self-loop plus m edges per vertex 2 .. n.
         return graph, {n: 1 + (n - 1) * self.m for n in ordered}
 
+    def churn_join_edges(self, sampler, rng) -> List[int]:
+        """``m`` endpoints by classic total-degree preference."""
+        return [sampler.degree_vertex(rng) for _ in range(self.m)]
+
 
 @dataclass
 class ConfigurationFamily(GraphFamily):
@@ -364,3 +429,15 @@ class ConfigurationFamily(GraphFamily):
 
     def default_start(self, graph: MultiGraph) -> int:
         return 1
+
+    def churn_join_edges(self, sampler, rng) -> List[int]:
+        """``min_degree`` uniform endpoints.
+
+        The configuration model has no arrival dynamics — neighbors
+        are degree-sequence pairings, independent of identity — so a
+        joining peer wires to uniformly random live peers at the
+        family's minimum degree.
+        """
+        return [
+            sampler.uniform_vertex(rng) for _ in range(self.min_degree)
+        ]

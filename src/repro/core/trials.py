@@ -46,6 +46,9 @@ from repro.core.families import (
 )
 from repro.errors import ExperimentError
 from repro.graphs.base import MultiGraph
+from repro.graphs.churn import CHURN_BIASES, ChurnProcess
+from repro.graphs.components import connected_components
+from repro.graphs.delta import DeltaGraph
 from repro.graphs.frozen import GraphBackend, freeze
 from repro.graphs.cooper_frieze import CooperFriezeParams
 from repro.graphs.kleinberg import kleinberg_grid
@@ -78,6 +81,8 @@ __all__ = [
     "trajectory_snapshots",
     "search_cost_graph_trial",
     "batched_search_trial",
+    "churn_search_trial",
+    "churn_survival_trial",
     "trajectory_scaling_trial",
     "trajectory_slowdown_trial",
     "degree_fit_trial",
@@ -497,8 +502,12 @@ def _execute_cells(
         require_ensemble_engine()
         # One shared snapshot for every walk-family group (a no-op on
         # the frozen backend); run_ensemble would otherwise re-freeze
-        # a multigraph-backend graph once per group.
-        ensemble_graph = freeze(graph)
+        # a multigraph-backend graph once per group.  A DeltaGraph
+        # overlay passes through unfrozen — the kernel runs on its
+        # masked-CSR view so edge ids (and hence traces) match the
+        # serial path on the same overlay.
+        if not isinstance(graph, DeltaGraph):
+            ensemble_graph = freeze(graph)
     instance_budget = (
         budget if budget is not None else default_budget(graph)
     )
@@ -675,6 +684,183 @@ def batched_search_trial(
         seed=seed,
         engine=engine,
     )
+
+
+def _churn_endpoints(family_obj, base, delta):
+    """Deterministic (start, target) on a churned overlay.
+
+    The target stays anchored to the theorem window of the *base*
+    graph: the newest surviving vertex at or below the static theorem
+    target (so "find the newest vertex" keeps its meaning while the
+    exact window vertex may have left).  The start is the oldest
+    surviving vertex — the searcher's favourable dense-core case,
+    mirroring :meth:`GraphFamily.default_start`.
+    """
+    live = delta.vertices()
+    target_ref = family_obj.theorem_target(base)
+    target = max(
+        (v for v in live if v <= target_ref), default=live[-1]
+    )
+    start = live[0]
+    if start == target and len(live) > 1:
+        start = live[1]
+    return start, target
+
+
+def churn_search_trial(
+    *,
+    family: Dict[str, Any],
+    size: int,
+    portfolio: str,
+    churn_rate: float = 0.1,
+    churn_bias: str = "uniform",
+    resnapshot_every: int = 0,
+    runs_per_graph: int = 2,
+    budget: Optional[int] = None,
+    neighbor_success: bool = False,
+    backend: str = "frozen",
+    engine: str = "serial",
+    generator: str = "serial",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One churned graph realisation searched by a whole portfolio.
+
+    Builds the family graph from ``seed`` (honoring ``backend`` /
+    ``generator`` exactly like :func:`search_cost_graph_trial`), drives
+    ``round(churn_rate * size)`` population-preserving churn steps
+    (leave + model-faithful join per step, leaves biased per
+    ``churn_bias``) through a :class:`~repro.graphs.churn.ChurnProcess`
+    seeded with the trial seed, then runs every portfolio cell against
+    the surviving overlay.  Churn draws come from ``churn:*`` named
+    substreams and run seeds from algorithm-named ones, so the two
+    fan-outs never interact and the whole trial replays identically
+    across ``--jobs`` and engines.
+
+    Returns ``{"results": {algorithm: [result dicts]}, "steps": ...,
+    "live_vertices": ..., "surviving_edges": ..., "start": ...,
+    "target": ...}``.
+    """
+    if churn_rate < 0:
+        raise ExperimentError(
+            f"churn_rate must be >= 0, got {churn_rate}"
+        )
+    if churn_bias not in CHURN_BIASES:
+        raise ExperimentError(
+            f"churn_bias must be one of {CHURN_BIASES}, "
+            f"got {churn_bias!r}"
+        )
+    family_obj = build_family(family)
+    factories = portfolio_factories(portfolio)
+    base = build_graph_snapshot(
+        family_obj, size, seed, backend, generator
+    )
+    process = ChurnProcess(
+        family_obj,
+        base,
+        churn_bias=churn_bias,
+        resnapshot_every=resnapshot_every,
+        seed=seed,
+    )
+    steps = int(round(churn_rate * base.num_vertices))
+    graph = process.run(steps)
+    start, target = _churn_endpoints(family_obj, base, graph)
+    cells = [
+        {"algorithm": name, "run_index": run_index}
+        for name in factories
+        for run_index in range(runs_per_graph)
+    ]
+    cell_results = _execute_cells(
+        graph,
+        factories,
+        cells,
+        default_start=start,
+        default_target=target,
+        budget=budget,
+        neighbor_success=neighbor_success,
+        seed=seed,
+        engine=engine,
+    )
+    collected: Dict[str, List[Dict[str, Any]]] = {}
+    for cell, result in zip(cells, cell_results):
+        collected.setdefault(cell["algorithm"], []).append(result)
+    return {
+        "results": collected,
+        "steps": steps,
+        "live_vertices": graph.num_live_vertices,
+        "surviving_edges": graph.num_edges,
+        "start": start,
+        "target": target,
+    }
+
+
+def churn_survival_trial(
+    *,
+    family: Dict[str, Any],
+    size: int,
+    remove_fractions: List[float],
+    churn_bias: str = "uniform",
+    resnapshot_every: int = 0,
+    backend: str = "frozen",
+    generator: str = "serial",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Giant-component survival of one realisation under pure decay.
+
+    Builds the family graph from ``seed``, then removes vertices one
+    decay step at a time (no compensating joins, leaves biased per
+    ``churn_bias``) and records, at each requested removal fraction,
+    the live population, surviving edge count, and the size of the
+    largest surviving component.  Fractions are of the *built* graph's
+    vertex count, must be non-decreasing, and are clamped so at least
+    one vertex survives.
+    """
+    if any(f < 0 or f > 1 for f in remove_fractions):
+        raise ExperimentError(
+            "remove_fractions must lie in [0, 1], got "
+            f"{remove_fractions}"
+        )
+    if list(remove_fractions) != sorted(remove_fractions):
+        raise ExperimentError(
+            "remove_fractions must be non-decreasing, got "
+            f"{remove_fractions}"
+        )
+    if churn_bias not in CHURN_BIASES:
+        raise ExperimentError(
+            f"churn_bias must be one of {CHURN_BIASES}, "
+            f"got {churn_bias!r}"
+        )
+    family_obj = build_family(family)
+    base = build_graph_snapshot(
+        family_obj, size, seed, backend, generator
+    )
+    initial = base.num_vertices
+    process = ChurnProcess(
+        family_obj,
+        base,
+        churn_bias=churn_bias,
+        resnapshot_every=resnapshot_every,
+        seed=seed,
+    )
+    checkpoints: List[Dict[str, Any]] = []
+    for fraction in remove_fractions:
+        removals = min(int(round(fraction * initial)), initial - 1)
+        while process.steps_taken < removals:
+            process.decay_step()
+        graph = process.graph
+        live = graph.num_live_vertices
+        components = connected_components(graph)
+        giant = max((len(c) for c in components), default=0)
+        checkpoints.append(
+            {
+                "fraction": fraction,
+                "removed": process.steps_taken,
+                "live_vertices": live,
+                "surviving_edges": graph.num_edges,
+                "giant": giant,
+                "giant_fraction": giant / live if live else 0.0,
+            }
+        )
+    return {"initial_vertices": initial, "checkpoints": checkpoints}
 
 
 def trajectory_scaling_trial(

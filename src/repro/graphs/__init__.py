@@ -20,10 +20,16 @@ uses or contrasts against:
 * :mod:`repro.graphs.sampling` — weighted samplers shared by the
   evolving models;
 * :mod:`repro.graphs.merge` — vertex-merging used by the ``m``-out
-  construction.
+  construction;
+* :mod:`repro.graphs.delta` — the dynamic overlay backend (tombstones
+  + late joins over a frozen base) and its canonical content digest;
+* :mod:`repro.graphs.churn` — deterministic, family-faithful peer
+  churn driven on the overlay.
 """
 
 from repro.graphs.base import MultiGraph
+from repro.graphs.churn import ChurnProcess
+from repro.graphs.delta import DeltaGraph, graph_digest
 from repro.graphs.frozen import FrozenGraph, GraphBackend, freeze
 from repro.graphs.mori import (
     MoriTree,
@@ -43,6 +49,9 @@ __all__ = [
     "MultiGraph",
     "FrozenGraph",
     "freeze",
+    "DeltaGraph",
+    "ChurnProcess",
+    "graph_digest",
     "MoriTree",
     "mori_tree",
     "merged_mori_graph",

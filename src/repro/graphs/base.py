@@ -1,7 +1,12 @@
 """Mutable multigraph with stable edge identities.
 
 All random-graph models in this library are *evolving* constructions:
-vertices and edges are added one at a time and never removed.  The
+during **construction**, vertices and edges are added one at a time
+and never removed, and this class is that append-only build surface.
+(Removal exists in the library, but lives a layer up: the dynamic
+overlay backend :class:`~repro.graphs.delta.DeltaGraph` tombstones
+vertices and edges over a finished snapshot without ever mutating it —
+see :mod:`repro.graphs.delta` and :mod:`repro.graphs.churn`.)  The
 search oracles additionally need **edge identities** — in the weak model
 a request names a specific edge incident to a discovered vertex, so
 parallel edges and self-loops must be distinguishable objects, not

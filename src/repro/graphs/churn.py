@@ -1,0 +1,269 @@
+"""Deterministic peer churn on a :class:`~repro.graphs.delta.DeltaGraph`.
+
+The P2P networks the paper models lose and gain peers continuously.
+:class:`ChurnProcess` drives that dynamic on top of the overlay layer:
+
+* **joins** follow the graph family's own growth rule — each
+  :class:`~repro.core.families.GraphFamily` re-expresses its
+  attachment step through this module's live-population sampling
+  primitives (:meth:`ChurnProcess.churn_join_edges` hooks);
+* **leaves** remove a live vertex chosen uniformly
+  (``churn_bias="uniform"``) or proportionally to degree
+  (``churn_bias="degree"``, the adversarial case: hubs fail first),
+  tombstoning every incident edge.
+
+Determinism
+-----------
+All draws come from per-step generators seeded with
+:func:`repro.rng.run_substream` (stream name ``churn:<bias>``, run
+index = step number), so a churn trajectory is a pure function of
+``(family, base graph, churn parameters, seed)`` — trials replay
+identically across ``--jobs`` fan-out and both engines.
+
+Sampling is **rank-based**: the process keeps two
+:class:`~repro.graphs.sampling.FenwickFlags` membership trees (one
+over vertex ids in creation order, one over edge ids) and draws "the
+j-th surviving element", never "the element with id j".  Because
+:meth:`DeltaGraph.resnapshot` relabels order-preservingly, ranks — and
+therefore every subsequent draw — are invariant under compaction: a
+run with ``resnapshot_every=k`` produces exactly the same surviving
+graph (same :func:`~repro.graphs.delta.graph_digest`) as an
+uncompacted run.  Degree-proportional draws use the classic
+edge-endpoint trick (a uniform surviving edge hits a vertex with
+probability proportional to its degree), so they cost O(log m) too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import InvalidParameterError
+from repro.graphs.delta import DeltaGraph
+from repro.graphs.frozen import GraphBackend, freeze
+from repro.graphs.sampling import FenwickFlags
+from repro.rng import make_rng, run_substream
+
+__all__ = ["CHURN_BIASES", "ChurnProcess"]
+
+#: Recognised leave-selection biases.
+CHURN_BIASES = ("uniform", "degree")
+
+
+class ChurnProcess:
+    """Family-faithful joins and biased leaves over an overlay graph.
+
+    Parameters
+    ----------
+    family:
+        The :class:`~repro.core.families.GraphFamily` whose attachment
+        rule governs joins (its ``churn_join_edges`` hook).
+    graph:
+        The starting graph (either backend; frozen internally and
+        wrapped in a fresh :class:`DeltaGraph`).
+    churn_bias:
+        ``"uniform"`` or ``"degree"`` leave selection.
+    resnapshot_every:
+        Compact the overlay into a fresh snapshot every this many
+        steps (0 disables).  Purely an execution knob: rank-based
+        sampling makes the churn trajectory invariant under it.
+    seed:
+        Integer seed; step ``i`` draws from
+        ``make_rng(run_substream(seed, f"churn:{bias}", i))``.
+    """
+
+    def __init__(
+        self,
+        family,
+        graph: GraphBackend,
+        *,
+        churn_bias: str = "uniform",
+        resnapshot_every: int = 0,
+        seed: int = 0,
+    ):
+        if churn_bias not in CHURN_BIASES:
+            raise InvalidParameterError(
+                f"churn_bias must be one of {CHURN_BIASES}, "
+                f"got {churn_bias!r}"
+            )
+        if resnapshot_every < 0:
+            raise InvalidParameterError(
+                "resnapshot_every must be >= 0, "
+                f"got {resnapshot_every}"
+            )
+        self.family = family
+        self.churn_bias = churn_bias
+        self.resnapshot_every = resnapshot_every
+        self._seed = seed
+        self._stream_name = f"churn:{churn_bias}"
+        self._steps_taken = 0
+        self._delta = DeltaGraph(freeze(graph))
+        self._rebuild_trees()
+
+    def _rebuild_trees(self) -> None:
+        delta = self._delta
+        self._vertex_tree = FenwickFlags(0)
+        for v in range(1, delta.num_vertices + 1):
+            self._vertex_tree.append(delta.has_vertex(v))
+        self._edge_tree = FenwickFlags(0)
+        alive = {eid for eid, _, _ in delta.edges()}
+        bound = (
+            delta._base_m + len(delta._join_endpoints)
+        )
+        for eid in range(bound):
+            self._edge_tree.append(eid in alive)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> DeltaGraph:
+        """The current overlay (replaced wholesale on compaction)."""
+        return self._delta
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of completed :meth:`step` calls."""
+        return self._steps_taken
+
+    @property
+    def num_live_vertices(self) -> int:
+        return self._delta.num_live_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._delta.num_edges
+
+    # ------------------------------------------------------------------
+    # Live-population sampling primitives (the family-hook protocol)
+    # ------------------------------------------------------------------
+
+    def uniform_vertex(self, rng: random.Random) -> int:
+        """A uniformly random live vertex."""
+        count = self._vertex_tree.count
+        if count == 0:
+            raise InvalidParameterError(
+                "cannot sample a vertex from an empty graph"
+            )
+        return self._vertex_tree.select(rng.randrange(count)) + 1
+
+    def _uniform_edge(self, rng: random.Random) -> int:
+        count = self._edge_tree.count
+        if count == 0:
+            raise InvalidParameterError(
+                "cannot sample an edge from an edgeless graph"
+            )
+        return self._edge_tree.select(rng.randrange(count))
+
+    def degree_vertex(self, rng: random.Random) -> int:
+        """A live vertex drawn proportionally to its total degree.
+
+        Uniform surviving edge, then a uniform endpoint of it: each
+        edge slot is one unit of degree mass (a self-loop's two slots
+        both belong to its vertex).
+        """
+        eid = self._uniform_edge(rng)
+        tail, head = self._delta.edge_endpoints(eid)
+        return tail if rng.random() < 0.5 else head
+
+    def indegree_vertex(self, rng: random.Random) -> int:
+        """A live vertex drawn proportionally to its indegree.
+
+        The head of a uniform surviving edge — each edge contributes
+        exactly one indegree unit to its head.
+        """
+        eid = self._uniform_edge(rng)
+        return self._delta.edge_endpoints(eid)[1]
+
+    # ------------------------------------------------------------------
+    # Churn events
+    # ------------------------------------------------------------------
+
+    def join(self, rng: random.Random) -> int:
+        """One vertex joins via the family's growth rule; returns its id."""
+        targets = self.family.churn_join_edges(self, rng)
+        v = self._delta.add_vertex()
+        self._vertex_tree.append(True)
+        for target in targets:
+            self._delta.add_edge(v, target)
+            self._edge_tree.append(True)
+        return v
+
+    def leave(self, rng: random.Random) -> int:
+        """One vertex leaves (bias-selected); returns its (dead) id.
+
+        Refuses to empty the graph: at least one live vertex remains.
+        """
+        if self._delta.num_live_vertices <= 1:
+            raise InvalidParameterError(
+                "cannot remove the last live vertex"
+            )
+        if self.churn_bias == "degree":
+            victim = self._pick_degree_victim(rng)
+        else:
+            victim = self.uniform_vertex(rng)
+        removed = self._delta.remove_vertex(victim)
+        self._vertex_tree.clear(victim - 1)
+        for eid in removed:
+            self._edge_tree.clear(eid)
+        return victim
+
+    def _pick_degree_victim(self, rng: random.Random) -> int:
+        # Degree-proportional selection, falling back to uniform when
+        # no edges survive (every degree is zero).
+        if self._edge_tree.count == 0:
+            return self.uniform_vertex(rng)
+        return self.degree_vertex(rng)
+
+    def step(self) -> DeltaGraph:
+        """One churn step: a leave followed by a join (population held).
+
+        Returns the current overlay (a *new* object if this step
+        triggered compaction).
+        """
+        rng = self._step_rng()
+        self.leave(rng)
+        self.join(rng)
+        self._steps_taken += 1
+        self._maybe_resnapshot()
+        return self._delta
+
+    def decay_step(self) -> DeltaGraph:
+        """One pure-decay step: a leave with no compensating join."""
+        rng = self._step_rng()
+        self.leave(rng)
+        self._steps_taken += 1
+        self._maybe_resnapshot()
+        return self._delta
+
+    def run(self, steps: int, *, decay: bool = False) -> DeltaGraph:
+        """Advance ``steps`` churn (or pure-decay) steps."""
+        if steps < 0:
+            raise InvalidParameterError(
+                f"steps must be >= 0, got {steps}"
+            )
+        for _ in range(steps):
+            if decay:
+                self.decay_step()
+            else:
+                self.step()
+        return self._delta
+
+    def _step_rng(self) -> random.Random:
+        # run_substream's run index is a 16-bit field; block the step
+        # counter into the stream name so deep-decay runs on large
+        # graphs (> 65535 steps) stay in range.
+        block, offset = divmod(self._steps_taken, 1 << 16)
+        name = self._stream_name
+        if block:
+            name = f"{name}#{block}"
+        return make_rng(run_substream(self._seed, name, offset))
+
+    def _maybe_resnapshot(self) -> None:
+        if (
+            self.resnapshot_every
+            and self._steps_taken % self.resnapshot_every == 0
+        ):
+            self._delta = DeltaGraph(self._delta.resnapshot())
+            self._rebuild_trees()

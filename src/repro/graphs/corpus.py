@@ -46,11 +46,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import EngineUnavailableError, ExperimentError
 from repro.graphs.frozen import FrozenGraph, freeze
+from repro.ioatomic import write_atomic
 
 try:  # pragma: no cover - exercised implicitly by every test run
     import numpy as _np
@@ -267,30 +267,14 @@ class GraphCorpus:
         }
         stem = self.stem_for(spec, n, seed)
         os.makedirs(os.path.dirname(stem), exist_ok=True)
-        self._write_atomic(stem + ".bin", blob)
-        self._write_atomic(
+        write_atomic(stem + ".bin", blob, prefix=".corpus-")
+        write_atomic(
             stem + ".json",
             (json.dumps(manifest, indent=2, sort_keys=True) + "\n")
             .encode("utf-8"),
+            prefix=".corpus-",
         )
         return stem + ".json"
-
-    @staticmethod
-    def _write_atomic(path: str, data: bytes) -> None:
-        descriptor, temp_path = tempfile.mkstemp(
-            prefix=".corpus-", suffix=".tmp",
-            dir=os.path.dirname(path),
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                handle.write(data)
-            os.replace(temp_path, path)
-        except BaseException:
-            try:
-                os.remove(temp_path)
-            except OSError:
-                pass
-            raise
 
     # ------------------------------------------------------------------
     # The cache protocol

@@ -10,6 +10,12 @@ Two samplers are provided:
 * :class:`AliasSampler` — Walker's alias method for *static*
   distributions, used by the configuration model and the Kleinberg
   long-range link chooser where the weight vector is fixed up front.
+* :class:`FenwickFlags` — a Fenwick-tree rank/select over a dynamic
+  0/1 membership vector, used by the churn process to draw "the j-th
+  surviving vertex/edge" in O(log n).  Selecting by *rank in creation
+  order* (rather than by raw id) is what makes churn draws invariant
+  under the order-preserving relabeling of
+  :meth:`repro.graphs.delta.DeltaGraph.resnapshot`.
 
 Both are deliberately independent of the graph classes so they can be
 unit- and property-tested in isolation.
@@ -22,7 +28,113 @@ from typing import List, Sequence
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["EndpointUrn", "AliasSampler", "discrete_distribution_sampler"]
+__all__ = [
+    "EndpointUrn",
+    "AliasSampler",
+    "FenwickFlags",
+    "discrete_distribution_sampler",
+]
+
+
+class FenwickFlags:
+    """Dynamic 0/1 membership vector with O(log n) count-and-select.
+
+    Positions are 0-based and append-only; each holds a flag (alive or
+    dead).  :meth:`select` answers "which position holds the ``k``-th
+    set flag?" by binary lifting over the Fenwick tree, and
+    :meth:`set`/:meth:`clear` flip a position in O(log n).  This is the
+    sampling substrate of the churn process: drawing ``select(randbelow
+    (count))`` gives a uniform live element, and because ranks are
+    taken in *creation order* the draw is a pure function of which
+    elements survive — independent of id compaction.
+    """
+
+    __slots__ = ("_tree", "_flags", "_count")
+
+    def __init__(self, size: int = 0, initially_set: bool = True):
+        if size < 0:
+            raise InvalidParameterError(f"size must be >= 0, got {size}")
+        self._tree: List[int] = [0]
+        self._flags = bytearray(0)
+        self._count = 0
+        for _ in range(size):
+            self.append(initially_set)
+
+    def __len__(self) -> int:
+        return len(self._flags)
+
+    @property
+    def count(self) -> int:
+        """Number of set flags."""
+        return self._count
+
+    def __contains__(self, position: int) -> bool:
+        return 0 <= position < len(self._flags) and bool(
+            self._flags[position]
+        )
+
+    def append(self, flag: bool = True) -> int:
+        """Append one position with the given flag; returns its index."""
+        position = len(self._flags)
+        self._flags.append(1 if flag else 0)
+        node = position + 1
+        value = 1 if flag else 0
+        # A new tree node covers the 2^k positions ending at it; fold
+        # in the already-complete subtrees immediately below.
+        step = 1
+        low = node & (-node)
+        while step < low:
+            value += self._tree[node - step]
+            step <<= 1
+        self._tree.append(value)
+        if flag:
+            self._count += 1
+        return position
+
+    def set(self, position: int) -> None:
+        """Set the flag at ``position`` (idempotent)."""
+        if not self._flags[position]:
+            self._flags[position] = 1
+            self._count += 1
+            self._add(position + 1, 1)
+
+    def clear(self, position: int) -> None:
+        """Clear the flag at ``position`` (idempotent)."""
+        if self._flags[position]:
+            self._flags[position] = 0
+            self._count -= 1
+            self._add(position + 1, -1)
+
+    def select(self, rank: int) -> int:
+        """Position of the ``rank``-th set flag (0-based rank)."""
+        if not 0 <= rank < self._count:
+            raise InvalidParameterError(
+                f"rank {rank} out of range [0, {self._count})"
+            )
+        size = len(self._flags)
+        bit = 1
+        while (bit << 1) <= size:
+            bit <<= 1
+        node = 0
+        remaining = rank + 1
+        while bit:
+            probe = node + bit
+            if probe <= size and self._tree[probe] < remaining:
+                node = probe
+                remaining -= self._tree[probe]
+            bit >>= 1
+        return node
+
+    def _add(self, node: int, delta: int) -> None:
+        size = len(self._flags)
+        while node <= size:
+            self._tree[node] += delta
+            node += node & (-node)
+
+    def __repr__(self) -> str:
+        return (
+            f"FenwickFlags(size={len(self._flags)}, count={self._count})"
+        )
 
 
 class EndpointUrn:

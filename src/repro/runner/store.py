@@ -57,11 +57,9 @@ same value.)
 
 from __future__ import annotations
 
-import itertools
 import json
 import os
 import sqlite3
-import tempfile
 from typing import (
     Any,
     Dict,
@@ -74,6 +72,7 @@ from typing import (
 )
 
 from repro.errors import ExperimentError
+from repro.ioatomic import discard, sidecar_path, write_atomic
 from repro.runner.trial import TrialSpec
 
 __all__ = [
@@ -119,8 +118,6 @@ MISS = _Miss()
 #: ``--jobs`` are not counted (the replay scan happens in the parent).
 _STATS = {"hits": 0, "misses": 0}
 
-#: Uniquifies quarantine/corrupt-sidecar names within one process.
-_QUARANTINE_IDS = itertools.count(1)
 
 _PACKAGE_VERSION: Optional[str] = None
 
@@ -222,15 +219,6 @@ def detect_backends(
     ):
         present.append("sqlite")
     return present
-
-
-def _process_umask() -> int:
-    # There is no read-only query for the umask; set-and-restore is
-    # the standard idiom (the window only matters to other threads
-    # creating files, and both values are this process's own).
-    mask = os.umask(0)
-    os.umask(mask)
-    return mask
 
 
 class TrialStore:
@@ -408,9 +396,7 @@ class ResultStore(TrialStore):
         an even newer replacement is harmless).  Only verified garbage
         is ever deleted — and only under the quarantine name.
         """
-        quarantine = (
-            f"{path}.quarantine-{os.getpid()}-{next(_QUARANTINE_IDS)}"
-        )
+        quarantine = sidecar_path(path, "quarantine")
         try:
             os.replace(path, quarantine)
         except OSError:
@@ -430,7 +416,7 @@ class ResultStore(TrialStore):
             if self._current_for(record, spec.trial):
                 return record["value"]
             return MISS
-        self._discard(quarantine)
+        discard(quarantine)
         return MISS
 
     def put(self, spec: TrialSpec, value: Any) -> None:
@@ -443,20 +429,14 @@ class ResultStore(TrialStore):
     def _write_record(
         self, path: str, record: Dict[str, Any]
     ) -> None:
-        descriptor, temp_path = tempfile.mkstemp(
-            prefix=".trial-", suffix=".tmp", dir=os.path.dirname(path)
+        # apply_umask: a cache directory shared across users/CI stages
+        # must stay readable per whatever policy the umask states.
+        write_atomic(
+            path,
+            json.dumps(record, sort_keys=True).encode("utf-8"),
+            prefix=".trial-",
+            apply_umask=True,
         )
-        try:
-            # mkstemp creates 0600 files; honour the process umask so
-            # a cache directory shared across users/CI stages stays
-            # readable (satisfying whatever policy the umask states).
-            os.fchmod(descriptor, 0o666 & ~_process_umask())
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
-            os.replace(temp_path, path)
-        except BaseException:
-            self._discard(temp_path)
-            raise
 
     def __contains__(self, spec: TrialSpec) -> bool:
         """Existence/validity probe: a non-empty file at the key's
@@ -539,7 +519,7 @@ class ResultStore(TrialStore):
                 ) or ".sqlite.corrupt-" in name:
                     continue
                 if not name.endswith(".json"):
-                    self._discard(path)
+                    discard(path)
                     removed_debris += 1
                     continue
                 try:
@@ -550,14 +530,14 @@ class ResultStore(TrialStore):
                     json.JSONDecodeError,
                     UnicodeDecodeError,
                 ):
-                    self._discard(path)
+                    discard(path)
                     removed_corrupt += 1
                     continue
                 if not self._usable(record):
-                    self._discard(path)
+                    discard(path)
                     removed_corrupt += 1
                 elif not self._current(record):
-                    self._discard(path)
+                    discard(path)
                     removed_stale += 1
         for directory, subdirs, files in os.walk(
             self.cache_dir, topdown=False
@@ -580,18 +560,6 @@ class ResultStore(TrialStore):
             for name in sorted(files):
                 if name.endswith(".json"):
                     yield os.path.join(directory, name)
-
-    @staticmethod
-    def _discard(path: str) -> None:
-        # ENOENT: another process already removed (or is atomically
-        # replacing) the entry.  EPERM/EACCES: a Windows peer holds
-        # the file open mid-rewrite.  Both are benign in a shared
-        # cache directory, as is any other OSError here — the store
-        # must never fail a run over cleanup.
-        try:
-            os.remove(path)
-        except OSError:
-            pass
 
 
 class SqliteResultStore(TrialStore):
@@ -679,10 +647,7 @@ class SqliteResultStore(TrialStore):
             self._connection = None
 
     def _quarantine_database(self) -> None:
-        sidecar = (
-            f"{self.db_path}.corrupt-{os.getpid()}"
-            f"-{next(_QUARANTINE_IDS)}"
-        )
+        sidecar = sidecar_path(self.db_path, "corrupt")
         try:
             os.replace(self.db_path, sidecar)
         except OSError:

@@ -49,6 +49,13 @@ algorithm, all five graph models, and both graph backends).
 
 The kernel accepts either backend and freezes internally (snapshots
 preserve every answer bit-for-bit, so this changes nothing but speed).
+A :class:`~repro.graphs.delta.DeltaGraph` overlay is accepted too and
+is *not* frozen: the overlay exposes the same masked-CSR attributes
+(empty rows for tombstoned vertices, overlay edge ids in the slot
+table), so the kernel's neighbor gathers skip dead peers natively and
+reported edge ids match the serial algorithms' — costs, flags, and
+oracle traces stay serial-equivalent on a churned graph
+(``tests/test_churn.py`` pins it).
 numpy is required: without it :func:`run_ensemble` raises
 :class:`~repro.errors.EngineUnavailableError` — there is no stdlib
 rendering of the lock-step kernel, callers must use the serial engine.
@@ -69,6 +76,7 @@ from repro.errors import (
     InvalidParameterError,
     OracleProtocolError,
 )
+from repro.graphs.delta import DeltaGraph
 from repro.graphs.frozen import HAVE_NUMPY, FrozenGraph, GraphBackend, freeze
 from repro.rng import make_rng
 from repro.search.algorithms.base import SearchAlgorithm
@@ -134,7 +142,7 @@ class _Cell:
 
     def __init__(
         self,
-        graph: FrozenGraph,
+        graph,  # FrozenGraph or DeltaGraph (same CSR attribute seam)
         start: int,
         target: int,
         run_seeds: Sequence[int],
@@ -249,7 +257,9 @@ def run_ensemble(
         raise InvalidParameterError(f"budget must be >= 0, got {budget}")
 
     cell = _Cell(
-        freeze(graph),
+        # Overlays carry their own masked-CSR view; freezing one would
+        # relabel ids and break trace equivalence with the serial path.
+        graph if isinstance(graph, DeltaGraph) else freeze(graph),
         start,
         target,
         run_seeds,

@@ -36,6 +36,17 @@ Both oracles accept either graph backend — the mutable
 every answer are identical (the snapshot preserves edge ids and
 incidence order bit-for-bit); the snapshot is simply faster to query,
 especially when one graph serves a whole batch of searches.
+
+A :class:`~repro.graphs.delta.DeltaGraph` overlay (a churned graph) is
+a third valid substrate.  Nothing here assumes vertex or edge ids are
+dense — :class:`Knowledge` keys everything by id — and the overlay's
+incidence lists are already masked to surviving edges, so every answer
+automatically reflects the post-churn graph: a tombstoned peer is
+never revealed, because no surviving edge reaches it.  The overlay
+must be held still while a search runs (churn between steps, not
+between requests); the delta-aware ensemble path in
+:mod:`repro.search.ensemble` relies on the same convention and
+reproduces these oracles' answers trace-for-trace.
 """
 
 from __future__ import annotations

@@ -30,16 +30,16 @@ from repro.core.experiments import (
 
 
 class TestExperimentRegistry:
-    def test_all_twenty_registered(self):
-        assert len(ALL_EXPERIMENTS) == 20
+    def test_all_registered(self):
+        assert len(ALL_EXPERIMENTS) == 22
         assert set(ALL_EXPERIMENTS) == {
-            f"E{i}" for i in range(1, 21)
+            f"E{i}" for i in range(1, 23)
         }
 
     def test_wrappers_cover_the_registry(self):
         from repro.core.registry import REGISTRY
 
-        assert REGISTRY.ids() == [f"E{i}" for i in range(1, 21)]
+        assert REGISTRY.ids() == [f"E{i}" for i in range(1, 23)]
         assert set(ALL_EXPERIMENTS) == set(REGISTRY.ids())
 
     def test_all_have_docstrings(self):
@@ -546,8 +546,8 @@ class TestCLIRunAll:
         )
         written = sorted(os.listdir(json_dir))
         assert written == sorted(
-            f"e{i}.json" for i in range(1, 21)
+            f"e{i}.json" for i in range(1, 23)
         )
         out = capsys.readouterr().out
-        for i in range(1, 21):
+        for i in range(1, 23):
             assert f"E{i}:" in out

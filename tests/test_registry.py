@@ -105,8 +105,8 @@ class TestWrapperSpecParity:
 
 
 class TestRegistrySemantics:
-    def test_ids_are_e1_to_e20(self):
-        assert REGISTRY.ids() == [f"E{i}" for i in range(1, 21)]
+    def test_ids_are_e1_to_e22(self):
+        assert REGISTRY.ids() == [f"E{i}" for i in range(1, 23)]
 
     def test_unknown_id_error_lists_registry(self):
         with pytest.raises(ExperimentError, match="E20"):
@@ -348,7 +348,7 @@ class TestCLIListing:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         lines = out.strip().splitlines()
-        assert len(lines) == 20
+        assert len(lines) == 22
         assert any(
             line.split()[0] == "E1"
             and "jobs,cache,backend,engine" in line
@@ -366,8 +366,9 @@ class TestCLIListing:
         lines = rendered.splitlines()
         assert lines[0] == "| id | experiment | parameters | capabilities |"
         assert lines[1] == "|---|---|---|---|"
-        assert len(lines) == 2 + 20
+        assert len(lines) == 2 + 22
         assert any(line.startswith("| `E20` |") for line in lines)
+        assert any(line.startswith("| `E21` |") for line in lines)
         # Every declared capability cell uses canonical names.
         for line in lines[2:]:
             cell = line.rsplit("|", 2)[-2].strip()
