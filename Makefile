@@ -22,10 +22,15 @@ verify-full:
 # cold fill, warm replay with identical output and a nonzero hit
 # tally, stat, a verified migration back to json-files), then the
 # churn smoke (a downsized E21 through the dynamic-graph flags, both
-# engines), then the suite plus the generator
-# fallback with numpy import-blocked (a shim module shadows it) to
-# exercise the stdlib fallbacks and the clean "unavailable" error
-# paths of the ensemble engine and the vectorized generator.
+# engines), then the serve smoke (a live `repro serve` daemon on a
+# small grid answering a concurrent query stream, every answer
+# verified bit-identical to the batch path and every shared-memory
+# segment verified unlinked on shutdown), then the suite plus the
+# generator fallback with numpy import-blocked (a shim module shadows
+# it) to exercise the stdlib fallbacks and the clean "unavailable"
+# error paths of the ensemble engine and the vectorized generator;
+# the serve smoke runs again on the no-numpy leg (the service is pure
+# stdlib).
 ci:
 	$(PYTEST) -x -q
 	PYTHONPATH=src python -m repro list
@@ -54,21 +59,26 @@ ci:
 	rm -rf .ci-store .ci-store-cold.log .ci-store-warm.log .ci-store-cold.trimmed .ci-store-warm.trimmed
 	PYTHONPATH=src python -m repro run E21 --quick --churn-rate 0.1 --churn-bias degree --resnapshot-every 5
 	PYTHONPATH=src python -m repro run E21 --quick --engine ensemble --backend frozen
+	PYTHONPATH=src python -m repro serve --sizes 120 --seeds 3 --smoke
 	@mkdir -p .ci-no-numpy && printf 'raise ImportError("numpy disabled for the no-numpy CI leg")\n' > .ci-no-numpy/numpy.py
 	! PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator vectorized 2> .ci-no-numpy/err.log
 	grep -q "requires numpy" .ci-no-numpy/err.log
 	PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator serial
+	PYTHONPATH=.ci-no-numpy:src python -m repro serve --sizes 120 --seeds 3 --smoke
 	PYTHONPATH=.ci-no-numpy:src python -m pytest -x -q; \
 		status=$$?; rm -rf .ci-no-numpy; exit $$status
 
-# Bench point: the E21 churn+search workload at n=10^5 with the
-# DeltaGraph overlay vs a full snapshot rebuild per churn step (gate
-# >= 3x on digest- and request-identical outputs), plus downsized E21
-# per engine through the registry.  Writes BENCH_PR8.json (pinned by
+# Bench point: the same search-trial batch dispatched two ways across
+# a worker pool — the CSR pickled into every spec vs published once
+# into shared memory and attached per worker (gate >= 2x on
+# bit-identical trial values) — plus a live `repro serve` daemon
+# under >= 4 concurrent clients recording p50/p99 latency and
+# sustained qps.  Writes BENCH_PR9.json (pinned by
 # tests/test_bench_schema.py); `PYTHONPATH=src python
-# benchmarks/bench_smoke.py --pr7` regenerates BENCH_PR7.json,
-# `--pr6` BENCH_PR6.json, `--pr5` BENCH_PR5.json, `--pr4`
-# BENCH_PR4.json, `--pr3` BENCH_PR3.json and `--pr2` BENCH_PR2.json.
+# benchmarks/bench_smoke.py --pr8` regenerates BENCH_PR8.json,
+# `--pr7` BENCH_PR7.json, `--pr6` BENCH_PR6.json, `--pr5`
+# BENCH_PR5.json, `--pr4` BENCH_PR4.json, `--pr3` BENCH_PR3.json and
+# `--pr2` BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 

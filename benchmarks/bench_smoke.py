@@ -1,49 +1,52 @@
-"""Bench-trajectory smoke run: the dynamic-graph overlay point.
+"""Bench-trajectory smoke run: the shared-memory serving point.
 
 ``make bench-smoke`` runs this script.  It records the PR's point in
-``BENCH_PR8.json`` at the repository root:
+``BENCH_PR9.json`` at the repository root:
 
-1. an **overlay-speedup block**: the E21 workload at n = 10^5 — a
-   population-preserving churn phase followed by a walk-search phase
-   on the churned graph — run two ways.  The *overlay* strategy
-   maintains a :class:`~repro.graphs.delta.DeltaGraph` across churn
-   (O(log n) per step); the *rebuild-per-step* baseline is the same
-   churn trajectory with a full compaction into a fresh
-   :class:`~repro.graphs.frozen.FrozenGraph` after every step — what
-   a system without the overlay layer pays to keep a searchable
-   snapshot current.  Both strategies must end on digest-identical
-   graphs and spend identical search requests (the rank-based churn
-   sampler makes trajectories compaction-invariant); the acceptance
-   gate is overlay >= 3x faster end to end;
-2. downsized end-to-end timings of **E21** per declared engine, run
-   *through the registry* exactly as ``repro run E21 --engine ...``
-   would, with the derived scalars asserted equal across engines.
+1. a **shm-speedup block**: the same batch of search trials on one
+   Móri graph dispatched two ways across a worker pool.  The
+   *pickle-per-spec* baseline ships the full CSR snapshot inside
+   every :class:`~repro.runner.trial.TrialSpec` (what ``--jobs``
+   costs without shared memory); the *shared-memory* arm publishes
+   the snapshot once (:func:`repro.graphs.shm.publish_graph`) and
+   each spec carries only the segment name, with workers attaching
+   via a pool initializer.  Both arms must return bit-identical
+   trial values; the acceptance gate is shared memory >= 2x faster
+   end to end;
+2. a **service-load block**: a live :class:`~repro.service.SearchService`
+   answering a deterministic query stream under >= 4 concurrent
+   clients, recording sustained qps and p50/p99 latency, with every
+   served answer asserted bit-identical to the batch path
+   (``batched_search_trial``).
 
 Record schema (validated by ``tests/test_bench_schema.py``)::
 
     {"schema": "repro-bench/v1",
-     "records": [{"experiment": "E21", "n": 100000,
+     "records": [{"experiment": "E1", "n": 20000,
                   "wall_seconds": ..., "backend": "frozen",
-                  "strategy": "overlay"}, ...],
-     "overlay_speedup": {
-         "workload": "churn-then-search", "n": 100000,
-         "churn_steps": ..., "churn_bias": "uniform",
-         "per_strategy": {
-             "overlay": {"churn_seconds": ..., "search_seconds": ...,
-                         "total_seconds": ..., "search_requests": ...},
-             "rebuild-per-step": {...}},
-         "speedup_vs_rebuild": ..., "graph_digest": "...",
-         "digests_equal": true, "requests_equal": true,
-         "acceptance_baseline": "rebuild-per-step"}}
+                  "dispatch": "shared-memory"}, ...],
+     "shm_speedup": {
+         "workload": "per-spec-graph-dispatch", "n": 20000,
+         "specs": ..., "cells_per_spec": ..., "budget": ...,
+         "jobs": ..., "portfolio": "adamic",
+         "per_dispatch": {
+             "pickle-per-spec": {"seconds": ...},
+             "shared-memory": {"seconds": ...}},
+         "speedup_vs_pickle": ..., "outputs_identical": true,
+         "acceptance_baseline": "pickle-per-spec"},
+     "service_load": {
+         "workload": "service-query-load", "graphs": ...,
+         "queries": ..., "clients": 4, "qps": ...,
+         "p50_ms": ..., "p99_ms": ..., "batch_identical": true}}
 
 Wall-clock numbers vary with the machine; the committed file records
 the run that accompanied the PR.  Earlier trajectory points
 regenerate with the per-PR flags (table-driven in ``_PR_FLAGS``):
-``--pr7`` (pluggable trial store, ``BENCH_PR7.json``), ``--pr6``
-(vectorized generation + graph corpus), ``--pr5`` (declarative
-registry), ``--pr4`` (walker-ensemble engine), ``--pr3``
-(growth-trajectory checkpoint engine) and ``--pr2`` (FrozenGraph
-cell batching).
+``--pr8`` (dynamic-graph overlay, ``BENCH_PR8.json``), ``--pr7``
+(pluggable trial store), ``--pr6`` (vectorized generation + graph
+corpus), ``--pr5`` (declarative registry), ``--pr4``
+(walker-ensemble engine), ``--pr3`` (growth-trajectory checkpoint
+engine) and ``--pr2`` (FrozenGraph cell batching).
 """
 
 from __future__ import annotations
@@ -84,6 +87,7 @@ from repro.search.process import run_search
 
 SCHEMA = "repro-bench/v1"
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+PR9_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR9.json")
 PR8_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR8.json")
 PR7_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
 PR6_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
@@ -91,6 +95,268 @@ PR5_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
 PR4_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR4.json")
 PR3_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR3.json")
 PR2_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR2.json")
+
+
+# ----------------------------------------------------------------------
+# PR9: shared-memory graph workers + search-as-a-service
+# ----------------------------------------------------------------------
+
+#: The dispatch workload: one Móri graph big enough that the CSR
+#: payload dominates per-spec cost, searched by many small specs.
+#: Each cell gets a small explicit budget so the *work* per spec is
+#: trivial and the measured gap is pure dispatch — serialize the
+#: graph into every spec (baseline) vs attach a published segment
+#: once per worker (shared memory).
+PR9_FAMILY = MoriFamily(p=0.5, m=2)
+PR9_N = 20_000
+PR9_SEED = 1
+PR9_SPECS = 32
+PR9_CELLS_PER_SPEC = 4
+PR9_BUDGET = 64
+PR9_JOBS = 4
+PR9_PORTFOLIO = "adamic"
+
+#: The serving workload: a small grid behind one daemon, hammered by
+#: a deterministic round-robin query stream from concurrent clients.
+PR9_SERVICE_SIZES = (2_000,)
+PR9_SERVICE_SEEDS = (1, 2)
+PR9_SERVICE_QUERIES = 200
+PR9_SERVICE_CLIENTS = 4
+PR9_SERVICE_WORKERS = 4
+
+
+def _pr9_cells(spec_index: int) -> list:
+    """The cells of one dispatch spec (distinct run indices)."""
+    from repro.service.core import portfolio_algorithms
+
+    algorithms = portfolio_algorithms(PR9_PORTFOLIO)
+    base = spec_index * PR9_CELLS_PER_SPEC
+    return [
+        {
+            "algorithm": algorithms[(base + i) % len(algorithms)],
+            "run_index": base + i,
+        }
+        for i in range(PR9_CELLS_PER_SPEC)
+    ]
+
+
+def pr9_measure_shm_speedup() -> dict:
+    """Time pickle-per-spec vs shared-memory dispatch; assert identity."""
+    from repro.core.trials import build_graph_snapshot, choose_start
+    from repro.graphs.shm import publish_graph
+    from repro.runner import TrialSpec, run_trials, trial_ref
+    from repro.service.core import (
+        attach_shared_graph,
+        graph_payload,
+        payload_search_trial,
+        shm_search_trial,
+    )
+
+    snapshot = build_graph_snapshot(
+        PR9_FAMILY, PR9_N, PR9_SEED, "frozen", "serial"
+    )
+    target = PR9_FAMILY.theorem_target(snapshot)
+    start = choose_start(
+        PR9_FAMILY, snapshot, target, "default", PR9_SEED
+    )
+    common = {
+        "portfolio": PR9_PORTFOLIO,
+        "start": start,
+        "target": target,
+        "budget": PR9_BUDGET,
+    }
+    payload = graph_payload(snapshot)
+    pickle_specs = [
+        TrialSpec(
+            "E1",
+            trial_ref(payload_search_trial),
+            params={"graph": payload, "cells": _pr9_cells(i), **common},
+            seed=PR9_SEED,
+        )
+        for i in range(PR9_SPECS)
+    ]
+    segment = publish_graph(snapshot)
+    try:
+        shm_specs = [
+            TrialSpec(
+                "E1",
+                trial_ref(shm_search_trial),
+                params={
+                    "shm": segment.name,
+                    "cells": _pr9_cells(i),
+                    **common,
+                },
+                seed=PR9_SEED,
+            )
+            for i in range(PR9_SPECS)
+        ]
+        began = time.perf_counter()
+        pickle_results = run_trials(pickle_specs, jobs=PR9_JOBS)
+        pickle_seconds = time.perf_counter() - began
+        began = time.perf_counter()
+        shm_results = run_trials(
+            shm_specs,
+            jobs=PR9_JOBS,
+            initializer=attach_shared_graph,
+            initargs=(segment.name,),
+        )
+        shm_seconds = time.perf_counter() - began
+    finally:
+        segment.close()
+        segment.unlink()
+    if (
+        [result.value for result in pickle_results]
+        != [result.value for result in shm_results]
+    ):
+        raise SystemExit(
+            "shared-memory and pickle-per-spec dispatch diverged"
+        )
+    speedup = pickle_seconds / shm_seconds
+    return {
+        "workload": "per-spec-graph-dispatch",
+        "family": f"mori(p={PR9_FAMILY.p}, m={PR9_FAMILY.m})",
+        "n": PR9_N,
+        "specs": PR9_SPECS,
+        "cells_per_spec": PR9_CELLS_PER_SPEC,
+        "budget": PR9_BUDGET,
+        "jobs": PR9_JOBS,
+        "portfolio": PR9_PORTFOLIO,
+        "per_dispatch": {
+            "pickle-per-spec": {"seconds": round(pickle_seconds, 4)},
+            "shared-memory": {"seconds": round(shm_seconds, 4)},
+        },
+        "speedup_vs_pickle": round(speedup, 2),
+        "outputs_identical": True,
+        "acceptance_baseline": "pickle-per-spec",
+    }
+
+
+def pr9_measure_service_load() -> dict:
+    """Serve a query stream under concurrent clients; verify vs batch."""
+    from repro.core.trials import batched_search_trial, family_spec
+    from repro.service import SearchService, build_grid_entries, run_load
+    from repro.service.core import portfolio_algorithms
+    from repro.service.loadgen import build_queries
+
+    entries = build_grid_entries(
+        PR9_FAMILY, PR9_SERVICE_SIZES, PR9_SERVICE_SEEDS
+    )
+    algorithms = list(portfolio_algorithms(PR9_PORTFOLIO))
+    with SearchService(
+        entries,
+        portfolio=PR9_PORTFOLIO,
+        workers=PR9_SERVICE_WORKERS,
+    ) as service:
+        catalog = service.handle_graphs()
+        queries = build_queries(
+            catalog, algorithms, PR9_SERVICE_QUERIES
+        )
+        responses, stats = run_load(
+            service.host,
+            service.port,
+            queries,
+            clients=PR9_SERVICE_CLIENTS,
+        )
+    by_graph = {}
+    for query, response in zip(queries, responses):
+        by_graph.setdefault(query["graph"], []).append(
+            (query, response)
+        )
+    spec = family_spec(PR9_FAMILY)
+    info = {entry["id"]: entry for entry in catalog}
+    for graph_id, pairs in by_graph.items():
+        expected = batched_search_trial(
+            family=spec,
+            size=info[graph_id]["n"],
+            portfolio=PR9_PORTFOLIO,
+            cells=[
+                {
+                    "algorithm": query["algorithm"],
+                    "run_index": query["run_index"],
+                }
+                for query, _ in pairs
+            ],
+            seed=info[graph_id]["seed"],
+        )
+        if [response for _, response in pairs] != expected:
+            raise SystemExit(
+                f"served answers diverged from the batch path on "
+                f"{graph_id}"
+            )
+    return {
+        "workload": "service-query-load",
+        "family": f"mori(p={PR9_FAMILY.p}, m={PR9_FAMILY.m})",
+        "sizes": list(PR9_SERVICE_SIZES),
+        "graphs": len(catalog),
+        "workers": PR9_SERVICE_WORKERS,
+        "queries": stats["queries"],
+        "clients": stats["clients"],
+        "wall_seconds": round(stats["wall_s"], 4),
+        "qps": round(stats["qps"], 2),
+        "mean_ms": round(stats["mean_ms"], 3),
+        "p50_ms": round(stats["p50_ms"], 3),
+        "p99_ms": round(stats["p99_ms"], 3),
+        "batch_identical": True,
+    }
+
+
+def main() -> int:
+    """Write BENCH_PR9.json (shared-memory dispatch + service load)."""
+    print(
+        "bench-smoke: shm vs pickle-per-spec dispatch, "
+        f"n={PR9_N:,}, {PR9_SPECS} specs x {PR9_CELLS_PER_SPEC} "
+        f"cells, jobs={PR9_JOBS}"
+    )
+    shm_block = pr9_measure_shm_speedup()
+    print(
+        "bench-smoke: service load, "
+        f"{PR9_SERVICE_QUERIES} queries / "
+        f"{PR9_SERVICE_CLIENTS} clients"
+    )
+    service_block = pr9_measure_service_load()
+    records = [
+        {
+            "experiment": "E1",
+            "n": PR9_N,
+            "wall_seconds": (
+                shm_block["per_dispatch"][dispatch]["seconds"]
+            ),
+            "backend": "frozen",
+            "dispatch": dispatch,
+        }
+        for dispatch in ("pickle-per-spec", "shared-memory")
+    ]
+    records.append(
+        {
+            "experiment": "E1",
+            "n": max(PR9_SERVICE_SIZES),
+            "wall_seconds": service_block["wall_seconds"],
+            "backend": "frozen",
+            "dispatch": "service",
+        }
+    )
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "shm_speedup": shm_block,
+        "service_load": service_block,
+    }
+    path = os.path.normpath(PR9_OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    ok = shm_block["speedup_vs_pickle"] >= 2.0
+    print(
+        "acceptance: shared-memory dispatch "
+        f"{shm_block['speedup_vs_pickle']:.1f}x vs pickle-per-spec "
+        f"({'>= 2x ok' if ok else 'BELOW 2x'}), outputs identical; "
+        f"service {service_block['qps']:.0f} qps, "
+        f"p50 {service_block['p50_ms']:.1f} ms / "
+        f"p99 {service_block['p99_ms']:.1f} ms "
+        f"under {service_block['clients']} clients"
+    )
+    return 0 if ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -254,7 +520,7 @@ def pr8_time_e21_per_engine() -> list:
     return records
 
 
-def main() -> int:
+def pr8_main() -> int:
     """Write BENCH_PR8.json (the dynamic-graph overlay point)."""
     print(
         "bench-smoke: overlay vs rebuild-per-step, "
@@ -1297,6 +1563,7 @@ _PR_FLAGS = {
     "--pr5": pr5_main,
     "--pr6": pr6_main,
     "--pr7": pr7_main,
+    "--pr8": pr8_main,
 }
 
 if __name__ == "__main__":

@@ -13,7 +13,13 @@ peer:
    walks (Sarshar et al. 2004 — the paper's cited workaround for
    non-searchability).
 
-Run:  python examples/p2p_file_search.py [n]
+With ``--serve`` the oracle-based strategies run through a live
+``repro serve`` daemon instead: the peer network is published into
+shared memory, lookups become HTTP queries against the Adamic
+portfolio, and every served answer is re-checked bit-for-bit against
+the batch path (the service determinism contract).
+
+Run:  python examples/p2p_file_search.py [n] [--serve]
 """
 
 from __future__ import annotations
@@ -31,8 +37,89 @@ from repro.search.algorithms import (
 from repro.search.process import run_search
 
 
+def serve_lookup(n: int) -> None:
+    """The same oracle lookups, resolved by a live search daemon."""
+    from repro.core.trials import batched_search_trial, family_spec
+    from repro.service import (
+        SearchService,
+        ServiceClient,
+        build_grid_entries,
+    )
+
+    seed = 11
+    trials = 25
+    algorithms = ("random-walk", "high-degree-strong")
+
+    family = ConfigurationFamily(exponent=2.3, min_degree=2)
+    entries = build_grid_entries(family, [n], [seed])
+    responses = {}
+    with SearchService(
+        entries, portfolio="adamic", workers=2
+    ) as service:
+        with ServiceClient(service.host, service.port) as client:
+            peer_graph = client.graphs()[0]
+            print(
+                f"search service at {service.address}: "
+                f"{peer_graph['n']} peers, "
+                f"{peer_graph['num_edges']} links, shared segment "
+                f"{peer_graph['shm']}\n"
+            )
+            for algorithm in algorithms:
+                results = [
+                    client.search(
+                        peer_graph["id"], algorithm, run_index=trial
+                    )
+                    for trial in range(trials)
+                ]
+                responses[algorithm] = results
+                total_requests = sum(
+                    result["requests"] for result in results
+                )
+                hits = sum(
+                    int(result["found"]) for result in results
+                )
+                print(
+                    f"{algorithm:<22} (served): "
+                    f"mean {total_requests / trials:8.1f} peers "
+                    f"contacted, hit rate {hits / trials:.0%}"
+                )
+
+    # The determinism contract: the daemon must have answered exactly
+    # what the batch path computes for the same cells.
+    cells = [
+        {"algorithm": algorithm, "run_index": trial}
+        for algorithm in algorithms
+        for trial in range(trials)
+    ]
+    expected = batched_search_trial(
+        family=family_spec(family),
+        size=n,
+        portfolio="adamic",
+        cells=cells,
+        seed=seed,
+    )
+    served = [
+        result
+        for algorithm in algorithms
+        for result in responses[algorithm]
+    ]
+    if served != expected:
+        raise SystemExit(
+            "service answers diverged from the batch path"
+        )
+    print(
+        "\nEvery served answer matched the batch path bit for bit, "
+        "and the shared-memory segment is gone now that the daemon "
+        "stopped."
+    )
+
+
 def main() -> None:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    argv = [arg for arg in sys.argv[1:] if arg != "--serve"]
+    n = int(argv[0]) if argv else 4000
+    if "--serve" in sys.argv[1:]:
+        serve_lookup(n)
+        return
     seed = 11
     trials = 25
 

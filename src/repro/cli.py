@@ -13,6 +13,9 @@ Usage::
     repro corpus build corpus/ --model mori --sizes 1000,2000
     repro corpus list corpus/
     repro corpus verify corpus/
+    repro serve --model mori --sizes 500 --seeds 1,2 --port 8642
+    repro serve --corpus corpus/ --workers 4 --port-file serve.port
+    repro serve --sizes 200 --smoke
     repro store stat .repro-cache
     repro store migrate .repro-cache --to sqlite
     repro store compact .repro-cache
@@ -64,6 +67,13 @@ builds are served from the corpus when present and persisted when not,
 and the run reports its hit/miss tally afterwards.  ``repro corpus
 build/list/verify`` pre-generates, enumerates and digest-checks corpus
 entries directly.
+
+``repro serve`` runs the long-lived search daemon
+(:mod:`repro.service`): graphs load once, publish into shared memory,
+and a worker pool answers ``POST /search`` queries bit-identically to
+the batch path (same ``run_substream`` seed derivation).  ``--smoke``
+is the self-test mode CI runs: burst concurrent queries, verify
+batch-path identity and clean shm teardown, exit.
 """
 
 from __future__ import annotations
@@ -451,6 +461,88 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     corpus_verify.add_argument("dir", help="corpus directory")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the long-lived search daemon over shared-memory "
+            "graph snapshots"
+        ),
+    )
+    serve.add_argument(
+        "--corpus",
+        default=None,
+        help=(
+            "serve every snapshot of this corpus directory (requires "
+            "numpy); omit to generate a grid from --model/--sizes/"
+            "--seeds"
+        ),
+    )
+    serve.add_argument(
+        "--model",
+        choices=("mori", "cooper-frieze", "ba"),
+        default="mori",
+        help="graph family to generate and serve (default mori)",
+    )
+    serve.add_argument(
+        "--p", type=float, default=0.5,
+        help="Móri attachment parameter (mori; default 0.5)",
+    )
+    serve.add_argument(
+        "--m", type=int, default=1,
+        help="edges per arriving vertex (mori/ba; default 1)",
+    )
+    serve.add_argument(
+        "--alpha", type=float, default=0.5,
+        help="Cooper-Frieze NEW-step probability (default 0.5)",
+    )
+    serve.add_argument(
+        "--sizes", type=_int_list, default=(200,),
+        help="comma-separated graph sizes to serve (default 200)",
+    )
+    serve.add_argument(
+        "--seeds", type=_int_list, default=(0,),
+        help="comma-separated graph seeds (default 0)",
+    )
+    serve.add_argument(
+        "--generator",
+        choices=("serial", "vectorized"),
+        default="serial",
+        help="construction strategy for generated graphs",
+    )
+    serve.add_argument(
+        "--portfolio", default="adamic",
+        help="served algorithm portfolio (default adamic)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="search worker processes (default 2)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 picks a free one (default 0)",
+    )
+    serve.add_argument(
+        "--port-file", default=None,
+        help="write the bound port to this file once serving",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help=(
+            "self-test mode: serve, burst concurrent queries, verify "
+            "bit-identity against the batch path and clean shm "
+            "teardown, then exit"
+        ),
+    )
+    serve.add_argument(
+        "--smoke-queries", type=_positive_int, default=24,
+        help="queries the smoke burst issues (default 24)",
+    )
+    serve.add_argument(
+        "--smoke-clients", type=_positive_int, default=4,
+        help="concurrent smoke clients (default 4)",
+    )
 
     store = subparsers.add_parser(
         "store",
@@ -896,6 +988,168 @@ def _corpus_main(args) -> int:
     return 1 if failures else 0
 
 
+def _serve_entries(args):
+    """The graph catalog ``repro serve`` publishes."""
+    from repro.service import build_grid_entries, load_corpus_entries
+
+    if args.corpus:
+        from repro.graphs.corpus import HAVE_CORPUS
+
+        if not HAVE_CORPUS:
+            raise ExperimentError(
+                "--corpus requires numpy, which is not available; "
+                "use the --model/--sizes grid instead"
+            )
+        entries = load_corpus_entries(args.corpus)
+        if not entries:
+            raise ExperimentError(
+                f"corpus directory {args.corpus!r} has no readable "
+                "entries"
+            )
+        return entries
+    return build_grid_entries(
+        _corpus_family(args), args.sizes, args.seeds,
+        generator=args.generator,
+    )
+
+
+def _serve_smoke(service, args) -> int:
+    """The ``repro serve --smoke`` self-test (the CI serve smoke).
+
+    Bursts concurrent queries at the just-started daemon, replays the
+    same cells through :func:`repro.core.trials.batched_search_trial`,
+    and demands byte-identical answers; then tears the daemon down and
+    proves every published segment is actually gone (attach must
+    raise).  Exit 0 only if all three hold.
+    """
+    from repro.core.trials import batched_search_trial
+    from repro.graphs.shm import attach_graph
+    from repro.service.client import run_load
+    from repro.service.loadgen import build_queries
+    from repro.service.core import portfolio_algorithms
+
+    graphs = service.handle_graphs()
+    shm_names = [graph["shm"] for graph in graphs]
+    queries = build_queries(
+        graphs,
+        list(portfolio_algorithms(service.portfolio)),
+        args.smoke_queries,
+    )
+    responses, stats = run_load(
+        service.host, service.port, queries,
+        clients=args.smoke_clients,
+    )
+    by_graph: Dict[str, List[int]] = {}
+    for index, query in enumerate(queries):
+        by_graph.setdefault(query["graph"], []).append(index)
+    mismatches = 0
+    for graph_id, indices in sorted(by_graph.items()):
+        entry = service.entries[graph_id]
+        cells = [
+            {
+                "algorithm": queries[index]["algorithm"],
+                "run_index": queries[index]["run_index"],
+            }
+            for index in indices
+        ]
+        expected = batched_search_trial(
+            family=entry.family,
+            size=entry.size,
+            portfolio=service.portfolio,
+            cells=cells,
+            seed=entry.seed,
+        )
+        for index, reference in zip(indices, expected):
+            if responses[index] != reference:
+                mismatches += 1
+    service.stop()
+    leaked = []
+    for name in shm_names:
+        try:
+            attach_graph(name)
+            leaked.append(name)
+        except FileNotFoundError:
+            pass
+    print(
+        f"serve smoke: {len(queries)} queries / "
+        f"{args.smoke_clients} clients over {len(graphs)} graphs, "
+        f"{mismatches} batch-path mismatches, "
+        f"{len(leaked)} leaked segments "
+        f"(p50={stats['p50_ms']:.2f}ms p99={stats['p99_ms']:.2f}ms "
+        f"qps={stats['qps']:.1f})"
+    )
+    if mismatches or leaked:
+        if leaked:
+            print(
+                f"error: orphan shm segments: {', '.join(leaked)}",
+                file=sys.stderr,
+            )
+        if mismatches:
+            print(
+                "error: served answers diverged from the batch path",
+                file=sys.stderr,
+            )
+        return 1
+    print("serve smoke: PASS")
+    return 0
+
+
+def _serve_main(args) -> int:
+    """The ``repro serve`` command."""
+    import signal
+    import threading
+
+    from repro.service import SearchService
+
+    try:
+        entries = _serve_entries(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    service = SearchService(
+        entries,
+        portfolio=args.portfolio,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        corpus_dir=args.corpus,
+    )
+    try:
+        service.start()
+    except OSError as error:
+        # Double-start on a bound port lands here (EADDRINUSE); the
+        # failed start already unlinked everything it published.
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{service.port}\n")
+        if args.smoke:
+            return _serve_smoke(service, args)
+        print(
+            f"serving {len(service.entries)} graphs "
+            f"({args.portfolio} portfolio, {args.workers} workers) "
+            f"at {service.address}",
+            flush=True,
+        )
+        stop_event = threading.Event()
+
+        def _handle_signal(signum, frame):
+            stop_event.set()
+
+        signal.signal(signal.SIGTERM, _handle_signal)
+        signal.signal(signal.SIGINT, _handle_signal)
+        stop_event.wait()
+        print("shutting down", flush=True)
+        return 0
+    finally:
+        service.stop()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -907,6 +1161,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "corpus":
         return _corpus_main(args)
+
+    if args.command == "serve":
+        try:
+            return _serve_main(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
 
     if args.command == "store":
         try:

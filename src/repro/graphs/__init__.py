@@ -24,7 +24,9 @@ uses or contrasts against:
 * :mod:`repro.graphs.delta` — the dynamic overlay backend (tombstones
   + late joins over a frozen base) and its canonical content digest;
 * :mod:`repro.graphs.churn` — deterministic, family-faithful peer
-  churn driven on the overlay.
+  churn driven on the overlay;
+* :mod:`repro.graphs.shm` — shared-memory publication of frozen
+  snapshots (publish once, attach by name from worker processes).
 """
 
 from repro.graphs.base import MultiGraph
@@ -42,6 +44,12 @@ from repro.graphs.barabasi_albert import barabasi_albert_graph
 from repro.graphs.configuration import configuration_model_graph
 from repro.graphs.power_law import power_law_degree_sequence
 from repro.graphs.kleinberg import KleinbergGrid, kleinberg_grid
+from repro.graphs.shm import (
+    SharedGraphSegment,
+    ShmFrozenGraph,
+    attach_graph,
+    publish_graph,
+)
 
 # GraphBackend (the Union alias of the two backends) is importable but
 # deliberately not in __all__: it is a typing handle, not a callable.
@@ -63,4 +71,8 @@ __all__ = [
     "power_law_degree_sequence",
     "KleinbergGrid",
     "kleinberg_grid",
+    "SharedGraphSegment",
+    "ShmFrozenGraph",
+    "publish_graph",
+    "attach_graph",
 ]

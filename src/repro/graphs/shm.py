@@ -1,0 +1,317 @@
+"""Shared-memory publication of frozen CSR snapshots.
+
+A :class:`~repro.graphs.frozen.FrozenGraph` is immutable, so its CSR
+arrays can be *published once* into a ``multiprocessing.shared_memory``
+segment and attached read-only by any number of worker processes —
+instead of pickling the whole graph into every task (the cost that
+dominates per-trial dispatch at search scale).  The layout reuses the
+corpus blob convention (:mod:`repro.graphs.corpus`): the seven int64
+arrays (endpoint columns, CSR offsets, incidence slots, directed
+degrees) concatenated little-endian, here prefixed by a length-framed
+JSON header so an attach needs nothing but the segment *name*::
+
+    [magic "REPROSHM"][uint64 header length][header JSON][pad to 8]
+    [tails][heads][offsets][slot_edges][slot_targets][indegree][outdegree]
+
+:func:`publish_graph` serialises a snapshot and returns the owner-side
+:class:`SharedGraphSegment` handle (the owner — a service daemon, a
+benchmark driver — is responsible for ``unlink()`` on shutdown);
+:func:`attach_graph` maps a segment by name into an
+:class:`ShmFrozenGraph`, a plain :class:`FrozenGraph` whose big slot
+arrays are views straight into the shared buffer.  Attached views are
+read-only, preserving the frozen-graph immutability contract.
+
+numpy is optional: with it the views are zero-copy ``frombuffer``
+arrays; without it they are ``memoryview.cast("q")`` windows, which
+support the same indexing/slicing the stdlib-array fallback of
+:class:`FrozenGraph` relies on.  Either way the endpoint list (needed
+as Python tuples by the oracle request loop) is materialised once per
+attach — the same copy the on-disk corpus loader pays.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from array import array
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.graphs.frozen import FrozenGraph, HAVE_NUMPY, freeze
+
+if HAVE_NUMPY:  # pragma: no branch - import mirror of frozen.py
+    import numpy as _np
+else:  # pragma: no cover - the container always has numpy
+    _np = None
+
+__all__ = [
+    "SHM_SCHEMA",
+    "SharedGraphSegment",
+    "ShmFrozenGraph",
+    "attach_graph",
+    "publish_graph",
+]
+
+SHM_SCHEMA = "repro-shm/v1"
+
+_MAGIC = b"REPROSHM"
+_PREFIX = struct.Struct("<8sQ")
+
+#: Array names in blob order — the corpus convention.
+_ARRAY_NAMES = (
+    "tails",
+    "heads",
+    "offsets",
+    "slot_edges",
+    "slot_targets",
+    "indegree",
+    "outdegree",
+)
+
+
+def _column_bytes(snapshot: FrozenGraph) -> List[bytes]:
+    """The seven arrays as little-endian int64 byte strings."""
+    if HAVE_NUMPY:
+        tails, heads = snapshot._pairs()
+        columns = (
+            tails,
+            heads,
+            _np.asarray(snapshot._offsets),
+            _np.asarray(snapshot._slot_edges),
+            _np.asarray(snapshot._slot_targets),
+            _np.asarray(snapshot._indegree),
+            _np.asarray(snapshot._outdegree),
+        )
+        return [
+            _np.ascontiguousarray(column, dtype="<i8").tobytes()
+            for column in columns
+        ]
+    tails = array("q", (tail for tail, _ in snapshot._endpoints))
+    heads = array("q", (head for _, head in snapshot._endpoints))
+    columns = (
+        tails,
+        heads,
+        array("q", snapshot._offsets),
+        array("q", snapshot._slot_edges),
+        array("q", snapshot._slot_targets),
+        array("q", snapshot._indegree),
+        array("q", snapshot._outdegree),
+    )
+    # array("q") is host-endian; every supported platform here is
+    # little-endian, matching the corpus "<i8" convention.
+    return [column.tobytes() for column in columns]
+
+
+class SharedGraphSegment:
+    """Owner-side handle of one published snapshot.
+
+    The owner keeps the segment alive; workers attach by
+    :attr:`name`.  ``close()`` drops this process's mapping,
+    ``unlink()`` removes the segment system-wide (idempotent — a
+    double unlink on shutdown paths is harmless).
+    """
+
+    def __init__(self, shm, header: Dict[str, Any]):
+        self._shm = shm
+        self.header = header
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedGraphSegment(name={self.name!r}, "
+            f"n={self.header.get('n')}, m={self.header.get('num_edges')})"
+        )
+
+
+def publish_graph(graph, *, name: Optional[str] = None) -> SharedGraphSegment:
+    """Serialise ``graph`` into a new shared-memory segment.
+
+    ``graph`` may be either backend; it is frozen if needed.  Returns
+    the owner handle; the caller owns the segment's lifetime and must
+    ``unlink()`` it eventually (a leaked segment outlives the process).
+    """
+    snapshot = freeze(graph)
+    chunks = _column_bytes(snapshot)
+    arrays = []
+    offset = 0
+    for array_name, chunk in zip(_ARRAY_NAMES, chunks):
+        length = len(chunk) // 8
+        arrays.append(
+            {"name": array_name, "offset": offset, "length": length}
+        )
+        offset += length
+    header = {
+        "schema": SHM_SCHEMA,
+        "n": snapshot.num_vertices,
+        "num_edges": snapshot.num_edges,
+        "num_loops": snapshot.num_self_loops(),
+        "arrays": arrays,
+    }
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    payload_offset = _PREFIX.size + len(header_bytes)
+    payload_offset += (-payload_offset) % 8  # 8-align the arrays
+    total = payload_offset + 8 * offset
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(total, 1), name=name
+    )
+    try:
+        shm.buf[: _PREFIX.size] = _PREFIX.pack(_MAGIC, len(header_bytes))
+        shm.buf[
+            _PREFIX.size: _PREFIX.size + len(header_bytes)
+        ] = header_bytes
+        cursor = payload_offset
+        for chunk in chunks:
+            shm.buf[cursor: cursor + len(chunk)] = chunk
+            cursor += len(chunk)
+    except BaseException:  # pragma: no cover - allocation races only
+        shm.close()
+        shm.unlink()
+        raise
+    return SharedGraphSegment(shm, header)
+
+
+class ShmFrozenGraph(FrozenGraph):
+    """A :class:`FrozenGraph` whose CSR arrays live in shared memory.
+
+    Behaviourally identical to any other snapshot — same queries, same
+    immutability — plus a reference to the mapped segment so the
+    buffer outlives the views.  Drop with :meth:`close` (or just let
+    the worker process exit; attached mappings do not pin the segment
+    once the owner unlinks it).
+    """
+
+    __slots__ = ("_segment", "shm_name")
+
+    def close(self) -> None:
+        """Release this process's mapping of the segment.
+
+        The numpy/memoryview slices export the buffer, so they are
+        dropped first; the graph is unusable afterwards.
+        """
+        self._offsets = None
+        self._slot_edges = None
+        self._slot_targets = None
+        self._pairs_cache = None
+        segment = self._segment
+        self._segment = None
+        if segment is not None:
+            try:
+                segment.close()
+            except (BufferError, OSError):  # pragma: no cover
+                pass
+
+
+def _attach_segment(name: str):
+    """Map an existing segment without resource-tracker interference.
+
+    Before Python 3.13 (``track=False``) the resource tracker of an
+    *attaching* process registers the segment and unlinks it when that
+    process exits — destroying a segment it never owned.  On those
+    versions the registration is suppressed at the source (the
+    after-the-fact ``unregister`` workaround floods the shared tracker
+    with duplicate messages when several forked workers attach the
+    same segment).
+    """
+    try:
+        return shared_memory.SharedMemory(
+            name=name, create=False, track=False
+        )
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+
+
+def attach_graph(name: str) -> ShmFrozenGraph:
+    """Attach the published snapshot ``name`` from this process.
+
+    Raises :class:`FileNotFoundError` if no such segment exists (the
+    owner was never started, or already unlinked it) and
+    :class:`~repro.errors.ExperimentError` if the segment is not a
+    published graph.
+    """
+    shm = _attach_segment(name)
+    try:
+        magic, header_length = _PREFIX.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            raise ExperimentError(
+                f"shared-memory segment {name!r} is not a published "
+                "graph (bad magic)"
+            )
+        header = json.loads(
+            bytes(shm.buf[_PREFIX.size: _PREFIX.size + header_length])
+        )
+        if header.get("schema") != SHM_SCHEMA:
+            raise ExperimentError(
+                f"shared-memory segment {name!r} has schema "
+                f"{header.get('schema')!r}, expected {SHM_SCHEMA!r}"
+            )
+        payload_offset = _PREFIX.size + header_length
+        payload_offset += (-payload_offset) % 8
+        total_words = sum(
+            entry["length"] for entry in header["arrays"]
+        )
+        views: Dict[str, Any] = {}
+        if HAVE_NUMPY:
+            base = _np.frombuffer(
+                shm.buf, dtype="<i8",
+                count=total_words, offset=payload_offset,
+            )
+            base.flags.writeable = False
+        else:
+            base = memoryview(shm.buf)[
+                payload_offset: payload_offset + 8 * total_words
+            ].cast("q").toreadonly()
+        for entry in header["arrays"]:
+            lo = entry["offset"]
+            views[entry["name"]] = base[lo: lo + entry["length"]]
+        tails, heads = views["tails"], views["heads"]
+        snapshot = ShmFrozenGraph(
+            num_vertices=header["n"],
+            endpoints=list(zip(tails.tolist(), heads.tolist())),
+            indegree=views["indegree"].tolist(),
+            outdegree=views["outdegree"].tolist(),
+            offsets=views["offsets"],
+            slot_edges=views["slot_edges"],
+            slot_targets=views["slot_targets"],
+            num_loops=header["num_loops"],
+        )
+        if HAVE_NUMPY:
+            snapshot._pairs_cache = (tails, heads)
+    except BaseException:
+        shm.close()
+        raise
+    snapshot._segment = SharedGraphSegment(shm, header)
+    snapshot.shm_name = name
+    return snapshot

@@ -18,7 +18,7 @@ import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ExperimentError
 
@@ -169,11 +169,19 @@ class TrialExecutionError(ExperimentError):
         The :class:`TrialSpec` whose execution failed.
     """
 
-    def __init__(self, spec: TrialSpec, cause: BaseException):
+    def __init__(
+        self,
+        spec: TrialSpec,
+        cause: BaseException,
+        note: Optional[str] = None,
+    ):
         self.spec = spec
-        super().__init__(
+        message = (
             f"trial {spec.trial} failed for experiment "
             f"{spec.experiment_id} (seed={spec.seed}, "
             f"params={dict(spec.params)!r}): "
             f"{type(cause).__name__}: {cause}"
         )
+        if note:
+            message = f"{message} [{note}]"
+        super().__init__(message)

@@ -1,0 +1,50 @@
+"""Search-as-a-service over published FrozenGraph snapshots.
+
+The paper's claim — growth-built power-law networks are not searchable
+by local algorithms — is ultimately about *serving lookups to live
+peers*, not about offline tables.  This subpackage is that serving
+story:
+
+* :mod:`repro.service.core` — graph catalog (family grid or on-disk
+  corpus), query validation, and the worker-side execution path that
+  attaches shared-memory snapshots and answers one cell through the
+  exact batch seed derivation;
+* :mod:`repro.service.daemon` — the long-lived ``repro serve`` HTTP
+  daemon (stdlib ``http.server`` + a process pool over shared-memory
+  graphs) with graceful shm lifecycle;
+* :mod:`repro.service.client` — a tiny stdlib client and a concurrent
+  load generator measuring latency percentiles and sustained qps;
+* :mod:`repro.service.loadgen` — the load generator's CLI face.
+
+The determinism contract: a query ``(graph, algorithm, run_index,
+start?, target?)`` answers with the byte-identical result dict the
+batch path (:func:`repro.core.trials.batched_search_trial`) produces
+for the same cell on the same ``(family, size, seed)`` graph — same
+``run_substream`` seed derivation, same default start/target
+resolution, same budget.
+"""
+
+from repro.service.core import (
+    GraphEntry,
+    QueryError,
+    build_grid_entries,
+    entry_from_snapshot,
+    load_corpus_entries,
+    shm_search_trial,
+    validate_query,
+)
+from repro.service.daemon import SearchService
+from repro.service.client import ServiceClient, run_load
+
+__all__ = [
+    "GraphEntry",
+    "QueryError",
+    "SearchService",
+    "ServiceClient",
+    "build_grid_entries",
+    "entry_from_snapshot",
+    "load_corpus_entries",
+    "run_load",
+    "shm_search_trial",
+    "validate_query",
+]

@@ -1,0 +1,211 @@
+"""Stdlib client and load generator for the search daemon.
+
+:class:`ServiceClient` is one keep-alive connection speaking the
+daemon's JSON routes; :func:`run_load` drives N concurrent clients
+over a fixed query list and reports latency percentiles and sustained
+throughput — the serving-performance numbers the P2P resource-
+discovery literature reports (and ``BENCH_PR9.json`` records).
+
+Responses come back *in query order* regardless of which client
+thread carried which query, so a load run doubles as a determinism
+check against the batch path.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["ServiceClient", "ServiceHTTPError", "run_load"]
+
+
+class ServiceHTTPError(ExperimentError):
+    """A non-2xx daemon response; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """One persistent connection to a running search daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Any:
+        body = (
+            None if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        headers = (
+            {} if body is None
+            else {"Content-Type": "application/json"}
+        )
+        # One reconnect on a dropped keep-alive: the daemon may have
+        # recycled the connection between requests.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    BrokenPipeError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw) if raw else None
+        except json.JSONDecodeError as error:
+            raise ExperimentError(
+                f"daemon returned non-JSON for {path}: {raw[:200]!r}"
+            ) from error
+        if response.status >= 400:
+            message = (
+                decoded.get("error", "")
+                if isinstance(decoded, dict) else str(decoded)
+            )
+            raise ServiceHTTPError(response.status, message)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def graphs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/graphs")
+
+    def reload(self) -> Dict[str, Any]:
+        return self._request("POST", "/reload", payload={})
+
+    def search(
+        self,
+        graph: str,
+        algorithm: str,
+        run_index: int = 0,
+        *,
+        start: Optional[int] = None,
+        target: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "graph": graph,
+            "algorithm": algorithm,
+            "run_index": run_index,
+        }
+        if start is not None:
+            payload["start"] = start
+        if target is not None:
+            payload["target"] = target
+        return self._request("POST", "/search", payload=payload)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(
+        0,
+        min(
+            len(sorted_values) - 1,
+            int(round(q * (len(sorted_values) - 1))),
+        ),
+    )
+    return sorted_values[rank]
+
+
+def run_load(
+    host: str,
+    port: int,
+    queries: List[Dict[str, Any]],
+    *,
+    clients: int = 4,
+    timeout: float = 60.0,
+) -> Tuple[List[Any], Dict[str, float]]:
+    """Drive ``queries`` through ``clients`` concurrent connections.
+
+    Queries are handed out round-robin; each client thread owns one
+    keep-alive connection.  Returns ``(responses, stats)`` with
+    responses in *query order* and stats in seconds/qps:
+    ``{"p50_ms", "p99_ms", "mean_ms", "qps", "wall_s", "queries",
+    "clients"}``.
+    """
+    if clients < 1:
+        raise ExperimentError(f"clients must be >= 1, got {clients}")
+    clients = min(clients, max(1, len(queries)))
+    responses: List[Any] = [None] * len(queries)
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[BaseException] = []
+
+    def worker(which: int) -> None:
+        client = ServiceClient(host, port, timeout=timeout)
+        try:
+            for index in range(which, len(queries), clients):
+                begin = time.perf_counter()
+                responses[index] = client.search(**queries[index])
+                latencies[which].append(
+                    time.perf_counter() - begin
+                )
+        except BaseException as error:  # noqa: BLE001 - reraised below
+            errors.append(error)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(which,), daemon=True)
+        for which in range(clients)
+    ]
+    wall_begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_begin
+    if errors:
+        raise errors[0]
+    flat = sorted(
+        latency for bucket in latencies for latency in bucket
+    )
+    stats = {
+        "queries": len(queries),
+        "clients": clients,
+        "wall_s": wall,
+        "qps": len(queries) / wall if wall > 0 else 0.0,
+        "mean_ms": (sum(flat) / len(flat) * 1000.0) if flat else 0.0,
+        "p50_ms": _percentile(flat, 0.50) * 1000.0,
+        "p99_ms": _percentile(flat, 0.99) * 1000.0,
+    }
+    return responses, stats

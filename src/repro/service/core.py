@@ -1,0 +1,480 @@
+"""Service core: graph catalog, query validation, worker execution.
+
+Everything here is importable from worker processes (top-level
+functions only) and free of daemon state.  The daemon layer
+(:mod:`repro.service.daemon`) owns sockets and lifecycles; this module
+owns the *meaning* of a query:
+
+* a :class:`GraphEntry` pins one served snapshot to the exact
+  ``(family, size, seed)`` key the batch path uses, plus the derived
+  theorem target and default start — so a served answer and a
+  :func:`~repro.core.trials.batched_search_trial` answer for the same
+  cell are the same function application;
+* :func:`validate_query` maps malformed input to 400 and unknown
+  graph/algorithm ids to 404 before anything reaches a worker;
+* :func:`execute_service_query` runs inside a pool worker: it attaches
+  the entry's shared-memory segment once (cached per process) and
+  answers through :func:`~repro.core.trials._execute_cells` with
+  ``seed = graph seed`` — the same ``run_substream`` fan-out as every
+  batch loop.
+
+The two benchmark trial functions at the bottom are the PR's measured
+pair: :func:`shm_search_trial` (attach-by-name, the new path) versus
+:func:`payload_search_trial` (the whole CSR pickled into every spec,
+the old cost model), both funneling into ``_execute_cells`` so their
+outputs are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.trials import (
+    _execute_cells,
+    build_family,
+    build_graph_snapshot,
+    choose_start,
+    family_spec,
+    portfolio_factories,
+)
+from repro.errors import ExperimentError
+from repro.graphs.frozen import FrozenGraph, HAVE_NUMPY
+from repro.graphs.shm import attach_graph
+
+if HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the container always has numpy
+    _np = None
+
+__all__ = [
+    "GraphEntry",
+    "QueryError",
+    "build_grid_entries",
+    "entry_from_snapshot",
+    "execute_service_query",
+    "graph_payload",
+    "load_corpus_entries",
+    "payload_search_trial",
+    "portfolio_algorithms",
+    "service_worker_init",
+    "shm_search_trial",
+    "snapshot_from_payload",
+    "validate_query",
+]
+
+#: Run indices feed a 16-bit substream field (see
+#: :func:`repro.rng.run_substream`); anything larger is rejected at
+#: the door instead of erroring inside a worker.
+MAX_RUN_INDEX = (1 << 16) - 1
+
+
+#: Portfolio name -> tuple of its algorithm names, cached because
+#: validation runs per query on the daemon's request threads.
+_PORTFOLIO_NAMES: Dict[str, Tuple[str, ...]] = {}
+
+
+def portfolio_algorithms(portfolio: str) -> Tuple[str, ...]:
+    """The algorithm names a portfolio serves (stable order)."""
+    names = _PORTFOLIO_NAMES.get(portfolio)
+    if names is None:
+        names = tuple(portfolio_factories(portfolio))
+        _PORTFOLIO_NAMES[portfolio] = names
+    return names
+
+
+class QueryError(ExperimentError):
+    """A rejected query; carries the HTTP status the daemon returns.
+
+    ``400`` for malformed requests (bad JSON, missing/ill-typed
+    fields, out-of-range vertices), ``404`` for well-formed requests
+    naming an unknown graph or algorithm id.
+    """
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass
+class GraphEntry:
+    """One served snapshot and its batch-path identity.
+
+    ``target`` and ``start`` are resolved once at load time with the
+    exact calls ``batched_search_trial`` makes per invocation
+    (``theorem_target`` then ``choose_start`` under the default rule),
+    so serving skips the per-query resolution without changing it.
+    """
+
+    graph_id: str
+    family: Dict[str, Any]
+    size: int
+    seed: int
+    snapshot: FrozenGraph
+    target: int
+    start: int
+    shm_name: Optional[str] = None
+    segment: Any = field(default=None, repr=False)
+
+    def describe(self) -> Dict[str, Any]:
+        """The JSON descriptor ``GET /graphs`` returns per entry."""
+        return {
+            "id": self.graph_id,
+            "family": dict(self.family),
+            "n": self.size,
+            "seed": self.seed,
+            "num_edges": self.snapshot.num_edges,
+            "target": self.target,
+            "start": self.start,
+            "shm": self.shm_name,
+        }
+
+
+def entry_from_snapshot(
+    spec: Dict[str, Any],
+    size: int,
+    seed: int,
+    snapshot: FrozenGraph,
+) -> GraphEntry:
+    """Wrap an already-built snapshot in its catalog entry."""
+    family_obj = build_family(spec)
+    target = family_obj.theorem_target(snapshot)
+    start = choose_start(family_obj, snapshot, target, "default", seed)
+    graph_id = f"{spec.get('model', 'adhoc')}-n{size}-s{seed}"
+    return GraphEntry(
+        graph_id=graph_id,
+        family=dict(spec),
+        size=size,
+        seed=seed,
+        snapshot=snapshot,
+        target=target,
+        start=start,
+    )
+
+
+def build_grid_entries(
+    family_obj,
+    sizes,
+    seeds,
+    *,
+    generator: str = "serial",
+) -> List[GraphEntry]:
+    """Build the catalog for a ``(family, sizes, seeds)`` grid.
+
+    Each graph is built through :func:`build_graph_snapshot` with the
+    grid seed — the very call the batch trial makes — so the served
+    topology is the batch topology, not merely an equivalent one.
+    """
+    spec = family_spec(family_obj)
+    entries = []
+    for size in sizes:
+        for seed in seeds:
+            snapshot = build_graph_snapshot(
+                family_obj, size, seed, "frozen", generator
+            )
+            entries.append(
+                entry_from_snapshot(spec, size, seed, snapshot)
+            )
+    return entries
+
+
+def load_corpus_entries(corpus_dir: str) -> List[GraphEntry]:
+    """The catalog of every readable entry of an on-disk corpus.
+
+    Unreadable or schema-mismatched entries are skipped (the corpus
+    CLI's ``verify`` is the integrity judge, not the serving path).
+    Requires numpy (the corpus engine does).
+    """
+    from repro.graphs.corpus import CORPUS_SCHEMA, GraphCorpus
+
+    corpus = GraphCorpus(corpus_dir)
+    entries = []
+    for _, manifest in corpus.entries():
+        if manifest.get("schema") != CORPUS_SCHEMA:
+            continue
+        spec = manifest.get("params")
+        if not isinstance(spec, dict):
+            continue
+        size, seed = manifest["n"], manifest["seed"]
+        snapshot = corpus.get(spec, size, seed)
+        if snapshot is None:
+            continue
+        entries.append(entry_from_snapshot(spec, size, seed, snapshot))
+    entries.sort(key=lambda entry: entry.graph_id)
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Query validation (daemon side)
+# ----------------------------------------------------------------------
+
+
+def validate_query(
+    payload: Any,
+    entries: Dict[str, GraphEntry],
+    portfolio: str,
+) -> Tuple[str, str, int, Optional[int], Optional[int]]:
+    """Normalize one query or raise :class:`QueryError`.
+
+    Returns ``(graph_id, algorithm, run_index, start, target)`` with
+    ``start``/``target`` as ``None`` when the query defers to the
+    entry's defaults.
+    """
+    if not isinstance(payload, dict):
+        raise QueryError(400, "query body must be a JSON object")
+    graph_id = payload.get("graph")
+    if not isinstance(graph_id, str):
+        raise QueryError(400, "missing or non-string 'graph' id")
+    entry = entries.get(graph_id)
+    if entry is None:
+        raise QueryError(
+            404,
+            f"unknown graph id {graph_id!r}; serving: "
+            f"{', '.join(sorted(entries)) or '(none)'}",
+        )
+    algorithm = payload.get("algorithm")
+    if not isinstance(algorithm, str):
+        raise QueryError(400, "missing or non-string 'algorithm'")
+    valid = portfolio_algorithms(portfolio)
+    if algorithm not in valid:
+        raise QueryError(
+            404,
+            f"algorithm {algorithm!r} is not in the served "
+            f"portfolio {portfolio!r}; valid: "
+            f"{', '.join(sorted(valid))}",
+        )
+    run_index = payload.get("run_index", 0)
+    if (
+        not isinstance(run_index, int)
+        or isinstance(run_index, bool)
+        or not 0 <= run_index <= MAX_RUN_INDEX
+    ):
+        raise QueryError(
+            400,
+            f"'run_index' must be an integer in [0, {MAX_RUN_INDEX}]",
+        )
+    overrides = []
+    for name in ("start", "target"):
+        value = payload.get(name)
+        if value is None:
+            overrides.append(None)
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise QueryError(400, f"'{name}' must be an integer")
+        if not 1 <= value <= entry.size:
+            raise QueryError(
+                400,
+                f"'{name}'={value} out of range for graph "
+                f"{graph_id!r} (1..{entry.size})",
+            )
+        overrides.append(value)
+    unknown = set(payload) - {
+        "graph", "algorithm", "run_index", "start", "target"
+    }
+    if unknown:
+        raise QueryError(
+            400, f"unknown query fields: {', '.join(sorted(unknown))}"
+        )
+    return graph_id, algorithm, run_index, overrides[0], overrides[1]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-worker state: the serving manifest (set by the pool
+#: initializer) and the lazily attached shared graphs, keyed by id.
+_WORKER_STATE: Dict[str, Any] = {"manifest": {}, "graphs": {}}
+
+
+def service_worker_init(manifest_json: str) -> None:
+    """Pool initializer: install the serving manifest in this worker.
+
+    ``manifest_json`` maps graph id to ``{"shm", "seed", "target",
+    "start", "portfolio"}`` — everything a worker needs to answer any
+    query without ever unpickling a graph.
+    """
+    _WORKER_STATE["manifest"] = json.loads(manifest_json)
+    _WORKER_STATE["graphs"] = {}
+
+
+def _worker_graph(graph_id: str, shm_name: str) -> FrozenGraph:
+    graph = _WORKER_STATE["graphs"].get(graph_id)
+    if graph is None:
+        graph = attach_graph(shm_name)
+        _WORKER_STATE["graphs"][graph_id] = graph
+    return graph
+
+
+def execute_service_query(
+    graph_id: str,
+    algorithm: str,
+    run_index: int,
+    start: Optional[int],
+    target: Optional[int],
+) -> Dict[str, Any]:
+    """Answer one validated query inside a pool worker.
+
+    The seed handed to ``_execute_cells`` is the graph's *build* seed
+    and the cell carries the query's ``run_index`` — exactly how
+    ``batched_search_trial`` seeds the same cell, which is the whole
+    determinism contract.
+    """
+    info = _WORKER_STATE["manifest"][graph_id]
+    graph = _worker_graph(graph_id, info["shm"])
+    factories = portfolio_factories(info["portfolio"])
+    cell: Dict[str, Any] = {
+        "algorithm": algorithm, "run_index": run_index,
+    }
+    if start is not None:
+        cell["start"] = start
+    if target is not None:
+        cell["target"] = target
+    return _execute_cells(
+        graph,
+        factories,
+        [cell],
+        default_start=info["start"],
+        default_target=info["target"],
+        budget=None,
+        neighbor_success=False,
+        seed=info["seed"],
+    )[0]
+
+
+def worker_manifest(entries: List[GraphEntry], portfolio: str) -> str:
+    """The JSON manifest :func:`service_worker_init` consumes."""
+    return json.dumps({
+        entry.graph_id: {
+            "shm": entry.shm_name,
+            "seed": entry.seed,
+            "target": entry.target,
+            "start": entry.start,
+            "portfolio": portfolio,
+        }
+        for entry in entries
+    })
+
+
+# ----------------------------------------------------------------------
+# Benchmark trial functions (the measured pair)
+# ----------------------------------------------------------------------
+
+#: Attached segments cached per worker process for the bench trial —
+#: the analog of ``_WORKER_STATE["graphs"]`` keyed by segment name.
+_ATTACH_CACHE: Dict[str, FrozenGraph] = {}
+
+
+def attach_shared_graph(name: str) -> FrozenGraph:
+    """Attach (or reuse) the published segment ``name``.
+
+    Usable as a ``run_trials`` initializer target and from trial
+    bodies; one attach per worker process regardless of trial count.
+    """
+    graph = _ATTACH_CACHE.get(name)
+    if graph is None:
+        graph = attach_graph(name)
+        _ATTACH_CACHE[name] = graph
+    return graph
+
+
+def shm_search_trial(
+    *,
+    shm: str,
+    portfolio: str,
+    cells: List[Dict[str, Any]],
+    start: int,
+    target: int,
+    budget: Optional[int] = None,
+    neighbor_success: bool = False,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """Search cells against a shared-memory snapshot, by name.
+
+    The spec carries only the segment *name* — the CSR buffers cross
+    the process boundary zero times.  ``seed`` is the graph's build
+    seed, so results match :func:`payload_search_trial` (and the batch
+    path) bit for bit.
+    """
+    graph = attach_shared_graph(shm)
+    factories = portfolio_factories(portfolio)
+    return _execute_cells(
+        graph,
+        factories,
+        cells,
+        default_start=start,
+        default_target=target,
+        budget=budget,
+        neighbor_success=neighbor_success,
+        seed=seed,
+    )
+
+
+def graph_payload(snapshot: FrozenGraph) -> Dict[str, Any]:
+    """A snapshot as a JSON-serializable dict (the baseline's cargo).
+
+    This is what 'pickle the graph into every spec' costs: the full
+    CSR — endpoint columns, offsets, slots, degrees — rides along
+    with each :class:`~repro.runner.trial.TrialSpec`.
+    """
+    tails = [tail for tail, _ in snapshot._endpoints]
+    heads = [head for _, head in snapshot._endpoints]
+    return {
+        "n": snapshot.num_vertices,
+        "num_loops": snapshot.num_self_loops(),
+        "tails": tails,
+        "heads": heads,
+        "offsets": list(snapshot._offsets),
+        "slot_edges": list(snapshot._slot_edges),
+        "slot_targets": list(snapshot._slot_targets),
+        "indegree": list(snapshot._indegree),
+        "outdegree": list(snapshot._outdegree),
+    }
+
+
+def snapshot_from_payload(payload: Dict[str, Any]) -> FrozenGraph:
+    """Inverse of :func:`graph_payload`."""
+    if HAVE_NUMPY:
+        def column(name):
+            return _np.asarray(payload[name], dtype="<i8")
+    else:
+        def column(name):
+            return array("q", payload[name])
+    return FrozenGraph(
+        num_vertices=payload["n"],
+        endpoints=list(zip(payload["tails"], payload["heads"])),
+        indegree=list(payload["indegree"]),
+        outdegree=list(payload["outdegree"]),
+        offsets=column("offsets"),
+        slot_edges=column("slot_edges"),
+        slot_targets=column("slot_targets"),
+        num_loops=payload["num_loops"],
+    )
+
+
+def payload_search_trial(
+    *,
+    graph: Dict[str, Any],
+    portfolio: str,
+    cells: List[Dict[str, Any]],
+    start: int,
+    target: int,
+    budget: Optional[int] = None,
+    neighbor_success: bool = False,
+    seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """The baseline arm: the CSR shipped inside the spec, per trial."""
+    snapshot = snapshot_from_payload(graph)
+    factories = portfolio_factories(portfolio)
+    return _execute_cells(
+        snapshot,
+        factories,
+        cells,
+        default_start=start,
+        default_target=target,
+        budget=budget,
+        neighbor_success=neighbor_success,
+        seed=seed,
+    )

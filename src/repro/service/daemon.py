@@ -1,0 +1,340 @@
+"""The long-lived search daemon behind ``repro serve``.
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` front end over
+a :class:`concurrent.futures.ProcessPoolExecutor` of search workers.
+The load-once/serve-many shape:
+
+1. the catalog of :class:`~repro.service.core.GraphEntry` is built (or
+   loaded from a corpus) in the daemon process;
+2. every snapshot is published into shared memory
+   (:func:`repro.graphs.shm.publish_graph`) — one copy per graph,
+   system-wide;
+3. the worker pool starts with
+   :func:`~repro.service.core.service_worker_init` as initializer and
+   is *warmed before any server thread exists* (worker processes fork
+   from a single-threaded parent — forking a threaded process is how
+   stdlib pools deadlock);
+4. HTTP threads validate queries, submit them to the pool, and stream
+   the JSON answers back; client disconnects mid-response are
+   swallowed per-connection, never fatal.
+
+Lifecycle: :meth:`SearchService.stop` is idempotent and run from
+``finally`` blocks and SIGTERM handlers alike — HTTP server down,
+pool down, every shared segment closed *and unlinked* so nothing
+outlives the daemon in ``/dev/shm``.
+
+Routes
+------
+``GET /healthz``
+    liveness: ``{"status": "ok", "graphs": N}``.
+``GET /graphs``
+    the catalog: one descriptor per entry (id, family, n, seed,
+    target, start, shm segment name).
+``POST /search``
+    one query ``{"graph", "algorithm", "run_index", "start"?,
+    "target"?}`` -> one serialized SearchResult, bit-identical to the
+    batch path's cell.
+``POST /reload``
+    corpus hot-reload: re-scan the corpus directory and publish any
+    graphs that appeared since start; ``{"added": [...], "total": N}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.graphs.shm import publish_graph
+from repro.service.core import (
+    GraphEntry,
+    QueryError,
+    execute_service_query,
+    load_corpus_entries,
+    service_worker_init,
+    validate_query,
+    worker_manifest,
+)
+
+__all__ = ["SearchService"]
+
+
+def _noop() -> None:
+    """Warm-up task: forces a worker process to actually spawn."""
+    return None
+
+
+class SearchService:
+    """One serving daemon: catalog + shared segments + pool + HTTP.
+
+    Parameters
+    ----------
+    entries:
+        The graph catalog to serve (see
+        :func:`~repro.service.core.build_grid_entries` /
+        :func:`~repro.service.core.load_corpus_entries`).
+    portfolio:
+        The served portfolio name; queries name algorithms inside it.
+    workers:
+        Search worker processes.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    corpus_dir:
+        When set, ``POST /reload`` re-scans this corpus directory and
+        publishes newly appeared snapshots without a restart.
+    """
+
+    def __init__(
+        self,
+        entries: List[GraphEntry],
+        *,
+        portfolio: str = "adamic",
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        corpus_dir: Optional[str] = None,
+    ):
+        if not entries:
+            raise ExperimentError("a service needs at least one graph")
+        if workers < 1:
+            raise ExperimentError(
+                f"workers must be >= 1, got {workers}"
+            )
+        self.entries: Dict[str, GraphEntry] = {
+            entry.graph_id: entry for entry in entries
+        }
+        self.portfolio = portfolio
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.corpus_dir = corpus_dir
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._reload_lock = threading.Lock()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Publish, spawn, warm, bind, serve — in that order.
+
+        The socket binds *before* the expensive pool warm-up would
+        matter for double-start detection, but after publication so a
+        bind failure (``EADDRINUSE``) still tears every segment down
+        via the ``except`` path — no leak on the double-start error.
+        """
+        try:
+            for entry in self.entries.values():
+                if entry.segment is None:
+                    entry.segment = publish_graph(entry.snapshot)
+                    entry.shm_name = entry.segment.name
+            # Pool before server threads: workers fork from a
+            # single-threaded parent.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=service_worker_init,
+                initargs=(self._manifest(),),
+            )
+            warmups = [
+                self._pool.submit(_noop) for _ in range(self.workers)
+            ]
+            for future in warmups:
+                future.result()
+            self._server = ThreadingHTTPServer(
+                (self.host, self.port), _Handler
+            )
+            self._server.daemon_threads = True
+            self._server.service = self  # type: ignore[attr-defined]
+            self.port = self._server.server_address[1]
+            self._server_thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-serve-http",
+                daemon=True,
+            )
+            self._server_thread.start()
+        except BaseException:
+            self.stop()
+            raise
+
+    def stop(self) -> None:
+        """Tear everything down; safe to call twice or half-started."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5)
+            self._server_thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for entry in self.entries.values():
+            if entry.segment is not None:
+                entry.segment.close()
+                entry.segment.unlink()
+                entry.segment = None
+
+    def __enter__(self) -> "SearchService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _manifest(self) -> str:
+        return worker_manifest(
+            list(self.entries.values()), self.portfolio
+        )
+
+    # ------------------------------------------------------------------
+    # Request handling (called from HTTP threads)
+    # ------------------------------------------------------------------
+
+    def handle_search(self, payload: Any) -> Dict[str, Any]:
+        graph_id, algorithm, run_index, start, target = validate_query(
+            payload, self.entries, self.portfolio
+        )
+        pool = self._pool
+        if pool is None:
+            raise QueryError(503, "service is shutting down")
+        future = pool.submit(
+            execute_service_query,
+            graph_id, algorithm, run_index, start, target,
+        )
+        return future.result()
+
+    def handle_graphs(self) -> List[Dict[str, Any]]:
+        return [
+            entry.describe()
+            for _, entry in sorted(self.entries.items())
+        ]
+
+    def handle_reload(self) -> Dict[str, Any]:
+        """Publish corpus entries that appeared since the last scan.
+
+        Existing graphs keep their segments; a pool initializer cannot
+        be re-run in live workers, so when anything new appears the
+        daemon swaps in a fresh pool whose initializer carries the
+        extended manifest (in-flight queries drain on the old pool
+        first).  With no corpus directory the call is a no-op
+        reporting the current catalog size.
+        """
+        with self._reload_lock:
+            if self.corpus_dir is None:
+                return {"added": [], "total": len(self.entries)}
+            added = []
+            for entry in load_corpus_entries(self.corpus_dir):
+                if entry.graph_id in self.entries:
+                    continue
+                entry.segment = publish_graph(entry.snapshot)
+                entry.shm_name = entry.segment.name
+                self.entries[entry.graph_id] = entry
+                added.append(entry.graph_id)
+            if added:
+                # Swap in a pool whose workers know the new graphs;
+                # in-flight queries finish on the old pool first.
+                old_pool = self._pool
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=service_worker_init,
+                    initargs=(self._manifest(),),
+                )
+                if old_pool is not None:
+                    old_pool.shutdown(wait=True)
+            return {"added": added, "total": len(self.entries)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON-over-HTTP face of :class:`SearchService`."""
+
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default; the daemon's stdout is the operator surface.
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    @property
+    def _service(self) -> SearchService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The client hung up mid-response; this connection is
+            # dead, the daemon is fine.
+            self.close_connection = True
+
+    def _drain_body(self) -> bytes:
+        """Consume the request body (keep-alive correctness).
+
+        Every POST body must be read off the socket even when the
+        route ignores it — leftover bytes would be parsed as the start
+        of the *next* request line on this connection.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _read_json(self) -> Any:
+        raw = self._drain_body()
+        if not raw:
+            raise QueryError(400, "empty request body")
+        try:
+            return json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise QueryError(
+                400, f"request body is not valid JSON: {error}"
+            ) from error
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/healthz":
+            self._reply(200, {
+                "status": "ok",
+                "graphs": len(self._service.entries),
+            })
+        elif self.path == "/graphs":
+            self._reply(200, self._service.handle_graphs())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        try:
+            if self.path == "/search":
+                payload = self._read_json()
+                self._reply(200, self._service.handle_search(payload))
+            elif self.path == "/reload":
+                self._drain_body()
+                self._reply(200, self._service.handle_reload())
+            else:
+                self._drain_body()
+                self._reply(
+                    404, {"error": f"unknown path {self.path!r}"}
+                )
+        except QueryError as error:
+            self._reply(error.status, {"error": str(error)})
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as error:  # pragma: no cover - last resort
+            self._reply(500, {
+                "error": f"{type(error).__name__}: {error}"
+            })

@@ -1,0 +1,104 @@
+"""Load-generator CLI: hammer a running daemon, print the numbers.
+
+Usage::
+
+    python -m repro.service.loadgen --port 8642 \
+        --queries 200 --clients 4 [--algorithm random-walk]
+
+Discovers the served catalog via ``GET /graphs``, builds a
+deterministic round-robin query stream over (graph, algorithm,
+run_index), runs it through :func:`repro.service.client.run_load`,
+and prints one JSON summary line (p50/p99 latency, sustained qps) to
+stdout — the shape ``BENCH_PR9.json`` embeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.service.client import ServiceClient, run_load
+from repro.service.core import MAX_RUN_INDEX, portfolio_algorithms
+
+__all__ = ["build_queries", "main"]
+
+
+def build_queries(
+    graphs: List[Dict[str, Any]],
+    algorithms: List[str],
+    count: int,
+) -> List[Dict[str, Any]]:
+    """A deterministic round-robin stream over the served catalog."""
+    queries = []
+    for index in range(count):
+        graph = graphs[index % len(graphs)]
+        algorithm = algorithms[index % len(algorithms)]
+        queries.append({
+            "graph": graph["id"],
+            "algorithm": algorithm,
+            "run_index": (
+                index // (len(graphs) * len(algorithms))
+            ) % (MAX_RUN_INDEX + 1),
+        })
+    return queries
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="generate query load against a repro serve daemon",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--queries", type=int, default=100,
+        help="total queries to issue (default 100)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client connections (default 4)",
+    )
+    parser.add_argument(
+        "--portfolio", default="adamic",
+        help="portfolio whose algorithms to cycle (default adamic)",
+    )
+    parser.add_argument(
+        "--algorithm", action="append", default=None,
+        help="restrict to specific algorithm(s); repeatable",
+    )
+    args = parser.parse_args(argv)
+
+    with ServiceClient(args.host, args.port) as probe:
+        graphs = probe.graphs()
+    if not graphs:
+        print("error: the daemon serves no graphs", file=sys.stderr)
+        return 1
+    algorithms = (
+        args.algorithm
+        if args.algorithm
+        else list(portfolio_algorithms(args.portfolio))
+    )
+    queries = build_queries(graphs, algorithms, args.queries)
+    responses, stats = run_load(
+        args.host, args.port, queries, clients=args.clients
+    )
+    found = sum(
+        1 for response in responses
+        if isinstance(response, dict) and response.get("found")
+    )
+    print(json.dumps({
+        "queries": int(stats["queries"]),
+        "clients": int(stats["clients"]),
+        "found": found,
+        "qps": round(stats["qps"], 2),
+        "p50_ms": round(stats["p50_ms"], 3),
+        "p99_ms": round(stats["p99_ms"], 3),
+        "mean_ms": round(stats["mean_ms"], 3),
+    }))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI face
+    sys.exit(main())

@@ -8,8 +8,10 @@ Each PR appends one point to the bench trajectory: ``BENCH_PR2.json``
 ``BENCH_PR5.json`` (declarative experiment registry, ``--pr5``) and
 ``BENCH_PR6.json`` (vectorized generation engine + corpus store,
 ``--pr6``), ``BENCH_PR7.json`` (pluggable trial store, ``--pr7``)
-and ``BENCH_PR8.json`` (dynamic-graph overlay, written by
-``make bench-smoke``).  These tests never run the benchmarks (that
+``BENCH_PR8.json`` (dynamic-graph overlay, ``--pr8``) and
+``BENCH_PR9.json`` (shared-memory graph workers + search service,
+written by ``make bench-smoke``).  These tests never run the
+benchmarks (that
 takes minutes) but pin the committed artifacts: the schema the
 trajectory tooling consumes and each PR's recorded acceptance claim
 (>= 3x on the PR2 flooding/BFS cell batch; >= 2x on the PR3
@@ -22,7 +24,11 @@ corpus passing ``verify``; >= 2x warm trial replay and >= 5x fewer
 inodes for the PR7 sqlite store vs the json-files baseline, with the
 in-bench migration verifying every record bit-identical; >= 3x for
 the PR8 overlay churn+search workload vs rebuilding a snapshot per
-churn step, with both strategies digest- and request-identical).
+churn step, with both strategies digest- and request-identical;
+>= 2x for the PR9 shared-memory dispatch vs pickling the CSR into
+every spec, on bit-identical trial values, with the service-load
+block recording p50/p99 latency and sustained qps under >= 4
+concurrent clients).
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ BENCH_PR5_PATH = os.path.join(_ROOT, "BENCH_PR5.json")
 BENCH_PR6_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
 BENCH_PR7_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
 BENCH_PR8_PATH = os.path.join(_ROOT, "BENCH_PR8.json")
+BENCH_PR9_PATH = os.path.join(_ROOT, "BENCH_PR9.json")
 
 VALID_BACKENDS = {"frozen", "multigraph"}
 VALID_MODES = {"independent", "trajectory"}
@@ -47,6 +54,7 @@ VALID_ENGINES = {"serial", "ensemble"}
 VALID_GENERATORS = {"serial", "vectorized"}
 VALID_STORE_BACKENDS = {"json-files", "sqlite"}
 VALID_STRATEGIES = {"overlay", "rebuild-per-step"}
+VALID_DISPATCHES = {"pickle-per-spec", "shared-memory", "service"}
 
 
 @pytest.fixture(scope="module")
@@ -587,3 +595,87 @@ class TestBenchPR8Schema:
             per_strategy["overlay"]["search_requests"]
             == per_strategy["rebuild-per-step"]["search_requests"]
         )
+
+
+@pytest.fixture(scope="module")
+def pr9_payload():
+    assert os.path.exists(BENCH_PR9_PATH), (
+        "BENCH_PR9.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PR9_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchPR9Schema:
+    """The shared-memory dispatch + search-service point."""
+
+    def test_schema_version(self, pr9_payload):
+        assert pr9_payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, pr9_payload):
+        records = pr9_payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+            assert record["dispatch"] in VALID_DISPATCHES
+
+    def test_both_dispatch_arms_timed(self, pr9_payload):
+        dispatches = {
+            record["dispatch"] for record in pr9_payload["records"]
+        }
+        assert dispatches == VALID_DISPATCHES, (
+            "both dispatch arms and the service run must be timed"
+        )
+
+    def test_shm_speedup_block(self, pr9_payload):
+        speedup = pr9_payload["shm_speedup"]
+        assert speedup["workload"] == "per-spec-graph-dispatch"
+        assert speedup["family"].startswith("mori")
+        assert speedup["n"] >= 10_000
+        assert speedup["specs"] >= 1
+        assert speedup["cells_per_spec"] >= 1
+        assert speedup["budget"] >= 1
+        assert speedup["jobs"] >= 2
+        per_dispatch = speedup["per_dispatch"]
+        # Both arms are measured, not a favourable subset.
+        assert set(per_dispatch) == {
+            "pickle-per-spec", "shared-memory",
+        }
+        for numbers in per_dispatch.values():
+            assert numbers["seconds"] > 0
+        expected = (
+            per_dispatch["pickle-per-spec"]["seconds"]
+            / per_dispatch["shared-memory"]["seconds"]
+        )
+        assert speedup["speedup_vs_pickle"] == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_service_load_block(self, pr9_payload):
+        load = pr9_payload["service_load"]
+        assert load["workload"] == "service-query-load"
+        assert load["family"].startswith("mori")
+        assert load["graphs"] >= 1
+        assert load["workers"] >= 1
+        assert load["queries"] >= load["clients"]
+        assert load["wall_seconds"] > 0
+        assert load["qps"] > 0
+        assert 0 < load["p50_ms"] <= load["p99_ms"]
+        assert load["mean_ms"] > 0
+
+    def test_recorded_acceptance_speedup(self, pr9_payload):
+        """The committed run met the PR's >= 2x acceptance bar on
+        bit-identical trial values, and measured the service under
+        the required >= 4 concurrent clients."""
+        speedup = pr9_payload["shm_speedup"]
+        assert speedup["acceptance_baseline"] == "pickle-per-spec"
+        assert speedup["speedup_vs_pickle"] >= 2.0
+        assert speedup["outputs_identical"] is True
+        load = pr9_payload["service_load"]
+        assert load["clients"] >= 4
+        assert load["batch_identical"] is True

@@ -9,11 +9,16 @@ the failing spec attached.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
+
 import pytest
 
 from repro.errors import ExperimentError
 from repro.rng import make_rng, stream_seeds, substream
 from repro.runner import (
+    ResultStore,
     TrialExecutionError,
     TrialSpec,
     resolve_trial,
@@ -41,6 +46,24 @@ def slow_when_even_trial(*, index: int, seed: int = 0) -> int:
 def failing_trial(*, threshold: int, seed: int = 0) -> int:
     if seed >= threshold:
         raise ValueError(f"seed {seed} over threshold {threshold}")
+    return seed
+
+
+def kill_self_trial(*, victim: int, seed: int = 0) -> int:
+    """SIGKILLs its own worker process at ``seed == victim``.
+
+    The innocent bystander at ``victim - 1`` sleeps long enough to
+    still be in flight when the worker dies, so a naive executor
+    (first poisoned future wins) attributes the death to it.
+    """
+    if seed == victim:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if seed == victim - 1:
+        time.sleep(0.5)
+    return seed
+
+
+def record_seed_trial(*, seed: int = 0) -> int:
     return seed
 
 
@@ -148,6 +171,166 @@ class TestFailures:
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(ExperimentError):
             run_trials(_draw_specs(2), jobs=0)
+
+
+class TestWriteBackOnFailure:
+    """Regression: a failure must not discard finished trials.
+
+    ``store.put`` used to run only after the whole batch returned, so
+    one bad trial threw away every completed miss and the post-fix
+    re-run recomputed all of them.
+    """
+
+    def _specs(self, threshold: int, count: int):
+        reference = trial_ref(failing_trial)
+        return [
+            TrialSpec("T", reference, {"threshold": threshold},
+                      seed=seed)
+            for seed in range(count)
+        ]
+
+    def test_serial_failure_keeps_completed_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = self._specs(threshold=3, count=5)
+        with pytest.raises(TrialExecutionError):
+            run_trials(specs, jobs=1, store=store)
+        # Trials 0..2 completed before trial 3 raised; they must be
+        # on disk already.
+        for spec in specs[:3]:
+            assert spec in store
+        rerun = run_trials(specs[:3], jobs=1, store=store)
+        assert all(result.from_cache for result in rerun)
+        assert [result.value for result in rerun] == [0, 1, 2]
+
+    def test_parallel_failure_keeps_completed_work(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = self._specs(threshold=6, count=8)
+        with pytest.raises(TrialExecutionError):
+            run_trials(specs, jobs=2, store=store)
+        # Completion order is nondeterministic under the pool, but the
+        # passing trials vastly outnumber the failing ones and at
+        # least one must have finished before the raise propagated.
+        written = [spec for spec in specs[:6] if spec in store]
+        assert written, "no completed trial was written back"
+        rerun = run_trials(written, jobs=1, store=store)
+        assert all(result.from_cache for result in rerun)
+
+
+class TestWorkerDeathAttribution:
+    """Regression: a dead worker must be pinned to the right spec.
+
+    ``BrokenProcessPool`` poisons every in-flight future identically,
+    and the first poisoned future is usually an innocent bystander
+    (the test pins that: the innocent sleeps, so it is in flight when
+    the killer dies and *its* future fails first).
+    """
+
+    def test_worker_death_names_the_killer(self):
+        reference = trial_ref(kill_self_trial)
+        specs = [
+            TrialSpec("T", reference, {"victim": 5}, seed=seed)
+            for seed in range(6)
+        ]
+        with pytest.raises(TrialExecutionError) as info:
+            run_trials(specs, jobs=2)
+        assert info.value.spec.seed == 5
+        assert "worker process died" in str(info.value)
+
+    def test_innocent_suspects_are_completed_by_probe(self, tmp_path):
+        store = ResultStore(tmp_path)
+        reference = trial_ref(kill_self_trial)
+        specs = [
+            TrialSpec("T", reference, {"victim": 5}, seed=seed)
+            for seed in range(6)
+        ]
+        with pytest.raises(TrialExecutionError) as info:
+            run_trials(specs, jobs=2, store=store)
+        assert info.value.spec.seed == 5
+        # The sleeping innocent (seed 4) was in flight when the worker
+        # died; the isolated probe completed it and wrote it back.
+        assert specs[4] in store
+
+
+class _RecordingPool:
+    """ThreadPool-backed stand-in that records the in-flight watermark.
+
+    Threads keep ``os.kill``-free trials honest while letting the test
+    observe submissions without pickling anything.
+    """
+
+    max_observed = 0
+
+    def __init__(self, max_workers=None, initializer=None,
+                 initargs=()):
+        from concurrent.futures import ThreadPoolExecutor
+
+        type(self).max_observed = 0
+        self._outstanding = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def submit(self, fn, *args):
+        self._outstanding += 1
+        type(self).max_observed = max(
+            type(self).max_observed, self._outstanding
+        )
+
+        def tracked():
+            try:
+                return fn(*args)
+            finally:
+                self._outstanding -= 1
+
+        return self._pool.submit(tracked)
+
+    def shutdown(self, wait=True):
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+class TestBoundedSubmission:
+    """Submission is windowed; the window never changes any value."""
+
+    def test_window_caps_in_flight_submissions(self, monkeypatch):
+        import repro.runner.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", _RecordingPool
+        )
+        specs = _draw_specs(20)
+        results = run_trials(specs, jobs=2, max_inflight=3)
+        assert _RecordingPool.max_observed <= 3
+        serial = run_trials(specs, jobs=1)
+        assert [r.value for r in results] == [r.value for r in serial]
+
+    def test_default_window_scales_with_workers(self, monkeypatch):
+        import repro.runner.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", _RecordingPool
+        )
+        specs = _draw_specs(40)
+        run_trials(specs, jobs=2)
+        assert _RecordingPool.max_observed <= 8  # 4 per worker
+
+    def test_windowed_output_bit_identical_with_processes(self):
+        specs = _draw_specs(12)
+        serial = run_trials(specs, jobs=1)
+        windowed = run_trials(specs, jobs=3, max_inflight=2)
+        assert [r.value for r in windowed] == [r.value for r in serial]
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ExperimentError):
+            run_trials(_draw_specs(2), jobs=2, max_inflight=0)
 
 
 class TestSearchCostTrialEquivalence:
