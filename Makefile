@@ -25,7 +25,10 @@ verify-full:
 # engines), then the serve smoke (a live `repro serve` daemon on a
 # small grid answering a concurrent query stream, every answer
 # verified bit-identical to the batch path and every shared-memory
-# segment verified unlinked on shutdown), then the suite plus the
+# segment verified unlinked on shutdown — once with the serving
+# defaults and once pinned to an explicit coalescing window with a
+# small batch-max so the batch-max flush path runs), then the suite
+# plus the
 # generator fallback with numpy import-blocked (a shim module shadows
 # it) to exercise the stdlib fallbacks and the clean "unavailable"
 # error paths of the ensemble engine and the vectorized generator;
@@ -60,25 +63,28 @@ ci:
 	PYTHONPATH=src python -m repro run E21 --quick --churn-rate 0.1 --churn-bias degree --resnapshot-every 5
 	PYTHONPATH=src python -m repro run E21 --quick --engine ensemble --backend frozen
 	PYTHONPATH=src python -m repro serve --sizes 120 --seeds 3 --smoke
+	PYTHONPATH=src python -m repro serve --sizes 120 --seeds 3 --batch-window 5 --batch-max 8 --smoke
 	@mkdir -p .ci-no-numpy && printf 'raise ImportError("numpy disabled for the no-numpy CI leg")\n' > .ci-no-numpy/numpy.py
 	! PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator vectorized 2> .ci-no-numpy/err.log
 	grep -q "requires numpy" .ci-no-numpy/err.log
 	PYTHONPATH=.ci-no-numpy:src python -m repro run E17 --quick --set sizes=60 --set num_graphs=1 --generator serial
 	PYTHONPATH=.ci-no-numpy:src python -m repro serve --sizes 120 --seeds 3 --smoke
+	PYTHONPATH=.ci-no-numpy:src python -m repro serve --sizes 120 --seeds 3 --batch-window 5 --batch-max 8 --smoke
 	PYTHONPATH=.ci-no-numpy:src python -m pytest -x -q; \
 		status=$$?; rm -rf .ci-no-numpy; exit $$status
 
-# Bench point: the same search-trial batch dispatched two ways across
-# a worker pool — the CSR pickled into every spec vs published once
-# into shared memory and attached per worker (gate >= 2x on
-# bit-identical trial values) — plus a live `repro serve` daemon
-# under >= 4 concurrent clients recording p50/p99 latency and
-# sustained qps.  Writes BENCH_PR9.json (pinned by
-# tests/test_bench_schema.py); `PYTHONPATH=src python
-# benchmarks/bench_smoke.py --pr8` regenerates BENCH_PR8.json,
-# `--pr7` BENCH_PR7.json, `--pr6` BENCH_PR6.json, `--pr5`
-# BENCH_PR5.json, `--pr4` BENCH_PR4.json, `--pr3` BENCH_PR3.json and
-# `--pr2` BENCH_PR2.json.
+# Bench point: the serving stack under load — the PR 9 per-query
+# path (unbatched dispatch, PR 9 wire behavior) vs the batched
+# coalescing dispatcher (gate >= 3x sustained qps on bit-identical
+# answers, plus a nodelay-only arm so the wire fix and the coalescing
+# win are reported separately), a cache-warm pass (gate: hit-path p50
+# below the pool-dispatch p50), and a non-gating open-loop overload
+# probe recording batch depth and tail latency.  Writes
+# BENCH_PR10.json (pinned by tests/test_bench_schema.py);
+# `PYTHONPATH=src python benchmarks/bench_smoke.py --pr9` regenerates
+# BENCH_PR9.json, `--pr8` BENCH_PR8.json, `--pr7` BENCH_PR7.json,
+# `--pr6` BENCH_PR6.json, `--pr5` BENCH_PR5.json, `--pr4`
+# BENCH_PR4.json, `--pr3` BENCH_PR3.json and `--pr2` BENCH_PR2.json.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_smoke.py
 

@@ -1,48 +1,50 @@
-"""Bench-trajectory smoke run: the shared-memory serving point.
+"""Bench-trajectory smoke run: the coalesced-serving point.
 
 ``make bench-smoke`` runs this script.  It records the PR's point in
-``BENCH_PR9.json`` at the repository root:
+``BENCH_PR10.json`` at the repository root: the PR 9 service-load
+query stream served three ways by the same daemon code —
 
-1. a **shm-speedup block**: the same batch of search trials on one
-   Móri graph dispatched two ways across a worker pool.  The
-   *pickle-per-spec* baseline ships the full CSR snapshot inside
-   every :class:`~repro.runner.trial.TrialSpec` (what ``--jobs``
-   costs without shared memory); the *shared-memory* arm publishes
-   the snapshot once (:func:`repro.graphs.shm.publish_graph`) and
-   each spec carries only the segment name, with workers attaching
-   via a pool initializer.  Both arms must return bit-identical
-   trial values; the acceptance gate is shared memory >= 2x faster
-   end to end;
-2. a **service-load block**: a live :class:`~repro.service.SearchService`
-   answering a deterministic query stream under >= 4 concurrent
-   clients, recording sustained qps and p50/p99 latency, with every
-   served answer asserted bit-identical to the batch path
-   (``batched_search_trial``).
+1. **per-query dispatch** (``batch_window=0``): every HTTP request is
+   its own pool round-trip, the PR 9 path;
+2. **coalesced dispatch**: concurrent queries for one graph batch
+   over a 5 ms window into single ensemble-engine worker calls; the
+   acceptance gate is >= 3x the per-query sustained qps on the same
+   stream, plus an open-loop arrival probe recording latency at a
+   fixed offered rate;
+3. a **cache-warm pass**: the same stream re-served from the
+   hot-cell answer cache, with the gate that the hit-path p50 sits
+   below the pool-dispatch p50.
+
+Every arm's answers are asserted bit-identical to the batch path
+(``batched_search_trial``) before any number is recorded.
 
 Record schema (validated by ``tests/test_bench_schema.py``)::
 
     {"schema": "repro-bench/v1",
-     "records": [{"experiment": "E1", "n": 20000,
+     "records": [{"experiment": "E1", "n": 2000,
                   "wall_seconds": ..., "backend": "frozen",
-                  "dispatch": "shared-memory"}, ...],
-     "shm_speedup": {
-         "workload": "per-spec-graph-dispatch", "n": 20000,
-         "specs": ..., "cells_per_spec": ..., "budget": ...,
-         "jobs": ..., "portfolio": "adamic",
+                  "dispatch": "per-query" | "coalesced"
+                              | "cache-warm"}, ...],
+     "serving_speedup": {
+         "workload": "service-query-coalescing",
+         "queries": ..., "clients": ..., "batch_window_ms": 5.0,
          "per_dispatch": {
-             "pickle-per-spec": {"seconds": ...},
-             "shared-memory": {"seconds": ...}},
-         "speedup_vs_pickle": ..., "outputs_identical": true,
-         "acceptance_baseline": "pickle-per-spec"},
-     "service_load": {
-         "workload": "service-query-load", "graphs": ...,
-         "queries": ..., "clients": 4, "qps": ...,
-         "p50_ms": ..., "p99_ms": ..., "batch_identical": true}}
+             "per-query": {"qps": ..., "p50_ms": ..., ...},
+             "coalesced": {..., "mean_batch": ...},
+             "cache-warm": {..., "cache_hits": ...},
+             "pool-cold-fill": {...}},
+         "open_loop": {"offered_qps": ..., "p50_ms": ..., ...},
+         "qps_speedup_vs_per_query": ...,
+         "cache_p50_below_pool_p50": true,
+         "outputs_identical": true,
+         "acceptance_baseline": "per-query",
+         "service_stats": {...}}}
 
 Wall-clock numbers vary with the machine; the committed file records
 the run that accompanied the PR.  Earlier trajectory points
 regenerate with the per-PR flags (table-driven in ``_PR_FLAGS``):
-``--pr8`` (dynamic-graph overlay, ``BENCH_PR8.json``), ``--pr7``
+``--pr9`` (shared-memory dispatch + per-query service load,
+``BENCH_PR9.json``), ``--pr8`` (dynamic-graph overlay), ``--pr7``
 (pluggable trial store), ``--pr6`` (vectorized generation + graph
 corpus), ``--pr5`` (declarative registry), ``--pr4``
 (walker-ensemble engine), ``--pr3`` (growth-trajectory checkpoint
@@ -87,6 +89,7 @@ from repro.search.process import run_search
 
 SCHEMA = "repro-bench/v1"
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+PR10_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR10.json")
 PR9_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR9.json")
 PR8_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR8.json")
 PR7_OUTPUT_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
@@ -242,10 +245,16 @@ def pr9_measure_service_load() -> dict:
         PR9_FAMILY, PR9_SERVICE_SIZES, PR9_SERVICE_SEEDS
     )
     algorithms = list(portfolio_algorithms(PR9_PORTFOLIO))
+    # batch_window=0 / cache_size=0 / nodelay=False pins the PR 9
+    # measurement to the per-query dispatch path and the PR 9 wire
+    # behavior after PR 10 made coalescing + TCP_NODELAY the default.
     with SearchService(
         entries,
         portfolio=PR9_PORTFOLIO,
         workers=PR9_SERVICE_WORKERS,
+        batch_window=0.0,
+        cache_size=0,
+        nodelay=False,
     ) as service:
         catalog = service.handle_graphs()
         queries = build_queries(
@@ -300,7 +309,7 @@ def pr9_measure_service_load() -> dict:
     }
 
 
-def main() -> int:
+def pr9_main() -> int:
     """Write BENCH_PR9.json (shared-memory dispatch + service load)."""
     print(
         "bench-smoke: shm vs pickle-per-spec dispatch, "
@@ -357,6 +366,292 @@ def main() -> int:
         f"under {service_block['clients']} clients"
     )
     return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# PR10: query coalescing + hot-cell answer cache in the service
+# ----------------------------------------------------------------------
+
+#: The serving-speedup workload: the PR 9 service-load stream shape
+#: (same family and seeds, same ``build_queries`` mix, same 4-client
+#: closed loop) on a size where serving overhead — not raw cell
+#: compute — decides throughput.  Four arms on identical queries:
+#:
+#: * ``per-query`` — the PR 9 per-query path **as it shipped**:
+#:   one ``pool.submit`` round-trip per request and the PR 9 wire
+#:   behavior (Nagle on, so the daemon's two-send reply stalls behind
+#:   delayed ACK).  This is the acceptance baseline — the ~59 qps /
+#:   p50 56 ms configuration BENCH_PR9.json recorded.
+#: * ``per-query-nodelay`` — the same per-query dispatch with only
+#:   the TCP_NODELAY fix applied, reported so the speedup decomposes
+#:   honestly into its wire and dispatch components.
+#: * ``coalesced`` — the full batched dispatch layer (short window,
+#:   ensemble batches, TCP_NODELAY).
+#: * ``cache-warm`` — the same stream re-served from the hot-cell
+#:   answer cache.
+PR10_SERVICE_SIZES = (600,)
+PR10_SERVICE_CLIENTS = 4
+PR10_BATCH_WINDOW = 0.002
+PR10_BATCH_MAX = 64
+PR10_CACHE_SIZE = 2_048
+#: The open-loop overload probe: queries released on a fixed schedule
+#: well past capacity (not gated on completions) from a deep client
+#: fleet.  A closed loop at the gate's concurrency can never queue
+#: more than its client count, which hides what coalescing does to a
+#: real backlog — under saturation the dispatcher drains the queue in
+#: deep batches and the tail latency shows it.
+PR10_OPEN_QPS = 2_000.0
+PR10_OPEN_CLIENTS = 64
+
+
+def _pr10_expected(queries, catalog):
+    """The batch-path oracle answers, in query order."""
+    from repro.core.trials import batched_search_trial, family_spec
+
+    spec = family_spec(PR9_FAMILY)
+    info = {entry["id"]: entry for entry in catalog}
+    by_graph = {}
+    for index, query in enumerate(queries):
+        by_graph.setdefault(query["graph"], []).append(index)
+    expected = [None] * len(queries)
+    for graph_id, indices in by_graph.items():
+        answers = batched_search_trial(
+            family=spec,
+            size=info[graph_id]["n"],
+            portfolio=PR9_PORTFOLIO,
+            cells=[
+                {
+                    "algorithm": queries[index]["algorithm"],
+                    "run_index": queries[index]["run_index"],
+                }
+                for index in indices
+            ],
+            seed=info[graph_id]["seed"],
+        )
+        for index, answer in zip(indices, answers):
+            expected[index] = answer
+    return expected
+
+
+def pr10_measure_serving() -> dict:
+    """Serving arms over one query stream; verify every answer."""
+    from repro.service import SearchService, build_grid_entries, run_load
+    from repro.service.core import portfolio_algorithms
+    from repro.service.loadgen import build_queries
+
+    algorithms = list(portfolio_algorithms(PR9_PORTFOLIO))
+
+    def serve(**kwargs):
+        return SearchService(
+            build_grid_entries(
+                PR9_FAMILY, PR10_SERVICE_SIZES, PR9_SERVICE_SEEDS
+            ),
+            portfolio=PR9_PORTFOLIO,
+            workers=PR9_SERVICE_WORKERS,
+            **kwargs,
+        )
+
+    def pack(stats):
+        return {
+            "wall_seconds": round(stats["wall_s"], 4),
+            "qps": round(stats["qps"], 2),
+            "mean_ms": round(stats["mean_ms"], 3),
+            "p50_ms": round(stats["p50_ms"], 3),
+            "p90_ms": round(stats["p90_ms"], 3),
+            "p99_ms": round(stats["p99_ms"], 3),
+        }
+
+    expected = None
+    queries = None
+
+    def load(service, clients=PR10_SERVICE_CLIENTS, **kwargs):
+        nonlocal expected, queries
+        catalog = service.handle_graphs()
+        if queries is None:
+            queries = build_queries(
+                catalog, algorithms, PR9_SERVICE_QUERIES
+            )
+            expected = _pr10_expected(queries, catalog)
+        responses, stats = run_load(
+            service.host,
+            service.port,
+            queries,
+            clients=clients,
+            **kwargs,
+        )
+        if responses != expected:
+            raise SystemExit(
+                "served answers diverged from the batch path"
+            )
+        return stats
+
+    # Arm 1: the PR 9 per-query path as it shipped — one pool trip
+    # per request, Nagle'd two-send replies (the acceptance baseline).
+    with serve(
+        batch_window=0.0, cache_size=0, nodelay=False
+    ) as service:
+        per_query = pack(load(service))
+
+    # Arm 2: per-query dispatch with only the wire fix, so the
+    # speedup decomposes into wire vs dispatch contributions.
+    with serve(batch_window=0.0, cache_size=0) as service:
+        per_query_nodelay = pack(load(service))
+
+    # Arm 3: coalesced dispatch, cache off so every query pays the
+    # pool; then the open-loop overload probe on the same daemon —
+    # queries offered well past capacity build a real backlog, which
+    # is where the dispatcher's deep batches (and their effect on the
+    # tail) become visible.
+    with serve(
+        batch_window=PR10_BATCH_WINDOW,
+        batch_max=PR10_BATCH_MAX,
+        cache_size=0,
+    ) as service:
+        coalesced = pack(load(service))
+        snapshot = service.handle_stats()
+        batches = snapshot["batches"]
+        coalesced["batches"] = batches["count"]
+        coalesced["mean_batch"] = batches["mean_size"]
+        open_stats = load(
+            service,
+            clients=PR10_OPEN_CLIENTS,
+            arrival=PR10_OPEN_QPS,
+        )
+        open_after = service.handle_stats()["batches"]
+        open_loop = pack(open_stats)
+        open_loop["offered_qps"] = PR10_OPEN_QPS
+        open_loop["clients"] = PR10_OPEN_CLIENTS
+        open_loop["batches"] = (
+            open_after["count"] - batches["count"]
+        )
+        open_loop["mean_batch"] = round(
+            (open_after["queries"] - batches["queries"])
+            / max(1, open_loop["batches"]),
+            3,
+        )
+
+    # The per-query arm under the same open-loop overload: same
+    # stream, same fleet, no coalescing — the tail comparison.
+    with serve(batch_window=0.0, cache_size=0) as service:
+        open_per_query = pack(
+            load(
+                service,
+                clients=PR10_OPEN_CLIENTS,
+                arrival=PR10_OPEN_QPS,
+            )
+        )
+        open_per_query["offered_qps"] = PR10_OPEN_QPS
+        open_per_query["clients"] = PR10_OPEN_CLIENTS
+
+    # Arm 4: cold fill then cache-warm re-serve of the same stream.
+    with serve(
+        batch_window=PR10_BATCH_WINDOW,
+        batch_max=PR10_BATCH_MAX,
+        cache_size=PR10_CACHE_SIZE,
+    ) as service:
+        cold = pack(load(service))
+        warm = pack(load(service))
+        cache_snapshot = service.handle_stats()["cache"]
+        warm["cache_hits"] = cache_snapshot["hits"]
+        engine = service.engine
+
+    return {
+        "workload": "service-query-coalescing",
+        "family": f"mori(p={PR9_FAMILY.p}, m={PR9_FAMILY.m})",
+        "sizes": list(PR10_SERVICE_SIZES),
+        "graphs": len(PR10_SERVICE_SIZES) * len(PR9_SERVICE_SEEDS),
+        "workers": PR9_SERVICE_WORKERS,
+        "queries": PR9_SERVICE_QUERIES,
+        "clients": PR10_SERVICE_CLIENTS,
+        "batch_window_ms": PR10_BATCH_WINDOW * 1000.0,
+        "batch_max": PR10_BATCH_MAX,
+        "cache_size": PR10_CACHE_SIZE,
+        "engine": engine,
+        "per_dispatch": {
+            "per-query": per_query,
+            "per-query-nodelay": per_query_nodelay,
+            "coalesced": coalesced,
+            "cache-warm": warm,
+            "pool-cold-fill": cold,
+        },
+        "open_loop": {
+            "coalesced": open_loop,
+            "per-query": open_per_query,
+        },
+        "qps_speedup_vs_per_query": round(
+            coalesced["qps"] / per_query["qps"], 2
+        ),
+        "cache_p50_below_pool_p50": (
+            warm["p50_ms"] < cold["p50_ms"]
+        ),
+        "outputs_identical": True,
+        "acceptance_baseline": (
+            "per-query (the PR 9 configuration: unbatched dispatch, "
+            "PR 9 wire behavior)"
+        ),
+        "service_stats": snapshot,
+    }
+
+
+def main() -> int:
+    """Write BENCH_PR10.json (coalesced serving vs per-query)."""
+    print(
+        "bench-smoke: serving arms (PR 9 per-query vs coalesced vs "
+        f"cache-warm), {PR9_SERVICE_QUERIES} queries / "
+        f"{PR10_SERVICE_CLIENTS} clients, "
+        f"window {PR10_BATCH_WINDOW * 1000:.0f}ms"
+    )
+    block = pr10_measure_serving()
+    records = [
+        {
+            "experiment": "E1",
+            "n": max(PR10_SERVICE_SIZES),
+            "wall_seconds": (
+                block["per_dispatch"][dispatch]["wall_seconds"]
+            ),
+            "backend": "frozen",
+            "dispatch": dispatch,
+        }
+        for dispatch in ("per-query", "coalesced", "cache-warm")
+    ]
+    payload = {
+        "schema": SCHEMA,
+        "records": records,
+        "serving_speedup": block,
+    }
+    path = os.path.normpath(PR10_OUTPUT_PATH)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    per_dispatch = block["per_dispatch"]
+    speedup_ok = block["qps_speedup_vs_per_query"] >= 3.0
+    cache_ok = block["cache_p50_below_pool_p50"]
+    open_loop = block["open_loop"]
+    print(
+        "acceptance: coalesced "
+        f"{per_dispatch['coalesced']['qps']:.0f} qps vs PR 9 "
+        f"per-query {per_dispatch['per-query']['qps']:.0f} qps "
+        f"({block['qps_speedup_vs_per_query']:.1f}x, "
+        f"{'>= 3x ok' if speedup_ok else 'BELOW 3x'}; "
+        "nodelay-only per-query "
+        f"{per_dispatch['per-query-nodelay']['qps']:.0f} qps); "
+        "cache-warm p50 "
+        f"{per_dispatch['cache-warm']['p50_ms']:.2f} ms vs pool p50 "
+        f"{per_dispatch['pool-cold-fill']['p50_ms']:.2f} ms "
+        f"({'ok' if cache_ok else 'NOT BELOW'}); outputs identical"
+    )
+    print(
+        "open-loop overload "
+        f"({open_loop['coalesced']['offered_qps']:.0f} qps offered / "
+        f"{open_loop['coalesced']['clients']} clients): coalesced "
+        f"{open_loop['coalesced']['qps']:.0f} qps, mean batch "
+        f"{open_loop['coalesced']['mean_batch']:.1f}, p99 "
+        f"{open_loop['coalesced']['p99_ms']:.0f} ms vs per-query "
+        f"{open_loop['per-query']['qps']:.0f} qps, p99 "
+        f"{open_loop['per-query']['p99_ms']:.0f} ms"
+    )
+    return 0 if speedup_ok and cache_ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -1564,6 +1859,7 @@ _PR_FLAGS = {
     "--pr6": pr6_main,
     "--pr7": pr7_main,
     "--pr8": pr8_main,
+    "--pr9": pr9_main,
 }
 
 if __name__ == "__main__":

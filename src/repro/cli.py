@@ -524,6 +524,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port; 0 picks a free one (default 0)",
     )
     serve.add_argument(
+        "--batch-window", type=float, default=5.0, metavar="MS",
+        help=(
+            "query-coalescing window in milliseconds; concurrent "
+            "queries for one graph batch into a single worker call "
+            "(0 disables coalescing: one pool call per query; "
+            "default 5)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-max", type=_positive_int, default=64,
+        help=(
+            "flush a graph's queue early at this many queries "
+            "(default 64)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue", type=_positive_int, default=1024,
+        help=(
+            "bound on queued-but-undispatched queries; beyond it new "
+            "queries are shed with HTTP 429 (default 1024)"
+        ),
+    )
+    serve.add_argument(
+        "--query-timeout", type=float, default=30.0, metavar="S",
+        help=(
+            "seconds a query may wait for its answer before a "
+            "structured HTTP 503 (default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=2048,
+        help=(
+            "hot-cell answer cache capacity in entries; repeated "
+            "queries skip the worker pool (0 disables; default 2048)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-store", default=None, metavar="DIR",
+        help=(
+            "write served answers through to a trial store at this "
+            "directory (they persist as replay-addressable trial "
+            "records and pre-warm later daemons)"
+        ),
+    )
+    serve.add_argument(
+        "--stats-interval", type=float, default=0.0, metavar="S",
+        help=(
+            "print a one-line serving summary every S seconds "
+            "(0 disables; default 0)"
+        ),
+    )
+    serve.add_argument(
         "--port-file", default=None,
         help="write the bound port to this file once serving",
     )
@@ -1016,15 +1068,18 @@ def _serve_entries(args):
 def _serve_smoke(service, args) -> int:
     """The ``repro serve --smoke`` self-test (the CI serve smoke).
 
-    Bursts concurrent queries at the just-started daemon, replays the
+    Bursts concurrent queries at the just-started daemon (coalesced
+    through the dispatcher when ``--batch-window`` > 0), replays the
     same cells through :func:`repro.core.trials.batched_search_trial`,
-    and demands byte-identical answers; then tears the daemon down and
-    proves every published segment is actually gone (attach must
-    raise).  Exit 0 only if all three hold.
+    and demands byte-identical answers; re-issues the same burst so
+    the answer cache serves it and demands identity again; checks the
+    ``/stats`` route accounted for both passes; then tears the daemon
+    down and proves every published segment is actually gone (attach
+    must raise).  Exit 0 only if all of it holds.
     """
     from repro.core.trials import batched_search_trial
     from repro.graphs.shm import attach_graph
-    from repro.service.client import run_load
+    from repro.service.client import ServiceClient, run_load
     from repro.service.loadgen import build_queries
     from repro.service.core import portfolio_algorithms
 
@@ -1039,6 +1094,40 @@ def _serve_smoke(service, args) -> int:
         service.host, service.port, queries,
         clients=args.smoke_clients,
     )
+    # Cache-warm pass: the same burst again must come back identical
+    # (and, with the cache on, mostly from the cache).
+    warm_responses, warm_stats = run_load(
+        service.host, service.port, queries,
+        clients=args.smoke_clients,
+    )
+    warm_mismatches = sum(
+        1 for first, second in zip(responses, warm_responses)
+        if first != second
+    )
+    with ServiceClient(service.host, service.port) as probe:
+        snapshot = probe.stats()
+    search_stats = snapshot["routes"].get("search", {})
+    stats_problems = []
+    if search_stats.get("count", 0) < 2 * len(queries):
+        stats_problems.append(
+            f"/stats saw {search_stats.get('count', 0)} search "
+            f"requests, expected >= {2 * len(queries)}"
+        )
+    if (
+        service.cache.capacity > 0
+        and snapshot["cache"]["hits"] < len(queries)
+    ):
+        stats_problems.append(
+            f"/stats saw {snapshot['cache']['hits']} cache hits, "
+            f"expected >= {len(queries)} from the warm pass"
+        )
+    if (
+        service.batch_window > 0
+        and snapshot["batches"]["count"] == 0
+    ):
+        stats_problems.append(
+            "coalescing enabled but /stats saw zero batches"
+        )
     by_graph: Dict[str, List[int]] = {}
     for index, query in enumerate(queries):
         by_graph.setdefault(query["graph"], []).append(index)
@@ -1074,11 +1163,16 @@ def _serve_smoke(service, args) -> int:
         f"serve smoke: {len(queries)} queries / "
         f"{args.smoke_clients} clients over {len(graphs)} graphs, "
         f"{mismatches} batch-path mismatches, "
+        f"{warm_mismatches} cache-warm mismatches, "
         f"{len(leaked)} leaked segments "
-        f"(p50={stats['p50_ms']:.2f}ms p99={stats['p99_ms']:.2f}ms "
-        f"qps={stats['qps']:.1f})"
+        f"(cold p50={stats['p50_ms']:.2f}ms "
+        f"qps={stats['qps']:.1f}; "
+        f"warm p50={warm_stats['p50_ms']:.2f}ms "
+        f"qps={warm_stats['qps']:.1f}; "
+        f"batches={snapshot['batches']['count']} "
+        f"cache_hits={snapshot['cache']['hits']})"
     )
-    if mismatches or leaked:
+    if mismatches or warm_mismatches or leaked or stats_problems:
         if leaked:
             print(
                 f"error: orphan shm segments: {', '.join(leaked)}",
@@ -1089,6 +1183,14 @@ def _serve_smoke(service, args) -> int:
                 "error: served answers diverged from the batch path",
                 file=sys.stderr,
             )
+        if warm_mismatches:
+            print(
+                "error: cache-warm answers diverged from the cold "
+                "pass",
+                file=sys.stderr,
+            )
+        for problem in stats_problems:
+            print(f"error: {problem}", file=sys.stderr)
         return 1
     print("serve smoke: PASS")
     return 0
@@ -1106,6 +1208,17 @@ def _serve_main(args) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.batch_window < 0:
+        print("error: --batch-window must be >= 0", file=sys.stderr)
+        return 1
+    if args.query_timeout <= 0:
+        print("error: --query-timeout must be > 0", file=sys.stderr)
+        return 1
+    cache_store = None
+    if args.cache_store:
+        from repro.runner.store import store_for
+
+        cache_store = store_for(args.cache_store)
     service = SearchService(
         entries,
         portfolio=args.portfolio,
@@ -1113,6 +1226,13 @@ def _serve_main(args) -> int:
         host=args.host,
         port=args.port,
         corpus_dir=args.corpus,
+        batch_window=args.batch_window / 1000.0,
+        batch_max=args.batch_max,
+        max_queue=args.max_queue,
+        query_timeout=args.query_timeout,
+        cache_size=args.cache_size,
+        cache_store=cache_store,
+        stats_interval=args.stats_interval,
     )
     try:
         service.start()
@@ -1130,9 +1250,16 @@ def _serve_main(args) -> int:
                 handle.write(f"{service.port}\n")
         if args.smoke:
             return _serve_smoke(service, args)
+        coalescing = (
+            f"batch {service.batch_window * 1000:.0f}ms/"
+            f"{service.batch_max} [{service.engine}]"
+            if service.batch_window > 0
+            else "per-query dispatch"
+        )
         print(
             f"serving {len(service.entries)} graphs "
-            f"({args.portfolio} portfolio, {args.workers} workers) "
+            f"({args.portfolio} portfolio, {args.workers} workers, "
+            f"{coalescing}, cache {service.cache.capacity}) "
             f"at {service.address}",
             flush=True,
         )

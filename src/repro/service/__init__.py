@@ -12,8 +12,14 @@ story:
 * :mod:`repro.service.daemon` — the long-lived ``repro serve`` HTTP
   daemon (stdlib ``http.server`` + a process pool over shared-memory
   graphs) with graceful shm lifecycle;
+* :mod:`repro.service.dispatch` — the batched dispatch layer: a
+  per-graph coalescing queue draining onto single ensemble-engine
+  worker calls, plus the hot-cell LRU answer cache;
+* :mod:`repro.service.stats` — the shared latency histogram and the
+  daemon's serving counters (``/stats``);
 * :mod:`repro.service.client` — a tiny stdlib client and a concurrent
-  load generator measuring latency percentiles and sustained qps;
+  load generator (closed- or open-loop) measuring latency percentiles
+  and sustained qps;
 * :mod:`repro.service.loadgen` — the load generator's CLI face.
 
 The determinism contract: a query ``(graph, algorithm, run_index,
@@ -34,13 +40,19 @@ from repro.service.core import (
     validate_query,
 )
 from repro.service.daemon import SearchService
+from repro.service.dispatch import AnswerCache, BatchDispatcher
+from repro.service.stats import LatencyHistogram, ServiceStats
 from repro.service.client import ServiceClient, run_load
 
 __all__ = [
+    "AnswerCache",
+    "BatchDispatcher",
     "GraphEntry",
+    "LatencyHistogram",
     "QueryError",
     "SearchService",
     "ServiceClient",
+    "ServiceStats",
     "build_grid_entries",
     "entry_from_snapshot",
     "load_corpus_entries",

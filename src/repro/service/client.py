@@ -9,6 +9,24 @@ discovery literature reports (and ``BENCH_PR9.json`` records).
 Responses come back *in query order* regardless of which client
 thread carried which query, so a load run doubles as a determinism
 check against the batch path.
+
+Two arrival models (the distinction the serving literature insists
+on):
+
+* **closed-loop** (default): each client issues its next query the
+  moment the previous answer lands.  Concurrency is capped at
+  ``clients``, so the measured qps is throttled by latency — which
+  systematically *under-reports* coalescing gains (a fast server just
+  makes the loop spin faster, it never sees deep queues).
+* **open-loop** (``arrival=<qps>``): query *i* is due at
+  ``i/qps`` seconds regardless of how the previous one fared.  When
+  the daemon falls behind, queries queue up — exactly the regime
+  batching is for.
+
+Latency percentiles come from the same
+:class:`~repro.service.stats.LatencyHistogram` the daemon's
+``/stats`` route uses, so client-side and server-side numbers share
+one estimator.
 """
 
 from __future__ import annotations
@@ -20,6 +38,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ExperimentError
+from repro.service.stats import LatencyHistogram
 
 __all__ = ["ServiceClient", "ServiceHTTPError", "run_load"]
 
@@ -109,6 +128,9 @@ class ServiceClient:
     def graphs(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/graphs")
 
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
     def reload(self) -> Dict[str, Any]:
         return self._request("POST", "/reload", payload={})
 
@@ -133,20 +155,6 @@ class ServiceClient:
         return self._request("POST", "/search", payload=payload)
 
 
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list."""
-    if not sorted_values:
-        return 0.0
-    rank = max(
-        0,
-        min(
-            len(sorted_values) - 1,
-            int(round(q * (len(sorted_values) - 1))),
-        ),
-    )
-    return sorted_values[rank]
-
-
 def run_load(
     host: str,
     port: int,
@@ -154,41 +162,80 @@ def run_load(
     *,
     clients: int = 4,
     timeout: float = 60.0,
+    arrival: Optional[float] = None,
+    duration: Optional[float] = None,
 ) -> Tuple[List[Any], Dict[str, float]]:
     """Drive ``queries`` through ``clients`` concurrent connections.
 
-    Queries are handed out round-robin; each client thread owns one
-    keep-alive connection.  Returns ``(responses, stats)`` with
-    responses in *query order* and stats in seconds/qps:
-    ``{"p50_ms", "p99_ms", "mean_ms", "qps", "wall_s", "queries",
-    "clients"}``.
+    A shared counter hands out query indices, so each client thread
+    (one keep-alive connection apiece) pulls the next pending query as
+    soon as it is free.  Returns ``(responses, stats)`` with responses
+    in *query order* and stats in seconds/qps: ``{"p50_ms", "p90_ms",
+    "p99_ms", "mean_ms", "qps", "wall_s", "queries", "clients"}``.
+
+    ``arrival`` switches to open-loop mode: query *i* is released no
+    earlier than ``i/arrival`` seconds into the run (queries due in
+    the past fire immediately, so a lagging daemon faces the backlog
+    an open-loop generator is supposed to expose).  ``duration`` runs
+    for a wall-clock budget instead of a fixed count: the query list
+    is cycled modulo its length until the budget expires.
     """
     if clients < 1:
         raise ExperimentError(f"clients must be >= 1, got {clients}")
-    clients = min(clients, max(1, len(queries)))
-    responses: List[Any] = [None] * len(queries)
-    latencies: List[List[float]] = [[] for _ in range(clients)]
+    if not queries:
+        raise ExperimentError("run_load needs at least one query")
+    if arrival is not None and arrival <= 0:
+        raise ExperimentError(
+            f"arrival rate must be > 0 qps, got {arrival}"
+        )
+    if duration is None:
+        clients = min(clients, len(queries))
+    histogram = LatencyHistogram()
+    responses: Dict[int, Any] = {}
     errors: List[BaseException] = []
+    lock = threading.Lock()
+    state = {"next": 0}
+    wall_begin = time.perf_counter()
+    deadline = (
+        wall_begin + duration if duration is not None else None
+    )
 
-    def worker(which: int) -> None:
+    def worker() -> None:
         client = ServiceClient(host, port, timeout=timeout)
         try:
-            for index in range(which, len(queries), clients):
+            while True:
+                with lock:
+                    index = state["next"]
+                    if duration is None and index >= len(queries):
+                        return
+                    state["next"] = index + 1
+                if arrival is not None:
+                    due = wall_begin + index / arrival
+                    if deadline is not None:
+                        due = min(due, deadline)
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                if (
+                    deadline is not None
+                    and time.perf_counter() >= deadline
+                ):
+                    return
+                query = queries[index % len(queries)]
                 begin = time.perf_counter()
-                responses[index] = client.search(**queries[index])
-                latencies[which].append(
-                    time.perf_counter() - begin
-                )
+                answer = client.search(**query)
+                histogram.record(time.perf_counter() - begin)
+                with lock:
+                    responses[index] = answer
         except BaseException as error:  # noqa: BLE001 - reraised below
             errors.append(error)
         finally:
             client.close()
 
     threads = [
-        threading.Thread(target=worker, args=(which,), daemon=True)
-        for which in range(clients)
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(clients)
     ]
-    wall_begin = time.perf_counter()
     for thread in threads:
         thread.start()
     for thread in threads:
@@ -196,16 +243,18 @@ def run_load(
     wall = time.perf_counter() - wall_begin
     if errors:
         raise errors[0]
-    flat = sorted(
-        latency for bucket in latencies for latency in bucket
-    )
+    ordered = [responses[index] for index in sorted(responses)]
+    latency = histogram.snapshot()
     stats = {
-        "queries": len(queries),
+        "queries": len(ordered),
         "clients": clients,
         "wall_s": wall,
-        "qps": len(queries) / wall if wall > 0 else 0.0,
-        "mean_ms": (sum(flat) / len(flat) * 1000.0) if flat else 0.0,
-        "p50_ms": _percentile(flat, 0.50) * 1000.0,
-        "p99_ms": _percentile(flat, 0.99) * 1000.0,
+        "qps": len(ordered) / wall if wall > 0 else 0.0,
+        "mean_ms": latency["mean_ms"],
+        "p50_ms": latency["p50_ms"],
+        "p90_ms": latency["p90_ms"],
+        "p99_ms": latency["p99_ms"],
     }
-    return responses, stats
+    if arrival is not None:
+        stats["offered_qps"] = arrival
+    return ordered, stats

@@ -52,13 +52,17 @@ else:  # pragma: no cover - the container always has numpy
 __all__ = [
     "GraphEntry",
     "QueryError",
+    "answer_spec",
     "build_grid_entries",
     "entry_from_snapshot",
+    "execute_service_batch",
     "execute_service_query",
     "graph_payload",
     "load_corpus_entries",
     "payload_search_trial",
     "portfolio_algorithms",
+    "query_cell",
+    "service_answer_trial",
     "service_worker_init",
     "shm_search_trial",
     "snapshot_from_payload",
@@ -90,11 +94,16 @@ class QueryError(ExperimentError):
 
     ``400`` for malformed requests (bad JSON, missing/ill-typed
     fields, out-of-range vertices), ``404`` for well-formed requests
-    naming an unknown graph or algorithm id.
+    naming an unknown graph or algorithm id, ``429`` when the dispatch
+    queue sheds load, ``503`` for timeouts and shutdown.  ``extra``
+    keys are merged into the JSON error body so machine clients get a
+    structured reason (``timeout_s``, ``queue_depth``, ...) alongside
+    the message.
     """
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, **extra: Any):
         self.status = status
+        self.extra = extra
         super().__init__(message)
 
 
@@ -308,6 +317,40 @@ def _worker_graph(graph_id: str, shm_name: str) -> FrozenGraph:
     return graph
 
 
+def execute_service_batch(
+    graph_id: str,
+    cells: List[Dict[str, Any]],
+    engine: str = "serial",
+) -> List[Dict[str, Any]]:
+    """Answer a coalesced batch of validated queries in one worker call.
+
+    The seed handed to ``_execute_cells`` is the graph's *build* seed
+    and each cell carries its query's ``run_index`` — exactly how
+    ``batched_search_trial`` seeds the same cells, which is the whole
+    determinism contract: per-cell RNG substreams depend only on
+    ``(seed, algorithm, run_index)``, never on how queries were
+    grouped, so a coalesced answer equals the per-query answer bit for
+    bit.  Under ``engine="ensemble"`` the batch's same-``(algorithm,
+    start, target)`` cells advance through the lock-step kernel in one
+    call (serial fallback cells run unchanged inside the same
+    ``_execute_cells`` invocation).
+    """
+    info = _WORKER_STATE["manifest"][graph_id]
+    graph = _worker_graph(graph_id, info["shm"])
+    factories = portfolio_factories(info["portfolio"])
+    return _execute_cells(
+        graph,
+        factories,
+        cells,
+        default_start=info["start"],
+        default_target=info["target"],
+        budget=None,
+        neighbor_success=False,
+        seed=info["seed"],
+        engine=engine,
+    )
+
+
 def execute_service_query(
     graph_id: str,
     algorithm: str,
@@ -317,14 +360,21 @@ def execute_service_query(
 ) -> Dict[str, Any]:
     """Answer one validated query inside a pool worker.
 
-    The seed handed to ``_execute_cells`` is the graph's *build* seed
-    and the cell carries the query's ``run_index`` — exactly how
-    ``batched_search_trial`` seeds the same cell, which is the whole
-    determinism contract.
+    The single-cell form of :func:`execute_service_batch` — kept as
+    the per-query dispatch target (``batch_window=0``) and for
+    callers of the PR 9 surface.
     """
-    info = _WORKER_STATE["manifest"][graph_id]
-    graph = _worker_graph(graph_id, info["shm"])
-    factories = portfolio_factories(info["portfolio"])
+    cell = query_cell(algorithm, run_index, start, target)
+    return execute_service_batch(graph_id, [cell])[0]
+
+
+def query_cell(
+    algorithm: str,
+    run_index: int,
+    start: Optional[int],
+    target: Optional[int],
+) -> Dict[str, Any]:
+    """The ``_execute_cells`` cell dict of one validated query."""
     cell: Dict[str, Any] = {
         "algorithm": algorithm, "run_index": run_index,
     }
@@ -332,16 +382,7 @@ def execute_service_query(
         cell["start"] = start
     if target is not None:
         cell["target"] = target
-    return _execute_cells(
-        graph,
-        factories,
-        [cell],
-        default_start=info["start"],
-        default_target=info["target"],
-        budget=None,
-        neighbor_success=False,
-        seed=info["seed"],
-    )[0]
+    return cell
 
 
 def worker_manifest(entries: List[GraphEntry], portfolio: str) -> str:
@@ -356,6 +397,78 @@ def worker_manifest(entries: List[GraphEntry], portfolio: str) -> str:
         }
         for entry in entries
     })
+
+
+# ----------------------------------------------------------------------
+# Cached answers as replay-addressable trials
+# ----------------------------------------------------------------------
+
+
+def service_answer_trial(
+    *,
+    family: Dict[str, Any],
+    size: int,
+    portfolio: str,
+    algorithm: str,
+    run_index: int = 0,
+    start: Optional[int] = None,
+    target: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Recompute one served answer from scratch (the cache's oracle).
+
+    This is the trial function behind the answer cache's TrialStore
+    write-through: a cached answer persists as a normal versioned
+    trial record whose replay rebuilds the graph and re-runs the cell
+    through :func:`~repro.core.trials.batched_search_trial` — so a
+    store written by a serving daemon is interchangeable with one
+    written by a batch run, and ``repro store`` tooling (stat,
+    migrate, compact) applies unchanged.
+    """
+    from repro.core.trials import batched_search_trial
+
+    return batched_search_trial(
+        family=family,
+        size=size,
+        portfolio=portfolio,
+        cells=[query_cell(algorithm, run_index, start, target)],
+        seed=seed,
+    )[0]
+
+
+def answer_spec(
+    entry: GraphEntry,
+    portfolio: str,
+    algorithm: str,
+    run_index: int,
+    start: Optional[int],
+    target: Optional[int],
+):
+    """The :class:`~repro.runner.trial.TrialSpec` of one served cell.
+
+    Keyed exactly like :func:`service_answer_trial` replays it, so a
+    store hit is the bit-identical answer by the versioned-record
+    contract (stale fingerprints read as MISS).
+    """
+    from repro.runner.trial import TrialSpec, trial_ref
+
+    params: Dict[str, Any] = {
+        "family": dict(entry.family),
+        "size": entry.size,
+        "portfolio": portfolio,
+        "algorithm": algorithm,
+        "run_index": run_index,
+    }
+    if start is not None:
+        params["start"] = start
+    if target is not None:
+        params["target"] = target
+    return TrialSpec(
+        experiment_id="service",
+        trial=trial_ref(service_answer_trial),
+        params=params,
+        seed=entry.seed,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -14,14 +14,28 @@ The load-once/serve-many shape:
    is *warmed before any server thread exists* (worker processes fork
    from a single-threaded parent — forking a threaded process is how
    stdlib pools deadlock);
-4. HTTP threads validate queries, submit them to the pool, and stream
-   the JSON answers back; client disconnects mid-response are
-   swallowed per-connection, never fatal.
+4. HTTP threads validate queries and hand them to the **batched
+   dispatch layer** (:class:`~repro.service.dispatch.BatchDispatcher`):
+   concurrent queries for the same graph coalesce over a short window
+   into one worker call that answers the whole batch via
+   ``_execute_cells`` — ensemble engine when numpy is available,
+   serial otherwise — and the answers fan back out to the waiting
+   threads.  A hot-cell :class:`~repro.service.dispatch.AnswerCache`
+   sits in front: repeated queries are replay-addressable cells, so a
+   hit skips the pool entirely (optionally write-through/read-through
+   against a PR 7 trial store, so cached answers persist as ordinary
+   versioned trial records).
+
+Robustness: every query future carries a deadline (timeout -> 503
+with a structured body), the dispatch queue is bounded (full -> 429
+shed instead of thread pile-up), and a worker death fails only the
+in-flight batch — the daemon swaps in a fresh pool and keeps serving.
 
 Lifecycle: :meth:`SearchService.stop` is idempotent and run from
 ``finally`` blocks and SIGTERM handlers alike — HTTP server down,
-pool down, every shared segment closed *and unlinked* so nothing
-outlives the daemon in ``/dev/shm``.
+dispatcher drained (queued queries fail with 503, never hang), pool
+down, every shared segment closed *and unlinked* so nothing outlives
+the daemon in ``/dev/shm``.
 
 Routes
 ------
@@ -30,10 +44,15 @@ Routes
 ``GET /graphs``
     the catalog: one descriptor per entry (id, family, n, seed,
     target, start, shm segment name).
+``GET /stats``
+    the serving counters: per-route request counts and latency
+    histogram (p50/p90/p99), batch-size distribution, cache
+    hits/misses, shed/timeout counts, in-flight depth.
 ``POST /search``
     one query ``{"graph", "algorithm", "run_index", "start"?,
     "target"?}`` -> one serialized SearchResult, bit-identical to the
-    batch path's cell.
+    batch path's cell whether it was answered per-query, coalesced,
+    or from cache.
 ``POST /reload``
     corpus hot-reload: re-scan the corpus directory and publish any
     graphs that appeared since start; ``{"added": [...], "total": N}``.
@@ -43,21 +62,29 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ExperimentError
+from repro.graphs.frozen import HAVE_NUMPY
 from repro.graphs.shm import publish_graph
 from repro.service.core import (
     GraphEntry,
     QueryError,
-    execute_service_query,
+    answer_spec,
+    execute_service_batch,
     load_corpus_entries,
+    query_cell,
     service_worker_init,
     validate_query,
     worker_manifest,
 )
+from repro.service.dispatch import AnswerCache, BatchDispatcher
+from repro.service.stats import ServiceStats
 
 __all__ = ["SearchService"]
 
@@ -86,6 +113,29 @@ class SearchService:
     corpus_dir:
         When set, ``POST /reload`` re-scans this corpus directory and
         publishes newly appeared snapshots without a restart.
+    batch_window:
+        Query-coalescing window in seconds (default 5 ms).  ``0``
+        disables coalescing: every query is its own pool call (the
+        PR 9 per-query path).
+    batch_max:
+        Flush a graph's queue early once it holds this many queries.
+    max_queue:
+        Bound on queued-but-undispatched queries; beyond it new
+        queries shed with 429.
+    query_timeout:
+        Seconds an HTTP thread waits for its answer before returning
+        a structured 503.
+    cache_size:
+        Hot-cell answer-cache capacity (entries); ``0`` disables.
+    cache_store:
+        Optional :class:`~repro.runner.store.TrialStore` the cache
+        writes through to (and reads through from): served answers
+        persist as replay-addressable trial records.
+    engine:
+        Cell execution engine for batches; default auto — ensemble
+        when numpy is available, serial otherwise.
+    stats_interval:
+        Seconds between operator log lines (``0`` disables).
     """
 
     def __init__(
@@ -97,12 +147,32 @@ class SearchService:
         host: str = "127.0.0.1",
         port: int = 0,
         corpus_dir: Optional[str] = None,
+        batch_window: float = 0.005,
+        batch_max: int = 64,
+        max_queue: int = 1024,
+        query_timeout: float = 30.0,
+        cache_size: int = 2048,
+        cache_store: Any = None,
+        engine: Optional[str] = None,
+        stats_interval: float = 0.0,
+        nodelay: bool = True,
     ):
         if not entries:
             raise ExperimentError("a service needs at least one graph")
         if workers < 1:
             raise ExperimentError(
                 f"workers must be >= 1, got {workers}"
+            )
+        if engine is None:
+            engine = "ensemble" if HAVE_NUMPY else "serial"
+        elif engine not in ("serial", "ensemble"):
+            raise ExperimentError(
+                f"unknown service engine {engine!r}; "
+                "valid: serial, ensemble"
+            )
+        if query_timeout <= 0:
+            raise ExperimentError(
+                f"query_timeout must be > 0, got {query_timeout}"
             )
         self.entries: Dict[str, GraphEntry] = {
             entry.graph_id: entry for entry in entries
@@ -112,9 +182,27 @@ class SearchService:
         self.host = host
         self.port = port
         self.corpus_dir = corpus_dir
+        self.batch_window = max(0.0, batch_window)
+        self.batch_max = batch_max
+        self.max_queue = max_queue
+        self.query_timeout = query_timeout
+        self.engine = engine
+        # nodelay=False restores the PR 9 wire behavior (Nagle on, so
+        # the two-send HTTP reply stalls behind delayed ACK) — kept
+        # solely so the benchmark can reconstruct that baseline.
+        self.nodelay = nodelay
+        self.stats = ServiceStats()
+        self.cache = AnswerCache(cache_size)
+        self.cache_store = cache_store
+        self._store_lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._dispatcher: Optional[BatchDispatcher] = None
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
+        self._stats_interval = stats_interval
+        self._stats_stop = threading.Event()
+        self._stats_thread: Optional[threading.Thread] = None
         self._reload_lock = threading.Lock()
         self._stopped = False
 
@@ -123,32 +211,49 @@ class SearchService:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Publish, spawn, warm, bind, serve — in that order.
+        """Publish, spawn, warm, dispatch, bind, serve — in that order.
 
-        The socket binds *before* the expensive pool warm-up would
-        matter for double-start detection, but after publication so a
-        bind failure (``EADDRINUSE``) still tears every segment down
-        via the ``except`` path — no leak on the double-start error.
+        The pool is created and warmed before any thread exists
+        (workers fork from a single-threaded parent); the dispatcher
+        and stats threads start next; the socket binds last, so a bind
+        failure (``EADDRINUSE``) still tears every segment down via
+        the ``except`` path — no leak on the double-start error.
         """
         try:
             for entry in self.entries.values():
                 if entry.segment is None:
                     entry.segment = publish_graph(entry.snapshot)
                     entry.shm_name = entry.segment.name
-            # Pool before server threads: workers fork from a
+            # Pool before any thread: workers fork from a
             # single-threaded parent.
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=service_worker_init,
-                initargs=(self._manifest(),),
-            )
-            warmups = [
-                self._pool.submit(_noop) for _ in range(self.workers)
-            ]
-            for future in warmups:
-                future.result()
-            self._server = ThreadingHTTPServer(
-                (self.host, self.port), _Handler
+            self._pool = self._spawn_pool(warm=True)
+            if self.batch_window > 0:
+                # Split the pool across graphs: each graph may keep
+                # enough batches in flight to cover its share of the
+                # workers, but no more — extra in-flight batches would
+                # only fragment the backlog inside the pool's queue.
+                inflight = max(
+                    1, self.workers // max(1, len(self.entries))
+                )
+                self._dispatcher = BatchDispatcher(
+                    self._submit_batch,
+                    window=self.batch_window,
+                    batch_max=self.batch_max,
+                    max_pending=self.max_queue,
+                    inflight_per_graph=inflight,
+                    stats=self.stats,
+                    on_batch_error=self._note_batch_error,
+                )
+            if self._stats_interval > 0:
+                self._stats_thread = threading.Thread(
+                    target=self._stats_loop,
+                    name="repro-serve-stats",
+                    daemon=True,
+                )
+                self._stats_thread.start()
+            handler = _Handler if self.nodelay else _LegacyWireHandler
+            self._server = _Server(
+                (self.host, self.port), handler
             )
             self._server.daemon_threads = True
             self._server.service = self  # type: ignore[attr-defined]
@@ -164,7 +269,13 @@ class SearchService:
             raise
 
     def stop(self) -> None:
-        """Tear everything down; safe to call twice or half-started."""
+        """Tear everything down; safe to call twice or half-started.
+
+        Order matters: the HTTP server stops accepting first, then
+        the dispatcher fails every queued query with 503 (so no
+        handler thread is left waiting on a future nobody will
+        resolve), then the pool drains, then the segments unlink.
+        """
         if self._stopped:
             return
         self._stopped = True
@@ -175,6 +286,23 @@ class SearchService:
         if self._server_thread is not None:
             self._server_thread.join(timeout=5)
             self._server_thread = None
+        if self._dispatcher is not None:
+            self._dispatcher.close()
+            self._dispatcher = None
+        # Handler threads are daemons; give the ones whose queries
+        # just resolved (503 on close, or a final pool answer) a
+        # bounded moment to flush their responses before the process
+        # can exit under them.
+        deadline = time.monotonic() + 2.0
+        while (
+            self.stats.in_flight > 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        self._stats_stop.set()
+        if self._stats_thread is not None:
+            self._stats_thread.join(timeout=5)
+            self._stats_thread = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -201,6 +329,75 @@ class SearchService:
             list(self.entries.values()), self.portfolio
         )
 
+    def _spawn_pool(self, *, warm: bool) -> ProcessPoolExecutor:
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=service_worker_init,
+            initargs=(self._manifest(),),
+        )
+        if warm:
+            for future in [
+                pool.submit(_noop) for _ in range(self.workers)
+            ]:
+                future.result()
+        return pool
+
+    def _stats_loop(self) -> None:
+        while not self._stats_stop.wait(self._stats_interval):
+            print(self.stats.log_line(), flush=True)
+
+    # ------------------------------------------------------------------
+    # Pool dispatch and recovery (called from HTTP/dispatcher threads)
+    # ------------------------------------------------------------------
+
+    def _submit_batch(self, graph_id: str, cells: List[Dict[str, Any]]):
+        """One worker call for a (graph, cells) batch; self-healing.
+
+        A broken pool (a worker died) is replaced once, and the batch
+        retried on the fresh pool *only if its submission itself
+        failed* — a batch that died mid-execution is reported to its
+        queries, not silently re-run.
+        """
+        for attempt in (0, 1):
+            pool = self._pool
+            if pool is None or self._stopped:
+                raise QueryError(503, "service is shutting down")
+            try:
+                return pool.submit(
+                    execute_service_batch,
+                    graph_id, cells, self.engine,
+                )
+            except (BrokenProcessPool, RuntimeError) as error:
+                self._respawn_pool(pool)
+                if attempt:
+                    raise QueryError(
+                        503,
+                        "worker pool unavailable: "
+                        f"{type(error).__name__}: {error}",
+                    ) from error
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _note_batch_error(self, error: BaseException) -> None:
+        """Dispatcher hook: a batch future failed.
+
+        Worker death surfaces as :class:`BrokenProcessPool`; the pool
+        object is permanently broken, so swap in a fresh one — the
+        failed batch's queries already got their 503, every later
+        batch lands on live workers.
+        """
+        if isinstance(error, BrokenProcessPool):
+            pool = self._pool
+            if pool is not None:
+                self._respawn_pool(pool)
+
+    def _respawn_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace ``broken`` if it is still the active pool."""
+        with self._pool_lock:
+            if self._stopped or self._pool is not broken:
+                return
+            self._pool = self._spawn_pool(warm=False)
+        broken.shutdown(wait=False)
+
     # ------------------------------------------------------------------
     # Request handling (called from HTTP threads)
     # ------------------------------------------------------------------
@@ -209,20 +406,107 @@ class SearchService:
         graph_id, algorithm, run_index, start, target = validate_query(
             payload, self.entries, self.portfolio
         )
-        pool = self._pool
-        if pool is None:
-            raise QueryError(503, "service is shutting down")
-        future = pool.submit(
-            execute_service_query,
-            graph_id, algorithm, run_index, start, target,
+        key = (graph_id, algorithm, run_index, start, target)
+        caching = self.cache.capacity > 0 or self.cache_store is not None
+        if caching:
+            answer = self.cache.get(key) if self.cache.capacity > 0 else None
+            if answer is None:
+                answer = self._store_read(
+                    graph_id, algorithm, run_index, start, target
+                )
+                if answer is not None:
+                    self.cache.put(key, answer)
+            if answer is not None:
+                self.stats.cache_hit()
+                return answer
+            self.stats.cache_miss()
+        cell = query_cell(algorithm, run_index, start, target)
+        dispatcher = self._dispatcher
+        if dispatcher is not None:
+            future = dispatcher.submit(graph_id, cell)
+        else:
+            # Per-query dispatch (batch_window=0): one pool call per
+            # request, the PR 9 path.
+            self.stats.record_batch(1)
+            try:
+                batch = self._submit_batch(graph_id, [cell])
+            except QueryError:
+                self.stats.record_batch_failure()
+                raise
+            future = _Unbatch(batch)
+        try:
+            answer = future.result(timeout=self.query_timeout)
+        except QueryError:
+            raise
+        except FutureTimeoutError:
+            self.stats.record_timeout()
+            raise QueryError(
+                503,
+                "query timed out after "
+                f"{self.query_timeout:g}s in dispatch/execution",
+                timeout_s=self.query_timeout,
+            ) from None
+        except BrokenProcessPool as error:
+            # Per-query path: the worker died under this very call.
+            self.stats.record_batch_failure()
+            pool = self._pool
+            if pool is not None:
+                self._respawn_pool(pool)
+            raise QueryError(
+                503,
+                f"worker process died executing the query: {error}",
+            ) from error
+        self.cache.put(key, answer)
+        self._store_write(
+            graph_id, algorithm, run_index, start, target, answer
         )
-        return future.result()
+        return answer
+
+    def _store_read(
+        self, graph_id, algorithm, run_index, start, target
+    ) -> Optional[Dict[str, Any]]:
+        if self.cache_store is None:
+            return None
+        from repro.runner.store import MISS
+
+        spec = answer_spec(
+            self.entries[graph_id], self.portfolio,
+            algorithm, run_index, start, target,
+        )
+        with self._store_lock:
+            value = self.cache_store.get(spec)
+        return None if value is MISS else value
+
+    def _store_write(
+        self, graph_id, algorithm, run_index, start, target, answer
+    ) -> None:
+        if self.cache_store is None:
+            return
+        spec = answer_spec(
+            self.entries[graph_id], self.portfolio,
+            algorithm, run_index, start, target,
+        )
+        with self._store_lock:
+            self.cache_store.put(spec, answer)
 
     def handle_graphs(self) -> List[Dict[str, Any]]:
         return [
             entry.describe()
             for _, entry in sorted(self.entries.items())
         ]
+
+    def handle_stats(self) -> Dict[str, Any]:
+        snapshot = self.stats.snapshot(cache_info=self.cache.info())
+        snapshot["graphs"] = len(self.entries)
+        snapshot["workers"] = self.workers
+        snapshot["engine"] = self.engine
+        snapshot["batch_window_ms"] = self.batch_window * 1000.0
+        snapshot["batch_max"] = self.batch_max
+        dispatcher = self._dispatcher
+        snapshot["queue_depth"] = (
+            dispatcher.pending if dispatcher is not None else 0
+        )
+        return snapshot
 
     def handle_reload(self) -> Dict[str, Any]:
         """Publish corpus entries that appeared since the last scan.
@@ -231,8 +515,9 @@ class SearchService:
         be re-run in live workers, so when anything new appears the
         daemon swaps in a fresh pool whose initializer carries the
         extended manifest (in-flight queries drain on the old pool
-        first).  With no corpus directory the call is a no-op
-        reporting the current catalog size.
+        first).  The dispatcher survives the swap untouched — it
+        resolves the active pool per batch.  With no corpus directory
+        the call is a no-op reporting the current catalog size.
         """
         with self._reload_lock:
             if self.corpus_dir is None:
@@ -248,21 +533,45 @@ class SearchService:
             if added:
                 # Swap in a pool whose workers know the new graphs;
                 # in-flight queries finish on the old pool first.
-                old_pool = self._pool
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=service_worker_init,
-                    initargs=(self._manifest(),),
-                )
+                with self._pool_lock:
+                    old_pool = self._pool
+                    self._pool = self._spawn_pool(warm=False)
                 if old_pool is not None:
                     old_pool.shutdown(wait=True)
             return {"added": added, "total": len(self.entries)}
+
+
+class _Unbatch:
+    """A single-cell view of a batch future (per-query dispatch)."""
+
+    __slots__ = ("_batch",)
+
+    def __init__(self, batch):
+        self._batch = batch
+
+    def result(self, timeout: Optional[float] = None):
+        return self._batch.result(timeout=timeout)[0]
+
+
+class _Server(ThreadingHTTPServer):
+    """The daemon's HTTP front end.
+
+    socketserver's default listen backlog is 5; a burst of
+    load-generator connections overflows it and the kernel resets the
+    excess SYNs.  128 rides out any sane client fleet without resets.
+    """
+
+    request_queue_size = 128
 
 
 class _Handler(BaseHTTPRequestHandler):
     """Thin JSON-over-HTTP face of :class:`SearchService`."""
 
     protocol_version = "HTTP/1.1"
+    # The reply is two small sends (header block, then body); without
+    # TCP_NODELAY the second stalls behind Nagle + delayed ACK for up
+    # to ~40ms — which would put a floor under the cache hit path.
+    disable_nagle_algorithm = True
 
     # Quiet by default; the daemon's stdout is the operator surface.
     def log_message(self, format, *args):  # noqa: A002
@@ -306,35 +615,75 @@ class _Handler(BaseHTTPRequestHandler):
                 400, f"request body is not valid JSON: {error}"
             ) from error
 
+    def _route(self, route: str, handler) -> None:
+        """Run one route handler with stats + error accounting."""
+        service = self._service
+        service.stats.enter()
+        begin = time.perf_counter()
+        error = False
+        try:
+            try:
+                self._reply(200, handler())
+            except QueryError as query_error:
+                error = True
+                self._reply(query_error.status, {
+                    "error": str(query_error),
+                    "status": query_error.status,
+                    **query_error.extra,
+                })
+            except (BrokenPipeError, ConnectionResetError):
+                error = True
+                self.close_connection = True
+            except Exception as exc:  # pragma: no cover - last resort
+                error = True
+                self._reply(500, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "status": 500,
+                })
+        finally:
+            service.stats.leave()
+            service.stats.record_request(
+                route, time.perf_counter() - begin, error=error
+            )
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         if self.path == "/healthz":
-            self._reply(200, {
+            self._route("healthz", lambda: {
                 "status": "ok",
                 "graphs": len(self._service.entries),
             })
         elif self.path == "/graphs":
-            self._reply(200, self._service.handle_graphs())
+            self._route("graphs", self._service.handle_graphs)
+        elif self.path == "/stats":
+            self._route("stats", self._service.handle_stats)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        try:
-            if self.path == "/search":
-                payload = self._read_json()
-                self._reply(200, self._service.handle_search(payload))
-            elif self.path == "/reload":
-                self._drain_body()
-                self._reply(200, self._service.handle_reload())
-            else:
-                self._drain_body()
-                self._reply(
-                    404, {"error": f"unknown path {self.path!r}"}
-                )
-        except QueryError as error:
-            self._reply(error.status, {"error": str(error)})
-        except (BrokenPipeError, ConnectionResetError):
-            self.close_connection = True
-        except Exception as error:  # pragma: no cover - last resort
-            self._reply(500, {
-                "error": f"{type(error).__name__}: {error}"
-            })
+        if self.path == "/search":
+            self._route(
+                "search",
+                lambda: self._service.handle_search(
+                    self._read_json()
+                ),
+            )
+        elif self.path == "/reload":
+            self._drain_body()
+            self._route("reload", self._service.handle_reload)
+        else:
+            self._drain_body()
+            self._reply(
+                404, {"error": f"unknown path {self.path!r}"}
+            )
+
+
+class _LegacyWireHandler(_Handler):
+    """The PR 9 wire behavior: Nagle left on.
+
+    The reply's two small sends then serialize behind delayed ACK
+    (~40 ms per request on loopback).  Exists only so the serving
+    benchmark can measure the batched dispatch layer against the PR 9
+    per-query path as it actually shipped; never the default.
+    """
+
+    disable_nagle_algorithm = False

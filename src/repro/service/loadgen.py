@@ -3,13 +3,21 @@
 Usage::
 
     python -m repro.service.loadgen --port 8642 \
-        --queries 200 --clients 4 [--algorithm random-walk]
+        --queries 200 --clients 4 [--algorithm random-walk] \
+        [--arrival open:150] [--duration 10]
 
 Discovers the served catalog via ``GET /graphs``, builds a
 deterministic round-robin query stream over (graph, algorithm,
 run_index), runs it through :func:`repro.service.client.run_load`,
-and prints one JSON summary line (p50/p99 latency, sustained qps) to
-stdout — the shape ``BENCH_PR9.json`` embeds.
+and prints one JSON summary line (p50/p90/p99 latency, sustained qps)
+to stdout — the shape the bench artifacts embed.
+
+``--arrival open:<qps>`` switches from the default closed loop to an
+open-loop schedule (query *i* due at ``i/qps`` seconds — the mode
+that actually exposes coalescing wins, because a closed loop never
+builds a queue); ``--duration <s>`` runs for a wall-clock budget,
+cycling the query list, instead of a fixed count.  Percentiles come
+from the same histogram code as the daemon's ``/stats`` route.
 """
 
 from __future__ import annotations
@@ -22,7 +30,24 @@ from typing import Any, Dict, List, Optional
 from repro.service.client import ServiceClient, run_load
 from repro.service.core import MAX_RUN_INDEX, portfolio_algorithms
 
-__all__ = ["build_queries", "main"]
+__all__ = ["build_queries", "main", "parse_arrival"]
+
+
+def parse_arrival(text: Optional[str]) -> Optional[float]:
+    """``"open:<qps>"`` -> qps; ``None``/``"closed"`` -> None."""
+    if text is None or text == "closed":
+        return None
+    if text.startswith("open:"):
+        try:
+            qps = float(text[len("open:"):])
+        except ValueError:
+            qps = 0.0
+        if qps > 0:
+            return qps
+    raise SystemExit(
+        f"error: --arrival must be 'closed' or 'open:<qps>' "
+        f"with qps > 0, got {text!r}"
+    )
 
 
 def build_queries(
@@ -68,7 +93,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--algorithm", action="append", default=None,
         help="restrict to specific algorithm(s); repeatable",
     )
+    parser.add_argument(
+        "--arrival", default=None,
+        help="'closed' (default) or 'open:<qps>' open-loop schedule",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="run for this many seconds, cycling the query list, "
+        "instead of a fixed count",
+    )
     args = parser.parse_args(argv)
+    arrival = parse_arrival(args.arrival)
+    if args.duration is not None and args.duration <= 0:
+        print("error: --duration must be > 0", file=sys.stderr)
+        return 1
 
     with ServiceClient(args.host, args.port) as probe:
         graphs = probe.graphs()
@@ -82,21 +120,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     queries = build_queries(graphs, algorithms, args.queries)
     responses, stats = run_load(
-        args.host, args.port, queries, clients=args.clients
+        args.host, args.port, queries,
+        clients=args.clients,
+        arrival=arrival,
+        duration=args.duration,
     )
     found = sum(
         1 for response in responses
         if isinstance(response, dict) and response.get("found")
     )
-    print(json.dumps({
+    summary = {
         "queries": int(stats["queries"]),
         "clients": int(stats["clients"]),
         "found": found,
         "qps": round(stats["qps"], 2),
         "p50_ms": round(stats["p50_ms"], 3),
+        "p90_ms": round(stats["p90_ms"], 3),
         "p99_ms": round(stats["p99_ms"], 3),
         "mean_ms": round(stats["mean_ms"], 3),
-    }))
+    }
+    if "offered_qps" in stats:
+        summary["offered_qps"] = stats["offered_qps"]
+    print(json.dumps(summary))
     return 0
 
 

@@ -47,6 +47,7 @@ BENCH_PR6_PATH = os.path.join(_ROOT, "BENCH_PR6.json")
 BENCH_PR7_PATH = os.path.join(_ROOT, "BENCH_PR7.json")
 BENCH_PR8_PATH = os.path.join(_ROOT, "BENCH_PR8.json")
 BENCH_PR9_PATH = os.path.join(_ROOT, "BENCH_PR9.json")
+BENCH_PR10_PATH = os.path.join(_ROOT, "BENCH_PR10.json")
 
 VALID_BACKENDS = {"frozen", "multigraph"}
 VALID_MODES = {"independent", "trajectory"}
@@ -55,6 +56,9 @@ VALID_GENERATORS = {"serial", "vectorized"}
 VALID_STORE_BACKENDS = {"json-files", "sqlite"}
 VALID_STRATEGIES = {"overlay", "rebuild-per-step"}
 VALID_DISPATCHES = {"pickle-per-spec", "shared-memory", "service"}
+#: PR 10's serving arms get their own dispatch vocabulary — PR 9's
+#: schema test pins its records to exactly VALID_DISPATCHES.
+VALID_SERVING_DISPATCHES = {"per-query", "coalesced", "cache-warm"}
 
 
 @pytest.fixture(scope="module")
@@ -679,3 +683,112 @@ class TestBenchPR9Schema:
         load = pr9_payload["service_load"]
         assert load["clients"] >= 4
         assert load["batch_identical"] is True
+
+
+@pytest.fixture(scope="module")
+def pr10_payload():
+    assert os.path.exists(BENCH_PR10_PATH), (
+        "BENCH_PR10.json missing; run `make bench-smoke`"
+    )
+    with open(BENCH_PR10_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestBenchPR10Schema:
+    """The coalesced-serving + answer-cache point."""
+
+    def test_schema_version(self, pr10_payload):
+        assert pr10_payload["schema"] == "repro-bench/v1"
+
+    def test_records_shape(self, pr10_payload):
+        records = pr10_payload["records"]
+        assert records, "bench trajectory must not be empty"
+        for record in records:
+            assert isinstance(record["experiment"], str)
+            assert record["experiment"].startswith("E")
+            assert isinstance(record["n"], int) and record["n"] > 0
+            assert isinstance(record["wall_seconds"], (int, float))
+            assert record["wall_seconds"] >= 0
+            assert record["backend"] in VALID_BACKENDS
+            assert record["dispatch"] in VALID_SERVING_DISPATCHES
+
+    def test_all_serving_arms_timed(self, pr10_payload):
+        dispatches = {
+            record["dispatch"] for record in pr10_payload["records"]
+        }
+        assert dispatches == VALID_SERVING_DISPATCHES, (
+            "the baseline, coalesced, and cache arms must all be timed"
+        )
+
+    def test_serving_block(self, pr10_payload):
+        block = pr10_payload["serving_speedup"]
+        assert block["workload"] == "service-query-coalescing"
+        assert block["family"].startswith("mori")
+        assert block["graphs"] >= 2
+        assert block["workers"] >= 1
+        assert block["queries"] >= block["clients"]
+        assert block["batch_window_ms"] > 0
+        assert block["batch_max"] >= 1
+        assert block["cache_size"] >= 1
+        assert block["engine"] in VALID_ENGINES
+        per_dispatch = block["per_dispatch"]
+        # Every arm measured, including the decomposition arm — not a
+        # favourable subset.
+        assert set(per_dispatch) == {
+            "per-query",
+            "per-query-nodelay",
+            "coalesced",
+            "cache-warm",
+            "pool-cold-fill",
+        }
+        for numbers in per_dispatch.values():
+            assert numbers["qps"] > 0
+            assert numbers["wall_seconds"] > 0
+            assert 0 < numbers["p50_ms"] <= numbers["p99_ms"]
+        assert per_dispatch["coalesced"]["batches"] >= 1
+        assert per_dispatch["coalesced"]["mean_batch"] >= 1.0
+        assert per_dispatch["cache-warm"]["cache_hits"] >= 1
+
+    def test_open_loop_block(self, pr10_payload):
+        open_loop = pr10_payload["serving_speedup"]["open_loop"]
+        assert set(open_loop) == {"coalesced", "per-query"}
+        for arm in open_loop.values():
+            assert arm["offered_qps"] > 0
+            assert arm["clients"] > 1
+            assert arm["qps"] > 0
+            assert 0 < arm["p50_ms"] <= arm["p99_ms"]
+        # The overload probe is where coalescing shows real depth:
+        # the dispatcher must have formed multi-query batches.
+        assert open_loop["coalesced"]["mean_batch"] > 1.0
+
+    def test_service_stats_plumbed(self, pr10_payload):
+        snapshot = pr10_payload["serving_speedup"]["service_stats"]
+        assert snapshot["routes"]["search"]["count"] >= 1
+        assert snapshot["batches"]["count"] >= 1
+        assert snapshot["batches"]["size_distribution"]
+        assert "hits" in snapshot["cache"]
+        assert "p99_ms" in snapshot["routes"]["search"]
+
+    def test_recorded_acceptance_gates(self, pr10_payload):
+        """The committed run met the PR's acceptance bars: >= 3x
+        sustained qps for batched dispatch over the PR 9 per-query
+        path, cache-warm p50 below the pool-dispatch p50, and every
+        answer bit-identical to the batch path."""
+        block = pr10_payload["serving_speedup"]
+        assert block["acceptance_baseline"].startswith("per-query")
+        assert block["qps_speedup_vs_per_query"] >= 3.0
+        per_dispatch = block["per_dispatch"]
+        expected = (
+            per_dispatch["coalesced"]["qps"]
+            / per_dispatch["per-query"]["qps"]
+        )
+        assert block["qps_speedup_vs_per_query"] == pytest.approx(
+            expected, rel=0.01
+        )
+        assert block["cache_p50_below_pool_p50"] is True
+        assert (
+            per_dispatch["cache-warm"]["p50_ms"]
+            < per_dispatch["pool-cold-fill"]["p50_ms"]
+        )
+        assert block["outputs_identical"] is True
+        assert block["clients"] >= 4
